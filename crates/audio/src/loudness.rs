@@ -1,0 +1,169 @@
+//! Loudness measurement and matching.
+//!
+//! Broadcast splicing has a second seamlessness requirement besides
+//! sample continuity: the inserted clip must not be noticeably louder
+//! or quieter than the surrounding programme (broadcasters normalize
+//! to a target loudness; EBU R 128 in production, a windowed-RMS model
+//! here). The replacement planner can use [`match_gain`] to compute the
+//! gain that aligns a clip's loudness with the live stream around the
+//! insertion point.
+
+use crate::source::AudioSource;
+use serde::{Deserialize, Serialize};
+
+/// A loudness measurement over a source range.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Loudness {
+    /// Root-mean-square amplitude, in `[0, 1]`.
+    pub rms: f64,
+    /// Peak absolute amplitude observed.
+    pub peak: f32,
+    /// Samples measured.
+    pub samples: u64,
+}
+
+impl Loudness {
+    /// The measurement in dBFS-like terms (20·log10(rms)); `-inf` for
+    /// silence.
+    #[must_use]
+    pub fn db(&self) -> f64 {
+        20.0 * self.rms.log10()
+    }
+}
+
+/// Measures RMS and peak of `source` over `[start, start + len)`.
+///
+/// # Panics
+/// Panics if `len` is zero.
+#[must_use]
+pub fn measure(source: &impl AudioSource, start: u64, len: u64) -> Loudness {
+    assert!(len > 0, "cannot measure zero samples");
+    let mut sum_sq = 0.0f64;
+    let mut peak = 0.0f32;
+    for i in 0..len {
+        let s = source.sample(start + i);
+        sum_sq += f64::from(s) * f64::from(s);
+        peak = peak.max(s.abs());
+    }
+    Loudness { rms: (sum_sq / len as f64).sqrt(), peak, samples: len }
+}
+
+/// The gain that brings `clip` to the loudness of `reference`, clamped
+/// so the scaled peak cannot clip (exceed 1.0). Returns 1.0 when either
+/// side is silent (nothing meaningful to match).
+#[must_use]
+pub fn match_gain(reference: Loudness, clip: Loudness) -> f32 {
+    if reference.rms <= 0.0 || clip.rms <= 0.0 {
+        return 1.0;
+    }
+    let gain = (reference.rms / clip.rms) as f32;
+    if clip.peak > 0.0 {
+        gain.min(1.0 / clip.peak)
+    } else {
+        gain
+    }
+}
+
+/// A gain-wrapped source: `inner` scaled by a constant factor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Gained<S> {
+    inner: S,
+    gain: f32,
+}
+
+impl<S: AudioSource> Gained<S> {
+    /// Wraps `inner` with a constant gain.
+    #[must_use]
+    pub fn new(inner: S, gain: f32) -> Self {
+        Gained { inner, gain }
+    }
+
+    /// The applied gain.
+    #[must_use]
+    pub fn gain(&self) -> f32 {
+        self.gain
+    }
+}
+
+impl<S: AudioSource> AudioSource for Gained<S> {
+    fn id(&self) -> crate::source::SourceId {
+        self.inner.id()
+    }
+
+    fn sample(&self, pos: u64) -> f32 {
+        self.inner.sample(pos) * self.gain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{ClipSource, LiveSource, SilenceSource};
+
+    #[test]
+    fn measure_basics() {
+        let live = LiveSource::new(1);
+        let l = measure(&live, 0, 50_000);
+        // Value noise over [-1,1]: RMS well inside (0, 1).
+        assert!(l.rms > 0.2 && l.rms < 0.8, "{l:?}");
+        assert!(l.peak <= 1.0 && l.peak > 0.5);
+        assert_eq!(l.samples, 50_000);
+        assert!(l.db() < 0.0);
+    }
+
+    #[test]
+    fn silence_measures_zero() {
+        let l = measure(&SilenceSource, 0, 1_000);
+        assert_eq!(l.rms, 0.0);
+        assert_eq!(l.peak, 0.0);
+        assert_eq!(l.db(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn match_gain_aligns_rms() {
+        let live = LiveSource::new(1);
+        let clip = ClipSource::new(3, 100_000);
+        let lref = measure(&live, 0, 50_000);
+        let lclip = measure(&clip, 0, 50_000);
+        let gain = match_gain(lref, lclip);
+        let gained = Gained::new(clip, gain);
+        let after = measure(&gained, 0, 50_000);
+        let ratio = after.rms / lref.rms;
+        assert!((ratio - 1.0).abs() < 0.05, "post-gain ratio {ratio}");
+    }
+
+    #[test]
+    fn gain_clamped_against_clipping() {
+        // A quiet reference vs a clip whose peak is near 1: boosting the
+        // clip to a loud reference must not push the peak past 1.0.
+        let clip = ClipSource::new(7, 100_000);
+        let lclip = measure(&clip, 0, 50_000);
+        let loud_ref = Loudness { rms: 10.0, peak: 1.0, samples: 1 };
+        let gain = match_gain(loud_ref, lclip);
+        assert!(gain * lclip.peak <= 1.0 + 1e-6);
+    }
+
+    #[test]
+    fn silent_inputs_get_unit_gain() {
+        let silent = Loudness { rms: 0.0, peak: 0.0, samples: 10 };
+        let normal = Loudness { rms: 0.5, peak: 0.9, samples: 10 };
+        assert_eq!(match_gain(silent, normal), 1.0);
+        assert_eq!(match_gain(normal, silent), 1.0);
+    }
+
+    #[test]
+    fn gained_preserves_identity() {
+        use crate::source::AudioSource as _;
+        let clip = ClipSource::new(9, 1_000);
+        let g = Gained::new(clip, 0.5);
+        assert_eq!(g.id(), clip.id());
+        assert_eq!(g.sample(10), clip.sample(10) * 0.5);
+        assert_eq!(g.gain(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn zero_length_measure_panics() {
+        let _ = measure(&SilenceSource, 0, 0);
+    }
+}

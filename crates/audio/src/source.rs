@@ -1,0 +1,237 @@
+//! Deterministic audio sources.
+//!
+//! Every source is a *pure function* from a sample index to an
+//! amplitude in `[-1, 1]`, derived from the source's identity by a
+//! splitmix-style hash. Two properties make this the right substitute
+//! for real Rai streams (see `DESIGN.md`):
+//!
+//! 1. **Provenance is verifiable.** Given an output sample and a
+//!    position, a test can check which source produced it — so "the
+//!    clip seamlessly replaced the live stream between 11:00:00 and
+//!    11:15:00" is an assertable statement, not a listening impression.
+//! 2. **No storage.** A 24-hour live stream needs no buffer until a
+//!    component (the time-shifter) explicitly records it, exactly like
+//!    the real tuner.
+
+use serde::{Deserialize, Serialize};
+
+/// Identity of an audio source; the sample function is keyed on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SourceId(pub u64);
+
+impl SourceId {
+    /// Derives the id for a live service from its service index.
+    #[must_use]
+    pub fn live_service(index: u32) -> Self {
+        SourceId(0x4C49_5645_0000_0000 | u64::from(index))
+    }
+
+    /// Derives the id for a stored clip from its clip number.
+    #[must_use]
+    pub fn clip(number: u64) -> Self {
+        SourceId(0x434C_4950_0000_0000 | number)
+    }
+}
+
+/// A deterministic sample generator.
+pub trait AudioSource {
+    /// The source's identity.
+    fn id(&self) -> SourceId;
+
+    /// Amplitude of sample `pos` (source-local index), in `[-1, 1]`.
+    fn sample(&self, pos: u64) -> f32;
+
+    /// Fills `out` with samples `[start, start + out.len())`.
+    fn fill(&self, start: u64, out: &mut [f32]) {
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.sample(start + i as u64);
+        }
+    }
+}
+
+/// SplitMix64 finalizer: uncorrelated 64-bit output per input.
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Spacing of the value-noise anchors, in samples. Between anchors the
+/// signal is linearly interpolated, so adjacent samples within one
+/// source differ by at most `2 / ANCHOR_SPACING` — a *smooth* signal, as
+/// real programme audio is at audio rates. A hard cut between two
+/// sources can therefore jump by up to 2.0, which is exactly what makes
+/// seam smoothness a falsifiable property (see `splice`).
+pub const ANCHOR_SPACING: u64 = 64;
+
+#[inline]
+fn anchor_value(id: SourceId, anchor: u64) -> f32 {
+    let h = mix(id.0 ^ mix(anchor));
+    let v = (h >> 40) as f32 / ((1u64 << 24) - 1) as f32;
+    v * 2.0 - 1.0
+}
+
+/// Deterministic amplitude for `(id, pos)`, in `[-1, 1]`: value noise,
+/// linearly interpolated between per-source anchors.
+#[inline]
+#[must_use]
+pub fn deterministic_sample(id: SourceId, pos: u64) -> f32 {
+    let a = pos / ANCHOR_SPACING;
+    let frac = (pos % ANCHOR_SPACING) as f32 / ANCHOR_SPACING as f32;
+    let v0 = anchor_value(id, a);
+    let v1 = anchor_value(id, a + 1);
+    v0 + (v1 - v0) * frac
+}
+
+/// A live radio service: an unbounded deterministic stream. The sample
+/// position is *absolute* (samples since the simulation epoch), mirroring
+/// a broadcast that exists whether or not anyone listens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LiveSource {
+    id: SourceId,
+}
+
+impl LiveSource {
+    /// Creates the live source for service `index`.
+    #[must_use]
+    pub fn new(index: u32) -> Self {
+        LiveSource { id: SourceId::live_service(index) }
+    }
+}
+
+impl AudioSource for LiveSource {
+    fn id(&self) -> SourceId {
+        self.id
+    }
+
+    fn sample(&self, pos: u64) -> f32 {
+        deterministic_sample(self.id, pos)
+    }
+}
+
+/// A stored clip: a bounded deterministic stream. Positions are
+/// clip-local (0 = clip start); reads past the end return silence,
+/// which the splicer treats as a planning bug surfaced by tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClipSource {
+    id: SourceId,
+    len_samples: u64,
+}
+
+impl ClipSource {
+    /// Creates a clip source of `len_samples` samples.
+    #[must_use]
+    pub fn new(number: u64, len_samples: u64) -> Self {
+        ClipSource { id: SourceId::clip(number), len_samples }
+    }
+
+    /// The clip length in samples.
+    #[must_use]
+    pub fn len_samples(&self) -> u64 {
+        self.len_samples
+    }
+}
+
+impl AudioSource for ClipSource {
+    fn id(&self) -> SourceId {
+        self.id
+    }
+
+    fn sample(&self, pos: u64) -> f32 {
+        if pos < self.len_samples {
+            deterministic_sample(self.id, pos)
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Digital silence.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SilenceSource;
+
+impl AudioSource for SilenceSource {
+    fn id(&self) -> SourceId {
+        SourceId(0)
+    }
+
+    fn sample(&self, _pos: u64) -> f32 {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_are_deterministic() {
+        let s = LiveSource::new(3);
+        assert_eq!(s.sample(12_345), s.sample(12_345));
+    }
+
+    #[test]
+    fn samples_in_range() {
+        let s = LiveSource::new(1);
+        for pos in (0..100_000).step_by(997) {
+            let v = s.sample(pos);
+            assert!((-1.0..=1.0).contains(&v), "sample {pos} out of range: {v}");
+        }
+    }
+
+    #[test]
+    fn different_sources_differ() {
+        let a = LiveSource::new(1);
+        let b = LiveSource::new(2);
+        let same = (0..1_000).filter(|&p| a.sample(p) == b.sample(p)).count();
+        assert!(same < 10, "streams should be uncorrelated, {same} collisions");
+    }
+
+    #[test]
+    fn signal_is_smooth_within_a_source() {
+        let s = LiveSource::new(5);
+        let max_step = 2.0 / ANCHOR_SPACING as f32;
+        for p in 0..10_000u64 {
+            let d = (s.sample(p + 1) - s.sample(p)).abs();
+            assert!(d <= max_step + 1e-6, "step {d} at {p} exceeds {max_step}");
+        }
+    }
+
+    #[test]
+    fn samples_look_like_audio_not_dc() {
+        let s = LiveSource::new(7);
+        let mean: f32 = (0..100_000).map(|p| s.sample(p)).sum::<f32>() / 100_000.0;
+        assert!(mean.abs() < 0.05, "mean amplitude should be ~0, got {mean}");
+    }
+
+    #[test]
+    fn clip_ends_in_silence() {
+        let c = ClipSource::new(9, 100);
+        assert_ne!(c.sample(99), 0.0);
+        assert_eq!(c.sample(100), 0.0);
+        assert_eq!(c.sample(1_000_000), 0.0);
+    }
+
+    #[test]
+    fn fill_matches_pointwise() {
+        let c = ClipSource::new(4, 1_000);
+        let mut buf = vec![0.0f32; 64];
+        c.fill(500, &mut buf);
+        for (i, &v) in buf.iter().enumerate() {
+            assert_eq!(v, c.sample(500 + i as u64));
+        }
+    }
+
+    #[test]
+    fn id_namespaces_do_not_collide() {
+        assert_ne!(SourceId::live_service(1), SourceId::clip(1));
+        assert_ne!(SourceId::live_service(0), SilenceSource.id());
+    }
+
+    #[test]
+    fn silence_is_silent() {
+        assert_eq!(SilenceSource.sample(123), 0.0);
+    }
+}

@@ -1,0 +1,42 @@
+//! E10 — ablation of the distraction constraint (§1.2: "driver's
+//! projected distraction levels at intersections and roundabouts").
+//!
+//! Prints the constrained-vs-unconstrained comparison (zone violations,
+//! relevance cost) and benchmarks the zone-aware packer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pphcr_recommender::{Recommender, SchedulerConfig};
+use pphcr_sim::experiments::{e10_distraction, morning_drive_context, trip_world};
+use pphcr_userdata::UserId;
+use std::hint::black_box;
+
+fn bench_e10(c: &mut Criterion) {
+    let world = trip_world(30, 300, 12);
+    pphcr_bench::print_once(|| {
+        println!("\n=== E10: distraction-aware scheduling ablation ===");
+        for row in e10_distraction(&world) {
+            println!("{row}");
+        }
+        println!();
+    });
+
+    let commuter = &world.population.commuters[0];
+    let ctx = morning_drive_context(&world, commuter).expect("driving");
+    let drive = ctx.drive.as_ref().unwrap();
+    let aware = Recommender::default();
+    let ranked = aware.rank(&world.repo, &world.feedback, UserId(commuter.index), &ctx);
+    c.bench_function("e10_pack_with_zones", |b| {
+        b.iter(|| black_box(aware.scheduler.pack(black_box(&ranked), drive, world.now)));
+    });
+    let unconstrained = SchedulerConfig { avoid_distraction: false, ..Default::default() };
+    c.bench_function("e10_pack_without_zones", |b| {
+        b.iter(|| black_box(unconstrained.pack(black_box(&ranked), drive, world.now)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_e10
+}
+criterion_main!(benches);

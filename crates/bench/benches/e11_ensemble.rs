@@ -1,0 +1,33 @@
+//! E11 — the ensemble effect of the recommendation list (paper §3
+//! future work): MMR diversity re-ranking, relevance vs variety.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pphcr_recommender::{diversify, Recommender};
+use pphcr_sim::experiments::{e11_ensemble, morning_drive_context, trip_world};
+use pphcr_userdata::UserId;
+use std::hint::black_box;
+
+fn bench_e11(c: &mut Criterion) {
+    let world = trip_world(30, 300, 5);
+    pphcr_bench::print_once(|| {
+        println!("\n=== E11: ensemble diversity sweep (MMR λ) ===");
+        for row in e11_ensemble(&world, &[1.0, 0.8, 0.6, 0.4, 0.2, 0.0], 6) {
+            println!("{row}");
+        }
+        println!();
+    });
+    let recommender = Recommender::default();
+    let commuter = &world.population.commuters[0];
+    let ctx = morning_drive_context(&world, commuter).expect("driving");
+    let ranked = recommender.rank(&world.repo, &world.feedback, UserId(commuter.index), &ctx);
+    c.bench_function("e11_mmr_rerank", |b| {
+        b.iter(|| black_box(diversify(black_box(&ranked), &world.repo, 0.6, 6)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_e11
+}
+criterion_main!(benches);

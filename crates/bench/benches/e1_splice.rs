@@ -1,0 +1,45 @@
+//! E1 — Fig. 1: seamless replacement of live audio by a clip.
+//!
+//! Prints the seam-quality table (faded vs hard-cut discontinuity per
+//! clip length) and benchmarks the sample-accurate renderer at the
+//! broadcast rate (48 kHz).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pphcr_sim::experiments::{e1_replacement_plan, e1_seam_quality};
+use std::hint::black_box;
+
+fn bench_e1(c: &mut Criterion) {
+    pphcr_bench::print_once(|| {
+        println!("\n=== E1 (Fig. 1): seam quality, 48 kHz ===");
+        for row in e1_seam_quality(48_000, &[10, 60, 300, 900]) {
+            println!("{row}");
+        }
+        println!();
+    });
+    let mut group = c.benchmark_group("e1_splice_render");
+    for &clip_s in &[10u64, 60, 300] {
+        let plan = e1_replacement_plan(48_000, clip_s, 960);
+        let samples = plan.end();
+        group.throughput(Throughput::Elements(samples));
+        let mut out = vec![0.0f32; samples as usize];
+        group.bench_with_input(BenchmarkId::new("render", clip_s), &plan, |b, plan| {
+            b.iter(|| {
+                let stats = plan.render_into(0, black_box(&mut out));
+                black_box(stats)
+            });
+        });
+    }
+    group.finish();
+
+    // Validation cost: how fast can plans be checked before air.
+    c.bench_function("e1_plan_validation", |b| {
+        b.iter(|| black_box(e1_replacement_plan(48_000, 300, 960)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_e1
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! E2 — Fig. 2: proactive trip fill.
+//!
+//! Prints the strategy comparison (compound vs content-only vs
+//! context-only vs popularity vs random) and benchmarks the end-to-end
+//! rank+pack step for one driving listener.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pphcr_recommender::Recommender;
+use pphcr_sim::experiments::{e2_trip_fill, morning_drive_context, trip_world};
+use pphcr_userdata::UserId;
+use std::hint::black_box;
+
+fn bench_e2(c: &mut Criterion) {
+    let world = trip_world(30, 300, 42);
+    pphcr_bench::print_once(|| {
+        println!("\n=== E2 (Fig. 2): proactive trip fill, 30 commuters × 300 clips ===");
+        for row in e2_trip_fill(&world) {
+            println!("{row}");
+        }
+        println!();
+    });
+    let recommender = Recommender::default();
+    let commuter = &world.population.commuters[0];
+    let ctx = morning_drive_context(&world, commuter).expect("driving context");
+    c.bench_function("e2_rank_and_pack_one_trip", |b| {
+        b.iter(|| {
+            let ranked = recommender.rank(
+                &world.repo,
+                &world.feedback,
+                UserId(commuter.index),
+                black_box(&ctx),
+            );
+            let drive = ctx.drive.as_ref().unwrap();
+            black_box(recommender.scheduler.pack(&ranked, drive, world.now))
+        });
+    });
+    c.bench_function("e2_full_population_sweep", |b| {
+        b.iter(|| black_box(e2_trip_fill(&world)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_e2
+}
+criterion_main!(benches);

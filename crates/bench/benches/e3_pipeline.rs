@@ -1,0 +1,81 @@
+//! E3 — Fig. 3: the full pipeline at paper scale.
+//!
+//! Paper numbers: 10 live services, "more than 100 podcasts created
+//! every day", 30 categories. Prints per-stage throughput and
+//! benchmarks the classification-heavy ingest step.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pphcr_catalog::{CategoryId, ClipKind};
+use pphcr_core::{Engine, EngineConfig};
+use pphcr_geo::{TimePoint, TimeSpan};
+use pphcr_nlp::{AsrConfig, SimulatedAsr};
+use pphcr_sim::experiments::e3_pipeline;
+use pphcr_sim::{CorpusGenerator, SyntheticCity};
+use std::hint::black_box;
+
+fn bench_e3(c: &mut Criterion) {
+    pphcr_bench::print_once(|| {
+        println!("\n=== E3 (Fig. 3): pipeline throughput, 110 podcasts/day × 100 users ===");
+        for row in e3_pipeline(110, 100, 7) {
+            println!("{row}");
+        }
+        println!();
+    });
+
+    // Benchmark: ingest+classify one day's batch.
+    let city = SyntheticCity::generate(12, 400.0, 7);
+    let gen = CorpusGenerator::new(7);
+    let batch = gen.daily_batch(&city, 0, 110, 0.15);
+    let pool: Vec<String> = (0..100).map(|i| format!("common{i}")).collect();
+    let mut group = c.benchmark_group("e3_pipeline");
+    group.throughput(Throughput::Elements(batch.len() as u64));
+    group.bench_function("ingest_day_batch", |b| {
+        b.iter(|| {
+            let mut engine = Engine::new(EngineConfig::default());
+            for doc in gen.training_set(3, 120) {
+                engine.train_classifier(doc.category, &doc.tokens);
+            }
+            let mut asr = SimulatedAsr::new(AsrConfig { wer: 0.15, seed: 7, ..Default::default() });
+            for clip in &batch {
+                let transcript = asr.transcribe(&clip.doc.tokens, &pool);
+                engine.ingest_clip(
+                    clip.title.clone(),
+                    clip.kind,
+                    clip.duration,
+                    clip.published,
+                    clip.geo,
+                    &transcript,
+                    None,
+                );
+            }
+            black_box(engine.repo.len())
+        });
+    });
+    group.finish();
+
+    // Benchmark: labelled (no-ASR) editorial ingest.
+    c.bench_function("e3_editorial_ingest_only", |b| {
+        b.iter(|| {
+            let mut engine = Engine::new(EngineConfig::default());
+            for (i, clip) in batch.iter().enumerate() {
+                engine.ingest_clip(
+                    clip.title.clone(),
+                    ClipKind::Podcast,
+                    clip.duration,
+                    TimePoint::at(0, 6, 0, 0).advance(TimeSpan::seconds(i as u64)),
+                    None,
+                    &[],
+                    Some(CategoryId::new((i % 30) as u16)),
+                );
+            }
+            black_box(engine.repo.len())
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_e3
+}
+criterion_main!(benches);

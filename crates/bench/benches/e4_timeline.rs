@@ -1,0 +1,99 @@
+//! E4 — Fig. 4: schedule-synchronized buffering and skip propensity.
+//!
+//! Prints (a) the reconstructed Lilly timeline and (b) the simulated
+//! skip/surf comparison between linear radio and PPHCR, then
+//! benchmarks replacement planning.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pphcr_audio::{ClipId, ClipStore, SampleClock};
+use pphcr_catalog::{CategoryId, Programme, ProgrammeId, Schedule, ServiceIndex};
+use pphcr_core::ReplacementPlanner;
+use pphcr_geo::time::TimeInterval;
+use pphcr_geo::{TimePoint, TimeSpan};
+use pphcr_sim::experiments::e4_skip_propensity;
+use std::hint::black_box;
+
+fn fig4_epg() -> Schedule {
+    let mut epg = Schedule::new();
+    for (id, start, end) in [
+        (1, TimePoint::at(0, 10, 42, 30), TimePoint::at(0, 10, 55, 0)),
+        (2, TimePoint::at(0, 10, 55, 0), TimePoint::at(0, 11, 10, 0)),
+        (3, TimePoint::at(0, 11, 10, 0), TimePoint::at(0, 11, 20, 0)),
+    ] {
+        epg.add(Programme {
+            id: ProgrammeId(id),
+            service: ServiceIndex(0),
+            title: format!("Program {id}"),
+            category: CategoryId::new(19),
+            interval: TimeInterval::new(start, end),
+        })
+        .unwrap();
+    }
+    epg
+}
+
+fn bench_e4(c: &mut Criterion) {
+    pphcr_bench::print_once(|| {
+        println!("\n=== E4 (Fig. 4): Lilly timeline ===");
+        let mut store = ClipStore::new();
+        store.insert_simple(ClipId(100), TimeSpan::minutes(15));
+        let planner = ReplacementPlanner { clock: SampleClock::new(100), fade_samples: 50 };
+        let (_, timeline) = planner
+            .plan(
+                ServiceIndex(0),
+                &store,
+                &fig4_epg(),
+                TimePoint::at(0, 10, 42, 30),
+                TimePoint::at(0, 11, 0, 0),
+                &[ClipId(100)],
+                TimePoint::at(0, 11, 30, 0),
+            )
+            .unwrap();
+        for span in &timeline.spans {
+            println!("  {} {:?} programme={:?}", span.interval, span.entry, span.programme);
+        }
+        println!("  displacement={} buffer={}", timeline.displacement, timeline.required_buffer);
+        println!("\n=== E4: skip propensity, 10 commuters × 15 mornings × 8 items ===");
+        for row in e4_skip_propensity(10, 15, 8, 7) {
+            println!("{row}");
+        }
+        println!();
+    });
+
+    let store = {
+        let mut s = ClipStore::new();
+        for i in 0..4u64 {
+            s.insert_simple(ClipId(i), TimeSpan::minutes(3 + i));
+        }
+        s
+    };
+    let epg = fig4_epg();
+    let planner = ReplacementPlanner::default();
+    c.bench_function("e4_replacement_planning", |b| {
+        b.iter(|| {
+            black_box(
+                planner
+                    .plan(
+                        ServiceIndex(0),
+                        &store,
+                        &epg,
+                        TimePoint::at(0, 10, 42, 30),
+                        TimePoint::at(0, 11, 0, 0),
+                        &[ClipId(0), ClipId(1), ClipId(2)],
+                        TimePoint::at(0, 11, 30, 0),
+                    )
+                    .unwrap(),
+            )
+        });
+    });
+    c.bench_function("e4_skip_sim_small", |b| {
+        b.iter(|| black_box(e4_skip_propensity(4, 6, 4, 7)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_e4
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! E5 — Fig. 5: trajectory compaction (DBSCAN staying points + RDP).
+//!
+//! Prints the compression/error table and staying-point recovery, then
+//! benchmarks DBSCAN and RDP scaling with trace length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pphcr_geo::ProjectedPoint;
+use pphcr_sim::experiments::e5_trajectory;
+use pphcr_sim::population::GpsNoise;
+use pphcr_sim::{Population, SyntheticCity};
+use pphcr_trajectory::{dbscan, rdp_indices, DbscanParams};
+use std::hint::black_box;
+
+fn bench_e5(c: &mut Criterion) {
+    pphcr_bench::print_once(|| {
+        println!("\n=== E5 (Fig. 5): trajectory compaction, 7 days of commuting ===");
+        let (rows, stays) = e5_trajectory(7, &[5.0, 15.0, 50.0, 150.0], 3);
+        for row in rows {
+            println!("{row}");
+        }
+        println!("{stays}");
+        println!();
+    });
+
+    // Build realistic multi-day traces once.
+    let city = SyntheticCity::generate(12, 400.0, 3);
+    let pop = Population::generate(&city, 1, 5);
+    let commuter = &pop.commuters[0];
+    let mut all = Vec::new();
+    for day in 0..14 {
+        all.extend(pop.day_trace(&city, commuter, day, GpsNoise::default()));
+    }
+    let points: Vec<ProjectedPoint> =
+        all.iter().map(|f| city.projection.project(f.point)).collect();
+
+    let mut group = c.benchmark_group("e5_scaling");
+    for &n in &[500usize, 2_000, points.len().min(8_000)] {
+        let slice = &points[..n.min(points.len())];
+        group.throughput(Throughput::Elements(slice.len() as u64));
+        group.bench_with_input(BenchmarkId::new("rdp", n), &slice, |b, pts| {
+            b.iter(|| black_box(rdp_indices(pts, 15.0)));
+        });
+        group.bench_with_input(BenchmarkId::new("dbscan", n), &slice, |b, pts| {
+            b.iter(|| black_box(dbscan(pts, DbscanParams::default())));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_e5
+}
+criterion_main!(benches);

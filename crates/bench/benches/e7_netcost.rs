@@ -1,0 +1,47 @@
+//! E7 — the paper's network-resource-optimization claim.
+//!
+//! Prints total traffic per delivery plan across audience sizes and
+//! the hybrid-vs-all-IP crossover per personalized fraction, then
+//! benchmarks the cost model itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pphcr_core::{DeliveryPlanKind, NetworkCostModel};
+use pphcr_geo::TimeSpan;
+use pphcr_sim::experiments::e7_netcost;
+use std::hint::black_box;
+
+fn bench_e7(c: &mut Criterion) {
+    pphcr_bench::print_once(|| {
+        println!("\n=== E7: network cost, 1 listening hour, p=0.2 ===");
+        let (rows, crossovers) = e7_netcost(&[100, 1_000, 10_000, 100_000], 0.2, TimeSpan::hours(1));
+        for row in rows {
+            println!("{row}");
+        }
+        println!("crossover audiences (hybrid beats all-IP):");
+        for (p, n) in crossovers {
+            match n {
+                Some(n) => println!("  p={p:.2} -> {n} listeners"),
+                None => println!("  p={p:.2} -> never"),
+            }
+        }
+        println!();
+    });
+
+    let model = NetworkCostModel::default();
+    c.bench_function("e7_traffic_single", |b| {
+        b.iter(|| {
+            black_box(model.traffic(
+                DeliveryPlanKind::Hybrid,
+                black_box(25_000),
+                TimeSpan::hours(1),
+                0.25,
+            ))
+        });
+    });
+    c.bench_function("e7_crossover_search", |b| {
+        b.iter(|| black_box(model.hybrid_crossover(TimeSpan::hours(1), 0.3, 1_000_000)));
+    });
+}
+
+criterion_group!(benches, bench_e7);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! E8 — §1.2: ASR + Bayesian classification over 30 categories.
+//!
+//! Prints the accuracy grid (WER × training size) and benchmarks
+//! training and prediction throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pphcr_catalog::{CategoryId, CATEGORY_COUNT};
+use pphcr_nlp::{NaiveBayes, Vocabulary};
+use pphcr_sim::experiments::e8_classifier;
+use pphcr_sim::CorpusGenerator;
+use std::hint::black_box;
+
+fn bench_e8(c: &mut Criterion) {
+    pphcr_bench::print_once(|| {
+        println!("\n=== E8: classifier accuracy vs ASR WER and training size ===");
+        for row in e8_classifier(&[0.0, 0.1, 0.2, 0.35, 0.5], &[2, 8, 32], 4, 5) {
+            println!("{row}");
+        }
+        println!();
+    });
+
+    let gen = CorpusGenerator::new(5);
+    let train = gen.training_set(8, 150);
+    c.bench_function("e8_train_240_docs", |b| {
+        b.iter(|| {
+            let mut vocab = Vocabulary::new();
+            let mut nb = NaiveBayes::new(u32::from(CATEGORY_COUNT), 1.0);
+            for doc in &train {
+                let ids = vocab.intern_all(&doc.tokens);
+                nb.train(u32::from(doc.category.0), &ids);
+            }
+            black_box(nb.vocab_size())
+        });
+    });
+
+    // Prediction throughput.
+    let mut vocab = Vocabulary::new();
+    let mut nb = NaiveBayes::new(u32::from(CATEGORY_COUNT), 1.0);
+    for doc in &train {
+        let ids = vocab.intern_all(&doc.tokens);
+        nb.train(u32::from(doc.category.0), &ids);
+    }
+    let tests: Vec<Vec<u32>> = (0..50)
+        .map(|k| {
+            let doc = gen.document(CategoryId::new((k % 30) as u16), 150, 7_000_000 + k);
+            doc.tokens.iter().filter_map(|t| vocab.get(t)).collect()
+        })
+        .collect();
+    let mut group = c.benchmark_group("e8_predict");
+    group.throughput(Throughput::Elements(tests.len() as u64));
+    group.bench_function("predict_50_docs", |b| {
+        b.iter(|| {
+            let mut hits = 0u32;
+            for ids in &tests {
+                if let Some(p) = nb.predict(ids) {
+                    hits += p.category;
+                }
+            }
+            black_box(hits)
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_e8
+}
+criterion_main!(benches);

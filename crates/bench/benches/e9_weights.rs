@@ -1,0 +1,31 @@
+//! E9 — ablation of the compound score's content/context weight `w_c`
+//! (§1.2: "a compound relevance score is calculated through weighted
+//! combination").
+//!
+//! Prints the sweep (taste, geo-hit rate, skip rate per `w_c`) and
+//! benchmarks the sweep harness.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pphcr_sim::experiments::{e9_weight_sweep, trip_world};
+use std::hint::black_box;
+
+fn bench_e9(c: &mut Criterion) {
+    let world = trip_world(30, 300, 99);
+    pphcr_bench::print_once(|| {
+        println!("\n=== E9: compound-weight sweep (30 commuters × 300 clips) ===");
+        for row in e9_weight_sweep(&world, &[0.0, 0.25, 0.5, 0.55, 0.75, 1.0]) {
+            println!("{row}");
+        }
+        println!();
+    });
+    c.bench_function("e9_single_weight_point", |b| {
+        b.iter(|| black_box(e9_weight_sweep(&world, &[0.55])));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_e9
+}
+criterion_main!(benches);

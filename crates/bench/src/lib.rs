@@ -1,0 +1,22 @@
+//! Benchmark harness for PPHCR.
+//!
+//! One Criterion bench target per experiment in `DESIGN.md` (E1–E10).
+//! Each bench prints its experiment's result table once (the rows that
+//! `EXPERIMENTS.md` records) and then measures the hot path under
+//! Criterion. The `experiments` binary prints every table without
+//! timing noise:
+//!
+//! ```text
+//! cargo run -p pphcr-bench --release --bin experiments
+//! cargo bench -p pphcr-bench
+//! ```
+
+use std::sync::Once;
+
+/// Runs `f` exactly once per process — used so a bench target prints
+/// its experiment table a single time regardless of Criterion's
+/// iteration strategy.
+pub fn print_once(f: impl FnOnce()) {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(f);
+}

@@ -1,0 +1,127 @@
+//! The 30 editorial categories.
+//!
+//! Paper §1.2: podcasts are classified "according to a set of 30
+//! categories spacing from art to culture, music, economics". The
+//! paper does not enumerate them; this list reconstructs a plausible
+//! public-service taxonomy anchored on the four named ones.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of editorial categories (fixed by the paper).
+pub const CATEGORY_COUNT: u16 = 30;
+
+/// Names of the categories, indexed by [`CategoryId`].
+pub const CATEGORY_NAMES: [&str; CATEGORY_COUNT as usize] = [
+    "art",            // 0 (named in the paper)
+    "culture",        // 1 (named in the paper)
+    "music",          // 2 (named in the paper)
+    "economics",      // 3 (named in the paper)
+    "politics",       // 4
+    "football",       // 5 (Greg's nemesis in §2.1.1)
+    "sports",         // 6
+    "food",           // 7 (Lilly's favourite in §2.1.2)
+    "wine",           // 8 ("Decanter" programme)
+    "technology",     // 9 (Greg's favourite)
+    "science",        // 10
+    "health",         // 11
+    "travel",         // 12
+    "local-news",     // 13
+    "national-news",  // 14
+    "world-news",     // 15
+    "weather",        // 16
+    "traffic",        // 17
+    "entertainment",  // 18
+    "comedy",         // 19 ("The rabbit's roar")
+    "cinema",         // 20
+    "theatre",        // 21
+    "literature",     // 22
+    "history",        // 23
+    "religion",       // 24
+    "environment",    // 25
+    "business",       // 26
+    "education",      // 27
+    "crime",          // 28
+    "lifestyle",      // 29
+];
+
+/// Identifier of an editorial category (0–29).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CategoryId(pub u16);
+
+impl CategoryId {
+    /// Creates a category id after range-checking.
+    ///
+    /// # Panics
+    /// Panics when `id >= CATEGORY_COUNT`.
+    #[must_use]
+    pub fn new(id: u16) -> Self {
+        assert!(id < CATEGORY_COUNT, "category id {id} out of range");
+        CategoryId(id)
+    }
+
+    /// The category's editorial name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        CATEGORY_NAMES[self.0 as usize]
+    }
+
+    /// Looks a category up by name.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        CATEGORY_NAMES.iter().position(|&n| n == name).map(|i| CategoryId(i as u16))
+    }
+
+    /// Iterates over all categories.
+    pub fn all() -> impl Iterator<Item = CategoryId> {
+        (0..CATEGORY_COUNT).map(CategoryId)
+    }
+}
+
+impl std::fmt::Display for CategoryId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirty_unique_names() {
+        let mut names: Vec<&str> = CATEGORY_NAMES.to_vec();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 30);
+    }
+
+    #[test]
+    fn paper_named_categories_exist() {
+        for name in ["art", "culture", "music", "economics"] {
+            assert!(CategoryId::from_name(name).is_some(), "{name}");
+        }
+    }
+
+    #[test]
+    fn round_trip_name_lookup() {
+        for c in CategoryId::all() {
+            assert_eq!(CategoryId::from_name(c.name()), Some(c));
+        }
+    }
+
+    #[test]
+    fn display_uses_name() {
+        assert_eq!(CategoryId::new(8).to_string(), "wine");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let _ = CategoryId::new(30);
+    }
+
+    #[test]
+    fn all_yields_thirty() {
+        assert_eq!(CategoryId::all().count(), 30);
+    }
+}

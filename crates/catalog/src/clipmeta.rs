@@ -1,0 +1,126 @@
+//! Per-clip editorial metadata.
+//!
+//! The metadata half of a stored clip (the audio half lives in
+//! `pphcr-audio::ClipStore`, keyed by the same [`ClipId`]). The fields
+//! mirror what the paper's clip-data-management component derives:
+//! editorial category (from the Bayesian classifier), publication time
+//! (freshness matters for news), duration, an optional geographic tag
+//! (the paper's future-work "geographic relevance of audio items",
+//! which Fig. 2's location-pinned item B already requires), and the
+//! transcript tokens the classifier saw.
+
+use crate::category::CategoryId;
+use pphcr_audio::ClipId;
+use pphcr_geo::{GeoPoint, TimePoint, TimeSpan};
+use serde::{Deserialize, Serialize};
+
+/// The editorial kind of a clip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ClipKind {
+    /// A podcast segment (the bulk of the repository: 100+/day).
+    Podcast,
+    /// A news bulletin — fresh, speech-heavy, ASR-classified.
+    NewsBulletin,
+    /// A music track.
+    MusicTrack,
+    /// A targeted advertisement.
+    Advertisement,
+}
+
+/// A geographic relevance tag: the clip is about a place.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoTag {
+    /// The place the clip is about.
+    pub point: GeoPoint,
+    /// Radius of relevance around the place, meters.
+    pub radius_m: f64,
+}
+
+impl GeoTag {
+    /// True when `p` is within the tag's relevance radius.
+    #[must_use]
+    pub fn covers(&self, p: GeoPoint) -> bool {
+        self.point.haversine_m(p) <= self.radius_m
+    }
+}
+
+/// Editorial metadata of one clip.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClipMetadata {
+    /// The clip's id (shared with the audio store).
+    pub id: ClipId,
+    /// Editorial title.
+    pub title: String,
+    /// Kind of content.
+    pub kind: ClipKind,
+    /// Classified category.
+    pub category: CategoryId,
+    /// Classifier confidence for `category`, in `(0, 1]` (1.0 for
+    /// editorially labelled clips).
+    pub category_confidence: f64,
+    /// Playback duration.
+    pub duration: TimeSpan,
+    /// Publication instant.
+    pub published: TimePoint,
+    /// Optional geographic relevance.
+    pub geo: Option<GeoTag>,
+    /// Transcript tokens (interned ids in the platform vocabulary);
+    /// empty for music.
+    pub transcript: Vec<u32>,
+}
+
+impl ClipMetadata {
+    /// Freshness of the clip at `now`: 1.0 at publication, decaying
+    /// exponentially with half-life `half_life`.
+    #[must_use]
+    pub fn freshness(&self, now: TimePoint, half_life: TimeSpan) -> f64 {
+        let age = now.since(self.published).as_seconds() as f64;
+        let hl = half_life.as_seconds().max(1) as f64;
+        0.5f64.powf(age / hl)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(published: TimePoint) -> ClipMetadata {
+        ClipMetadata {
+            id: ClipId(1),
+            title: "Decanter: Champagne, Cava e Prosecco".into(),
+            kind: ClipKind::Podcast,
+            category: CategoryId::new(8),
+            category_confidence: 0.9,
+            duration: TimeSpan::minutes(15),
+            published,
+            geo: None,
+            transcript: vec![1, 2, 3],
+        }
+    }
+
+    #[test]
+    fn freshness_decays_with_half_life() {
+        let m = meta(TimePoint::at(0, 6, 0, 0));
+        let hl = TimeSpan::hours(24);
+        assert!((m.freshness(TimePoint::at(0, 6, 0, 0), hl) - 1.0).abs() < 1e-12);
+        let one_hl = m.freshness(TimePoint::at(1, 6, 0, 0), hl);
+        assert!((one_hl - 0.5).abs() < 1e-9);
+        let two_hl = m.freshness(TimePoint::at(2, 6, 0, 0), hl);
+        assert!((two_hl - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn freshness_before_publication_is_one() {
+        let m = meta(TimePoint::at(1, 0, 0, 0));
+        // `since` saturates: a clip "from the future" is simply fresh.
+        assert_eq!(m.freshness(TimePoint::at(0, 0, 0, 0), TimeSpan::hours(1)), 1.0);
+    }
+
+    #[test]
+    fn geotag_coverage() {
+        let torino = GeoPoint::new(45.0703, 7.6869);
+        let tag = GeoTag { point: torino, radius_m: 5_000.0 };
+        assert!(tag.covers(torino.destination(90.0, 4_000.0)));
+        assert!(!tag.covers(torino.destination(90.0, 6_000.0)));
+    }
+}

@@ -1,0 +1,193 @@
+//! Gazetteer-based geographic tagging of archive content.
+//!
+//! The paper's future work (§3): *"we are planning to estimate the
+//! geographic relevance of audio items available in the archives. This
+//! operation involves the analysis of informative and entertainment
+//! content as well as advertisements."* This module implements that
+//! estimation: a gazetteer maps place tokens (venue names, quarters,
+//! landmarks) to coordinates; a transcript is scanned for mentions and
+//! the dominant place — if mentioned often enough to be *about* the
+//! place rather than merely name-dropping it — becomes the clip's
+//! [`GeoTag`].
+
+use crate::clipmeta::GeoTag;
+use pphcr_geo::GeoPoint;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One gazetteer entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Place {
+    /// Canonical name (matches a transcript token, lowercase).
+    pub name: String,
+    /// Location.
+    pub point: GeoPoint,
+    /// Relevance radius for content about this place, meters.
+    pub radius_m: f64,
+}
+
+/// A place-name → location dictionary with transcript tagging.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Gazetteer {
+    places: HashMap<String, Place>,
+    /// Minimum mentions for a tag to be assigned (default 2: one
+    /// mention is name-dropping, two is topicality).
+    pub min_mentions: usize,
+}
+
+impl Gazetteer {
+    /// Creates an empty gazetteer with the default mention threshold.
+    #[must_use]
+    pub fn new() -> Self {
+        Gazetteer { places: HashMap::new(), min_mentions: 2 }
+    }
+
+    /// Adds (or replaces) a place.
+    pub fn add(&mut self, place: Place) {
+        self.places.insert(place.name.clone(), place);
+    }
+
+    /// Convenience: add by fields.
+    pub fn add_place(&mut self, name: impl Into<String>, point: GeoPoint, radius_m: f64) {
+        let name = name.into();
+        self.places.insert(name.clone(), Place { name, point, radius_m });
+    }
+
+    /// Number of known places.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.places.len()
+    }
+
+    /// True when no place is known.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.places.is_empty()
+    }
+
+    /// Looks a place up by name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&Place> {
+        self.places.get(name)
+    }
+
+    /// Counts place mentions in a transcript, most-mentioned first
+    /// (ties broken by name for determinism).
+    #[must_use]
+    pub fn mentions(&self, tokens: &[String]) -> Vec<(&Place, usize)> {
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for t in tokens {
+            if self.places.contains_key(t.as_str()) {
+                *counts.entry(t.as_str()).or_insert(0) += 1;
+            }
+        }
+        let mut out: Vec<(&Place, usize)> = counts
+            .into_iter()
+            .map(|(name, n)| (&self.places[name], n))
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.name.cmp(&b.0.name)));
+        out
+    }
+
+    /// Estimates the clip's geographic tag from its transcript:
+    /// the most-mentioned place, provided it clears `min_mentions` and
+    /// strictly dominates the runner-up (a tie means the clip is about
+    /// a journey, not a place — leave it untagged).
+    #[must_use]
+    pub fn tag(&self, tokens: &[String]) -> Option<GeoTag> {
+        let mentions = self.mentions(tokens);
+        let (best, n) = mentions.first()?;
+        if *n < self.min_mentions {
+            return None;
+        }
+        if let Some((_, runner_up)) = mentions.get(1) {
+            if runner_up == n {
+                return None;
+            }
+        }
+        Some(GeoTag { point: best.point, radius_m: best.radius_m })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn torino_gazetteer() -> Gazetteer {
+        let mut g = Gazetteer::new();
+        g.add_place("stadio", GeoPoint::new(45.1096, 7.6413), 1_500.0);
+        g.add_place("lingotto", GeoPoint::new(45.0320, 7.6640), 1_000.0);
+        g.add_place("portapalazzo", GeoPoint::new(45.0767, 7.6822), 800.0);
+        g
+    }
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn dominant_place_is_tagged() {
+        let g = torino_gazetteer();
+        let tag = g
+            .tag(&toks("derby allo stadio questa sera lo stadio apre alle venti"))
+            .expect("two stadium mentions");
+        assert!((tag.point.lat - 45.1096).abs() < 1e-9);
+        assert_eq!(tag.radius_m, 1_500.0);
+    }
+
+    #[test]
+    fn single_mention_is_name_dropping() {
+        let g = torino_gazetteer();
+        assert!(g.tag(&toks("una notizia dallo stadio e altro")).is_none());
+    }
+
+    #[test]
+    fn tie_between_places_stays_untagged() {
+        let g = torino_gazetteer();
+        let text = "stadio stadio lingotto lingotto percorso";
+        assert!(g.tag(&toks(text)).is_none(), "a journey piece is about no single place");
+    }
+
+    #[test]
+    fn dominance_breaks_near_ties() {
+        let g = torino_gazetteer();
+        let text = "stadio stadio stadio lingotto lingotto";
+        let tag = g.tag(&toks(text)).expect("3 > 2 mentions");
+        assert!((tag.point.lat - 45.1096).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mentions_sorted_and_counted() {
+        let g = torino_gazetteer();
+        let m = g.mentions(&toks("lingotto stadio lingotto portapalazzo lingotto stadio"));
+        assert_eq!(m.len(), 3);
+        assert_eq!(m[0].0.name, "lingotto");
+        assert_eq!(m[0].1, 3);
+        assert_eq!(m[1].0.name, "stadio");
+        assert_eq!(m[1].1, 2);
+    }
+
+    #[test]
+    fn unknown_tokens_ignored() {
+        let g = torino_gazetteer();
+        assert!(g.mentions(&toks("vino prosecco cucina")).is_empty());
+        assert!(g.tag(&toks("vino prosecco")).is_none());
+    }
+
+    #[test]
+    fn threshold_is_configurable() {
+        let mut g = torino_gazetteer();
+        g.min_mentions = 1;
+        assert!(g.tag(&toks("concerto al lingotto stasera")).is_some());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let g = Gazetteer::new();
+        assert!(g.is_empty());
+        assert!(g.tag(&[]).is_none());
+        let g = torino_gazetteer();
+        assert_eq!(g.len(), 3);
+        assert!(g.tag(&[]).is_none());
+    }
+}

@@ -1,0 +1,36 @@
+//! Content metadata for PPHCR: services, schedules, clips and the
+//! content repository.
+//!
+//! This crate is the metadata DB of the paper's architecture (Fig. 3):
+//! Radio Rai "directly provides 10 live 96kbps audio streams, the
+//! editorial version of more than 100 podcasts created every day and
+//! the associated schedule metadata \[which\] are used to populate the
+//! content repository and the metadata DB". Services are identified in
+//! the RadioDNS style of ETSI TS 103 270, the standard the paper builds
+//! on.
+//!
+//! Modules:
+//!
+//! * [`category`] — the 30 editorial categories,
+//! * [`service`] — radio services and their broadcast/IP bearers,
+//! * [`schedule`] — the EPG: programmes on a timeline per service,
+//! * [`clipmeta`] — per-clip editorial metadata (category, geo tag,
+//!   transcript),
+//! * [`repository`] — the queryable content repository.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod category;
+pub mod clipmeta;
+pub mod gazetteer;
+pub mod repository;
+pub mod schedule;
+pub mod service;
+
+pub use category::{CategoryId, CATEGORY_COUNT};
+pub use clipmeta::{ClipKind, ClipMetadata, GeoTag};
+pub use gazetteer::{Gazetteer, Place};
+pub use repository::ContentRepository;
+pub use schedule::{Programme, ProgrammeId, Schedule, ScheduleError};
+pub use service::{Bearer, Service, ServiceIndex};

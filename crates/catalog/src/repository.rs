@@ -1,0 +1,327 @@
+//! The queryable content repository.
+//!
+//! Ingests the day's clips (paper: "more than 100 podcasts created
+//! every day") and answers the recommender's candidate queries: by
+//! category, by freshness, by duration window, and by geographic
+//! relevance to a point or a projected route. Geo-tagged clips are
+//! indexed in a uniform grid so route queries do not scan the archive.
+
+use crate::clipmeta::ClipMetadata;
+use crate::category::CategoryId;
+use pphcr_audio::ClipId;
+use pphcr_geo::grid::GridIndex;
+use pphcr_geo::{LocalProjection, Polyline, TimePoint, TimeSpan};
+use std::collections::HashMap;
+
+/// The content repository (metadata side).
+#[derive(Debug)]
+pub struct ContentRepository {
+    clips: HashMap<ClipId, ClipMetadata>,
+    by_category: HashMap<CategoryId, Vec<ClipId>>,
+    /// Geo-tagged clips indexed by projected tag position.
+    geo_index: GridIndex<ClipId>,
+    /// Largest tag radius ingested; route queries pad their candidate
+    /// window by it so wide-coverage tags are never missed.
+    max_tag_radius_m: f64,
+    projection: LocalProjection,
+}
+
+impl ContentRepository {
+    /// Creates an empty repository using `projection` for geo queries.
+    #[must_use]
+    pub fn new(projection: LocalProjection) -> Self {
+        ContentRepository {
+            clips: HashMap::new(),
+            by_category: HashMap::new(),
+            geo_index: GridIndex::new(2_000.0),
+            max_tag_radius_m: 0.0,
+            projection,
+        }
+    }
+
+    /// The repository's projection.
+    #[must_use]
+    pub fn projection(&self) -> &LocalProjection {
+        &self.projection
+    }
+
+    /// Ingests one clip. Re-ingesting an id replaces the metadata but
+    /// keeps index entries consistent.
+    pub fn ingest(&mut self, meta: ClipMetadata) {
+        if let Some(old) = self.clips.remove(&meta.id) {
+            if let Some(ids) = self.by_category.get_mut(&old.category) {
+                ids.retain(|&c| c != meta.id);
+            }
+            // Grid entries are append-only; rebuild lazily on replace.
+            if old.geo.is_some() {
+                self.rebuild_geo_index_except(meta.id);
+            }
+        }
+        self.by_category.entry(meta.category).or_default().push(meta.id);
+        if let Some(tag) = meta.geo {
+            self.geo_index.insert(self.projection.project(tag.point), meta.id);
+            self.max_tag_radius_m = self.max_tag_radius_m.max(tag.radius_m);
+        }
+        self.clips.insert(meta.id, meta);
+    }
+
+    fn rebuild_geo_index_except(&mut self, skip: ClipId) {
+        self.geo_index.clear();
+        for m in self.clips.values() {
+            if m.id == skip {
+                continue;
+            }
+            if let Some(tag) = m.geo {
+                self.geo_index.insert(self.projection.project(tag.point), m.id);
+            }
+        }
+    }
+
+    /// Looks a clip up.
+    #[must_use]
+    pub fn get(&self, id: ClipId) -> Option<&ClipMetadata> {
+        self.clips.get(&id)
+    }
+
+    /// Number of stored clips.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.clips.len()
+    }
+
+    /// True when the repository holds no clips.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.clips.is_empty()
+    }
+
+    /// All clips of one category.
+    #[must_use]
+    pub fn by_category(&self, category: CategoryId) -> Vec<&ClipMetadata> {
+        self.by_category
+            .get(&category)
+            .map(|ids| ids.iter().filter_map(|id| self.clips.get(id)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Clips published at or after `since`, newest first.
+    #[must_use]
+    pub fn published_since(&self, since: TimePoint) -> Vec<&ClipMetadata> {
+        let mut out: Vec<&ClipMetadata> =
+            self.clips.values().filter(|m| m.published >= since).collect();
+        out.sort_by(|a, b| b.published.cmp(&a.published).then(a.id.cmp(&b.id)));
+        out
+    }
+
+    /// Clips whose duration fits `[min, max]`.
+    #[must_use]
+    pub fn by_duration(&self, min: TimeSpan, max: TimeSpan) -> Vec<&ClipMetadata> {
+        self.clips.values().filter(|m| m.duration >= min && m.duration <= max).collect()
+    }
+
+    /// Geo-tagged clips whose tag lies within `radius_m` of `point`
+    /// (projected frame).
+    #[must_use]
+    pub fn geo_near(
+        &self,
+        point: pphcr_geo::ProjectedPoint,
+        radius_m: f64,
+    ) -> Vec<&ClipMetadata> {
+        self.geo_index
+            .query_radius(point, radius_m)
+            .into_iter()
+            .filter_map(|(_, id)| self.clips.get(&id))
+            .collect()
+    }
+
+    /// Geo-tagged clips relevant to a route: tags within `corridor_m`
+    /// of the polyline, each with its along-route position (meters from
+    /// the route start). Sorted by along-route position. This is how
+    /// Fig. 2's item B (relevant to the location L_B the user will
+    /// reach) is found.
+    #[must_use]
+    pub fn geo_along_route(
+        &self,
+        route: &Polyline,
+        corridor_m: f64,
+    ) -> Vec<(&ClipMetadata, f64)> {
+        let mut out = Vec::new();
+        if route.is_empty() {
+            return out;
+        }
+        // Candidate window: route bbox padded by the corridor. The grid
+        // clamps to occupied cells, so an oversized rect stays cheap.
+        let (mut min_x, mut min_y, mut max_x, mut max_y) =
+            (f64::INFINITY, f64::INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for p in route.points() {
+            min_x = min_x.min(p.x);
+            min_y = min_y.min(p.y);
+            max_x = max_x.max(p.x);
+            max_y = max_y.max(p.y);
+        }
+        let pad = corridor_m.max(self.max_tag_radius_m);
+        let candidates = self.geo_index.query_rect(
+            pphcr_geo::ProjectedPoint::new(min_x - pad, min_y - pad),
+            pphcr_geo::ProjectedPoint::new(max_x + pad, max_y + pad),
+        );
+        for (pos, id) in candidates {
+            let Some(meta) = self.clips.get(&id) else { continue };
+            let Some(tag) = meta.geo else { continue };
+            let Some(projection) = route.project_point(pos) else { continue };
+            // Within the corridor, or within the tag's own radius.
+            if projection.distance_m <= corridor_m.max(tag.radius_m) {
+                out.push((meta, projection.along_m));
+            }
+        }
+        out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.id.cmp(&b.0.id)));
+        out
+    }
+
+    /// Iterates over all clips (unspecified order).
+    pub fn iter(&self) -> impl Iterator<Item = &ClipMetadata> {
+        self.clips.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clipmeta::{ClipKind, GeoTag};
+    use pphcr_geo::{GeoPoint, ProjectedPoint};
+
+    const TORINO: GeoPoint = GeoPoint { lat: 45.0703, lon: 7.6869 };
+
+    fn meta(id: u64, cat: u16, published: TimePoint, dur_min: u64) -> ClipMetadata {
+        ClipMetadata {
+            id: ClipId(id),
+            title: format!("Clip {id}"),
+            kind: ClipKind::Podcast,
+            category: CategoryId::new(cat),
+            category_confidence: 1.0,
+            duration: TimeSpan::minutes(dur_min),
+            published,
+            geo: None,
+            transcript: Vec::new(),
+        }
+    }
+
+    fn repo() -> ContentRepository {
+        let mut r = ContentRepository::new(LocalProjection::new(TORINO));
+        r.ingest(meta(1, 8, TimePoint::at(0, 6, 0, 0), 15));
+        r.ingest(meta(2, 8, TimePoint::at(0, 9, 0, 0), 5));
+        r.ingest(meta(3, 5, TimePoint::at(0, 7, 0, 0), 30));
+        r
+    }
+
+    #[test]
+    fn category_query() {
+        let r = repo();
+        let wine = r.by_category(CategoryId::new(8));
+        assert_eq!(wine.len(), 2);
+        assert!(r.by_category(CategoryId::new(9)).is_empty());
+    }
+
+    #[test]
+    fn published_since_sorted_newest_first() {
+        let r = repo();
+        let recent = r.published_since(TimePoint::at(0, 6, 30, 0));
+        let ids: Vec<u64> = recent.iter().map(|m| m.id.0).collect();
+        assert_eq!(ids, vec![2, 3]);
+    }
+
+    #[test]
+    fn duration_window() {
+        let r = repo();
+        let fits = r.by_duration(TimeSpan::minutes(5), TimeSpan::minutes(20));
+        let mut ids: Vec<u64> = fits.iter().map(|m| m.id.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2]);
+    }
+
+    #[test]
+    fn reingest_replaces_cleanly() {
+        let mut r = repo();
+        let mut m = meta(1, 9, TimePoint::at(0, 10, 0, 0), 10);
+        m.title = "Updated".into();
+        r.ingest(m);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.get(ClipId(1)).unwrap().title, "Updated");
+        assert_eq!(r.by_category(CategoryId::new(8)).len(), 1, "old index entry removed");
+        assert_eq!(r.by_category(CategoryId::new(9)).len(), 1);
+    }
+
+    #[test]
+    fn geo_near_query() {
+        let mut r = ContentRepository::new(LocalProjection::new(TORINO));
+        let mut near = meta(10, 13, TimePoint::EPOCH, 3);
+        near.geo = Some(GeoTag { point: TORINO.destination(90.0, 1_000.0), radius_m: 500.0 });
+        let mut far = meta(11, 13, TimePoint::EPOCH, 3);
+        far.geo = Some(GeoTag { point: TORINO.destination(90.0, 30_000.0), radius_m: 500.0 });
+        r.ingest(near);
+        r.ingest(far);
+        let proj = *r.projection();
+        let hits = r.geo_near(proj.project(TORINO), 2_000.0);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, ClipId(10));
+    }
+
+    #[test]
+    fn geo_along_route_orders_by_position() {
+        let mut r = ContentRepository::new(LocalProjection::new(TORINO));
+        // Route: 10 km due east of Torino.
+        let proj = *r.projection();
+        let route = Polyline::new(vec![
+            ProjectedPoint::new(0.0, 0.0),
+            ProjectedPoint::new(10_000.0, 0.0),
+        ]);
+        // Tag at 7 km, 200 m off the road.
+        let mut late = meta(20, 13, TimePoint::EPOCH, 3);
+        late.geo = Some(GeoTag {
+            point: proj.unproject(ProjectedPoint::new(7_000.0, 200.0)),
+            radius_m: 300.0,
+        });
+        // Tag at 2 km, on the road.
+        let mut early = meta(21, 13, TimePoint::EPOCH, 3);
+        early.geo =
+            Some(GeoTag { point: proj.unproject(ProjectedPoint::new(2_000.0, 0.0)), radius_m: 300.0 });
+        // Tag 5 km off the corridor.
+        let mut off = meta(22, 13, TimePoint::EPOCH, 3);
+        off.geo = Some(GeoTag {
+            point: proj.unproject(ProjectedPoint::new(5_000.0, 5_000.0)),
+            radius_m: 300.0,
+        });
+        r.ingest(late);
+        r.ingest(early);
+        r.ingest(off);
+        let hits = r.geo_along_route(&route, 500.0);
+        let ids: Vec<u64> = hits.iter().map(|(m, _)| m.id.0).collect();
+        assert_eq!(ids, vec![21, 20]);
+        assert!((hits[0].1 - 2_000.0).abs() < 1.0);
+        assert!((hits[1].1 - 7_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn geo_along_route_respects_tag_radius() {
+        let mut r = ContentRepository::new(LocalProjection::new(TORINO));
+        let proj = *r.projection();
+        let route = Polyline::new(vec![
+            ProjectedPoint::new(0.0, 0.0),
+            ProjectedPoint::new(10_000.0, 0.0),
+        ]);
+        // A stadium-sized tag 2 km off the road still covers the route.
+        let mut big = meta(30, 6, TimePoint::EPOCH, 3);
+        big.geo = Some(GeoTag {
+            point: proj.unproject(ProjectedPoint::new(5_000.0, 2_000.0)),
+            radius_m: 3_000.0,
+        });
+        r.ingest(big);
+        let hits = r.geo_along_route(&route, 500.0);
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn empty_route_is_empty() {
+        let r = repo();
+        assert!(r.geo_along_route(&Polyline::new(vec![]), 500.0).is_empty());
+    }
+}

@@ -1,0 +1,210 @@
+//! The in-process message bus.
+//!
+//! The paper's server uses RabbitMQ between the REST frontend, user
+//! management, the recommender and the clients (Fig. 3). For a
+//! deterministic reproduction we replace it with a typed in-process
+//! bus: published messages are queued per topic, consumers drain them
+//! explicitly, and every message carries a hop count so delivery paths
+//! (e.g. editorial injection → client, experiment E6) are measurable.
+
+use pphcr_audio::ClipId;
+use pphcr_catalog::ServiceIndex;
+use pphcr_geo::TimePoint;
+use pphcr_recommender::SlotSchedule;
+use pphcr_userdata::{FeedbackEvent, UserId};
+use pphcr_trajectory::GpsFix;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+
+/// Message topics (one queue per topic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Topic {
+    /// Device → platform: GPS fixes.
+    Tracking,
+    /// Device → platform: feedback events.
+    Feedback,
+    /// Platform → device: recommendation deliveries.
+    Recommendation,
+    /// Dashboard → platform: editorial injections.
+    Editorial,
+    /// Platform internal: clips ingested/classified.
+    Ingest,
+}
+
+/// A bus message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BusMessage {
+    /// A GPS fix from a device.
+    Fix {
+        /// The listener.
+        user: UserId,
+        /// The fix.
+        fix: GpsFix,
+    },
+    /// A feedback event from a device.
+    Feedback(FeedbackEvent),
+    /// A recommendation schedule delivered to a device.
+    Delivery {
+        /// The listener.
+        user: UserId,
+        /// The packed schedule.
+        schedule: SlotSchedule,
+    },
+    /// An editor pushes a clip to one listener (Fig. 6).
+    Inject {
+        /// Target listener.
+        user: UserId,
+        /// The clip to deliver.
+        clip: ClipId,
+        /// When the editor submitted it.
+        at: TimePoint,
+    },
+    /// A clip finished ingest and classification.
+    Ingested {
+        /// The clip.
+        clip: ClipId,
+        /// Classifier confidence.
+        confidence: f64,
+    },
+    /// A device tuned to a service.
+    Tuned {
+        /// The listener.
+        user: UserId,
+        /// The service.
+        service: ServiceIndex,
+    },
+}
+
+/// An enqueued message with delivery metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Envelope {
+    /// The payload.
+    pub message: BusMessage,
+    /// Publication instant.
+    pub published_at: TimePoint,
+    /// Hops this message has taken (publish = 1, each forward +1).
+    pub hops: u32,
+}
+
+/// The bus.
+#[derive(Debug, Clone, Default)]
+pub struct Bus {
+    queues: HashMap<Topic, VecDeque<Envelope>>,
+    published: u64,
+    delivered: u64,
+}
+
+impl Bus {
+    /// Creates an empty bus.
+    #[must_use]
+    pub fn new() -> Self {
+        Bus::default()
+    }
+
+    /// Publishes a message on a topic.
+    pub fn publish(&mut self, topic: Topic, message: BusMessage, now: TimePoint) {
+        self.queues
+            .entry(topic)
+            .or_default()
+            .push_back(Envelope { message, published_at: now, hops: 1 });
+        self.published += 1;
+    }
+
+    /// Forwards an existing envelope to another topic, incrementing its
+    /// hop count (e.g. Editorial → Recommendation).
+    pub fn forward(&mut self, envelope: Envelope, topic: Topic) {
+        let hops = envelope.hops + 1;
+        self.queues
+            .entry(topic)
+            .or_default()
+            .push_back(Envelope { hops, ..envelope });
+        self.published += 1;
+    }
+
+    /// Drains every message currently queued on a topic, FIFO.
+    pub fn drain(&mut self, topic: Topic) -> Vec<Envelope> {
+        let out: Vec<Envelope> = self
+            .queues
+            .get_mut(&topic)
+            .map(|q| q.drain(..).collect())
+            .unwrap_or_default();
+        self.delivered += out.len() as u64;
+        out
+    }
+
+    /// Messages waiting on a topic.
+    #[must_use]
+    pub fn pending(&self, topic: Topic) -> usize {
+        self.queues.get(&topic).map_or(0, VecDeque::len)
+    }
+
+    /// Total messages published since start.
+    #[must_use]
+    pub fn published(&self) -> u64 {
+        self.published
+    }
+
+    /// Total messages drained since start.
+    #[must_use]
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuned(user: u64) -> BusMessage {
+        BusMessage::Tuned { user: UserId(user), service: ServiceIndex(0) }
+    }
+
+    #[test]
+    fn publish_drain_fifo() {
+        let mut bus = Bus::new();
+        let t = TimePoint(10);
+        bus.publish(Topic::Tracking, tuned(1), t);
+        bus.publish(Topic::Tracking, tuned(2), t);
+        let msgs = bus.drain(Topic::Tracking);
+        assert_eq!(msgs.len(), 2);
+        assert!(matches!(msgs[0].message, BusMessage::Tuned { user: UserId(1), .. }));
+        assert!(matches!(msgs[1].message, BusMessage::Tuned { user: UserId(2), .. }));
+        assert_eq!(bus.pending(Topic::Tracking), 0);
+    }
+
+    #[test]
+    fn topics_are_isolated() {
+        let mut bus = Bus::new();
+        bus.publish(Topic::Feedback, tuned(1), TimePoint(0));
+        assert_eq!(bus.pending(Topic::Tracking), 0);
+        assert_eq!(bus.pending(Topic::Feedback), 1);
+        assert!(bus.drain(Topic::Tracking).is_empty());
+    }
+
+    #[test]
+    fn forward_increments_hops() {
+        let mut bus = Bus::new();
+        bus.publish(
+            Topic::Editorial,
+            BusMessage::Inject { user: UserId(1), clip: ClipId(5), at: TimePoint(3) },
+            TimePoint(3),
+        );
+        let env = bus.drain(Topic::Editorial).pop().unwrap();
+        assert_eq!(env.hops, 1);
+        bus.forward(env, Topic::Recommendation);
+        let env2 = bus.drain(Topic::Recommendation).pop().unwrap();
+        assert_eq!(env2.hops, 2);
+        assert_eq!(env2.published_at, TimePoint(3), "publication instant preserved");
+    }
+
+    #[test]
+    fn counters_track_volume() {
+        let mut bus = Bus::new();
+        for i in 0..5 {
+            bus.publish(Topic::Tracking, tuned(i), TimePoint(i));
+        }
+        bus.drain(Topic::Tracking);
+        assert_eq!(bus.published(), 5);
+        assert_eq!(bus.delivered(), 5);
+    }
+}

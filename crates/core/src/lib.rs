@@ -1,0 +1,36 @@
+//! The PPHCR platform core: everything from Fig. 3 of the paper wired
+//! together in-process.
+//!
+//! * [`bus`] — the typed message bus standing in for RabbitMQ,
+//! * [`replacement`] — the replacement planner: schedule-synchronized
+//!   buffering and time-shift (the Fig. 4 timeline),
+//! * [`player`] — the client session state machine (play / skip / like,
+//!   implicit feedback, bearer switching),
+//! * [`injection`] — editorial recommendation injection (Fig. 6),
+//! * [`netcost`] — the broadcast-vs-Internet delivery cost model,
+//! * [`dashboard`] — the control dashboard's read model (Figs. 5–6),
+//! * [`engine`] — the top-level engine owning all stores and the
+//!   recommendation loop.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bearer;
+pub mod bus;
+pub mod dashboard;
+pub mod engine;
+pub mod injection;
+pub mod netcost;
+pub mod player;
+pub mod replacement;
+pub mod snapshot;
+
+pub use bearer::{BearerClass, BearerSelector, CoverageMap};
+pub use snapshot::PlatformSnapshot;
+pub use bus::{Bus, BusMessage, Topic};
+pub use dashboard::Dashboard;
+pub use engine::{Engine, EngineConfig, EngineEvent};
+pub use injection::{InjectionQueue, PendingInjection};
+pub use netcost::{DeliveryPlanKind, NetworkCostModel, TrafficReport};
+pub use player::{Player, PlayerEvent, PlaybackMode};
+pub use replacement::{ReplacementPlanner, ReplacementTimeline, TimelineEntry};

@@ -1,0 +1,273 @@
+//! The broadcast-vs-Internet delivery cost model.
+//!
+//! Paper §1: the framework "supports network resource optimization,
+//! allowing effective use of the broadcast channel and the Internet".
+//! The argument: the shared linear stream costs the same over broadcast
+//! no matter how many listeners tune in, while IP streaming costs grow
+//! linearly with the audience. Hybrid content radio sends the linear
+//! stream over broadcast and only the *personalized* clips over IP.
+//!
+//! The model compares three delivery plans over an audience of `n`
+//! listeners, each listening `listen` time of which a fraction `p` is
+//! personalized clip audio:
+//!
+//! * **All-broadcast** — plain FM/DAB radio: no personalization at all
+//!   (p is forced to 0), zero IP bytes.
+//! * **All-IP** — every listener streams everything (linear + clips)
+//!   over the Internet (the model of app-only streaming radio).
+//! * **Hybrid (PPHCR)** — linear audio over broadcast, clips over IP.
+
+use pphcr_audio::Bitrate;
+use pphcr_geo::TimeSpan;
+use serde::{Deserialize, Serialize};
+
+/// Which delivery plan a report row describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeliveryPlanKind {
+    /// Plain broadcast radio: no personalization, no IP.
+    AllBroadcast,
+    /// Everything over per-listener IP streams.
+    AllIp,
+    /// PPHCR: linear over broadcast, clips over IP.
+    Hybrid,
+}
+
+impl std::fmt::Display for DeliveryPlanKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DeliveryPlanKind::AllBroadcast => "all-broadcast",
+            DeliveryPlanKind::AllIp => "all-ip",
+            DeliveryPlanKind::Hybrid => "hybrid",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The cost model parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkCostModel {
+    /// Bit rate of the linear stream.
+    pub live_bitrate: Bitrate,
+    /// Bit rate of personalized clips.
+    pub clip_bitrate: Bitrate,
+    /// Fixed broadcast cost, expressed as the byte-equivalent of
+    /// transmitting the stream once (the transmitter runs regardless of
+    /// audience size).
+    pub broadcast_overhead_equivalent: f64,
+}
+
+impl Default for NetworkCostModel {
+    fn default() -> Self {
+        NetworkCostModel {
+            live_bitrate: Bitrate::LIVE_STREAM,
+            clip_bitrate: Bitrate::LIVE_STREAM,
+            broadcast_overhead_equivalent: 1.0,
+        }
+    }
+}
+
+/// One report row: total bytes moved for a given plan and audience.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrafficReport {
+    /// The plan.
+    pub plan: DeliveryPlanKind,
+    /// Audience size.
+    pub listeners: u64,
+    /// Personalized fraction of listening time in `[0, 1]` (0 for
+    /// all-broadcast).
+    pub personalized_fraction: f64,
+    /// Bytes carried by the broadcast channel (transmitter-side,
+    /// audience-independent).
+    pub broadcast_bytes: u64,
+    /// Bytes carried by the Internet (sum over listeners).
+    pub unicast_bytes: u64,
+}
+
+impl TrafficReport {
+    /// Total bytes across both channels.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.broadcast_bytes + self.unicast_bytes
+    }
+
+    /// Unicast bytes per listener (0 for an empty audience).
+    #[must_use]
+    pub fn unicast_per_listener(&self) -> f64 {
+        if self.listeners == 0 {
+            return 0.0;
+        }
+        self.unicast_bytes as f64 / self.listeners as f64
+    }
+}
+
+impl NetworkCostModel {
+    /// Computes the traffic for one plan.
+    ///
+    /// * `listeners` — audience size,
+    /// * `listen` — per-listener listening time,
+    /// * `personalized_fraction` — fraction of that time spent on
+    ///   personalized clips (ignored for all-broadcast).
+    #[must_use]
+    pub fn traffic(
+        &self,
+        plan: DeliveryPlanKind,
+        listeners: u64,
+        listen: TimeSpan,
+        personalized_fraction: f64,
+    ) -> TrafficReport {
+        let p = personalized_fraction.clamp(0.0, 1.0);
+        let live_bytes_once =
+            (self.live_bitrate.bytes_for(listen) as f64 * self.broadcast_overhead_equivalent) as u64;
+        let per_listener_all_ip = self.live_bitrate.bytes_for(listen);
+        let clip_seconds = (listen.as_seconds() as f64 * p).round() as u64;
+        let per_listener_clips = self.clip_bitrate.bytes_for(TimeSpan::seconds(clip_seconds));
+        match plan {
+            DeliveryPlanKind::AllBroadcast => TrafficReport {
+                plan,
+                listeners,
+                personalized_fraction: 0.0,
+                broadcast_bytes: live_bytes_once,
+                unicast_bytes: 0,
+            },
+            DeliveryPlanKind::AllIp => TrafficReport {
+                plan,
+                listeners,
+                personalized_fraction: p,
+                broadcast_bytes: 0,
+                // Linear part + clips, all unicast. The clip part
+                // replaces linear listening, so total per-listener time
+                // is unchanged.
+                unicast_bytes: listeners * per_listener_all_ip,
+            },
+            DeliveryPlanKind::Hybrid => TrafficReport {
+                plan,
+                listeners,
+                personalized_fraction: p,
+                broadcast_bytes: live_bytes_once,
+                unicast_bytes: listeners * per_listener_clips,
+            },
+        }
+    }
+
+    /// The audience size above which the hybrid plan moves fewer total
+    /// bytes than all-IP, for a given personalized fraction. Derived by
+    /// scanning doubling audience sizes then bisecting; `None` when
+    /// hybrid never wins below `max_listeners`.
+    #[must_use]
+    pub fn hybrid_crossover(
+        &self,
+        listen: TimeSpan,
+        personalized_fraction: f64,
+        max_listeners: u64,
+    ) -> Option<u64> {
+        let wins = |n: u64| {
+            let h = self.traffic(DeliveryPlanKind::Hybrid, n, listen, personalized_fraction);
+            let ip = self.traffic(DeliveryPlanKind::AllIp, n, listen, personalized_fraction);
+            h.total_bytes() < ip.total_bytes()
+        };
+        if !wins(max_listeners) {
+            return None;
+        }
+        let (mut lo, mut hi) = (0u64, max_listeners);
+        while lo + 1 < hi {
+            let mid = lo + (hi - lo) / 2;
+            if wins(mid) {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Some(hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HOUR: TimeSpan = TimeSpan(3_600);
+
+    #[test]
+    fn all_broadcast_costs_are_audience_independent() {
+        let m = NetworkCostModel::default();
+        let small = m.traffic(DeliveryPlanKind::AllBroadcast, 10, HOUR, 0.3);
+        let big = m.traffic(DeliveryPlanKind::AllBroadcast, 1_000_000, HOUR, 0.3);
+        assert_eq!(small.total_bytes(), big.total_bytes());
+        assert_eq!(small.unicast_bytes, 0);
+        assert_eq!(small.personalized_fraction, 0.0, "no personalization over pure broadcast");
+    }
+
+    #[test]
+    fn all_ip_scales_linearly() {
+        let m = NetworkCostModel::default();
+        let a = m.traffic(DeliveryPlanKind::AllIp, 100, HOUR, 0.3);
+        let b = m.traffic(DeliveryPlanKind::AllIp, 200, HOUR, 0.3);
+        assert_eq!(b.unicast_bytes, 2 * a.unicast_bytes);
+        assert_eq!(a.broadcast_bytes, 0);
+        // 96 kbps × 3600 s = 43.2 MB per listener.
+        assert_eq!(a.unicast_per_listener(), 43_200_000.0);
+    }
+
+    #[test]
+    fn hybrid_unicast_is_only_the_personalized_share() {
+        let m = NetworkCostModel::default();
+        let h = m.traffic(DeliveryPlanKind::Hybrid, 100, HOUR, 0.25);
+        let ip = m.traffic(DeliveryPlanKind::AllIp, 100, HOUR, 0.25);
+        assert!((h.unicast_per_listener() - 43_200_000.0 * 0.25).abs() < 1_000.0);
+        assert!(h.unicast_bytes < ip.unicast_bytes);
+        assert_eq!(h.broadcast_bytes, ip.unicast_per_listener() as u64);
+    }
+
+    #[test]
+    fn hybrid_beats_all_ip_at_scale() {
+        let m = NetworkCostModel::default();
+        let n = 10_000;
+        let h = m.traffic(DeliveryPlanKind::Hybrid, n, HOUR, 0.2);
+        let ip = m.traffic(DeliveryPlanKind::AllIp, n, HOUR, 0.2);
+        assert!(h.total_bytes() < ip.total_bytes() / 2);
+    }
+
+    #[test]
+    fn crossover_moves_with_personalization() {
+        let m = NetworkCostModel::default();
+        // Broadcast overhead equals one stream; hybrid wins once the
+        // saved (1-p) share over the audience exceeds that overhead.
+        let low_p = m.hybrid_crossover(HOUR, 0.1, 1_000_000).unwrap();
+        let high_p = m.hybrid_crossover(HOUR, 0.8, 1_000_000).unwrap();
+        assert!(low_p < high_p, "more personalization → hybrid needs a bigger audience");
+        assert!(low_p >= 1);
+        // Fully personalized: hybrid pays broadcast AND full... clips ==
+        // all listening, so unicast equals all-IP and the broadcast
+        // overhead can never be recovered.
+        assert_eq!(m.hybrid_crossover(HOUR, 1.0, 1_000_000), None);
+    }
+
+    #[test]
+    fn crossover_is_tight() {
+        let m = NetworkCostModel::default();
+        let n = m.hybrid_crossover(HOUR, 0.3, 1_000_000).unwrap();
+        let wins = |k: u64| {
+            m.traffic(DeliveryPlanKind::Hybrid, k, HOUR, 0.3).total_bytes()
+                < m.traffic(DeliveryPlanKind::AllIp, k, HOUR, 0.3).total_bytes()
+        };
+        assert!(wins(n));
+        assert!(n == 0 || !wins(n - 1));
+    }
+
+    #[test]
+    fn fraction_is_clamped() {
+        let m = NetworkCostModel::default();
+        let r = m.traffic(DeliveryPlanKind::Hybrid, 10, HOUR, 3.0);
+        assert_eq!(r.personalized_fraction, 1.0);
+        let r = m.traffic(DeliveryPlanKind::Hybrid, 10, HOUR, -0.5);
+        assert_eq!(r.personalized_fraction, 0.0);
+        assert_eq!(r.unicast_bytes, 0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(DeliveryPlanKind::Hybrid.to_string(), "hybrid");
+        assert_eq!(DeliveryPlanKind::AllIp.to_string(), "all-ip");
+        assert_eq!(DeliveryPlanKind::AllBroadcast.to_string(), "all-broadcast");
+    }
+}

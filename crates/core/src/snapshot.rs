@@ -1,0 +1,155 @@
+//! Platform snapshots: one structured view of the whole engine state
+//! for operations and the dashboard's header bar.
+//!
+//! The original deployment exposed its health through the control
+//! website; here a [`PlatformSnapshot`] carries the same numbers as a
+//! serializable value (JSON via serde), so an operator — or a test —
+//! can diff two snapshots and see what a scenario did to the platform.
+
+use crate::engine::Engine;
+use crate::bus::Topic;
+use pphcr_geo::TimePoint;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate platform statistics at one instant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformSnapshot {
+    /// When the snapshot was taken (simulation clock).
+    pub at: TimePoint,
+    /// Registered listeners.
+    pub users: usize,
+    /// Clips in the repository.
+    pub clips: usize,
+    /// Scheduled programmes in the EPG.
+    pub programmes: usize,
+    /// Live services.
+    pub services: usize,
+    /// Stored GPS fixes.
+    pub fixes: usize,
+    /// Invalid fixes dropped.
+    pub fixes_dropped: u64,
+    /// Classifier training documents seen.
+    pub classifier_docs: u64,
+    /// Bus messages published / delivered.
+    pub bus_published: u64,
+    /// Bus messages delivered.
+    pub bus_delivered: u64,
+    /// Pending bus messages per topic of interest.
+    pub pending_recommendations: usize,
+    /// Editorial injections: (submitted, delivered).
+    pub injections: (u64, u64),
+    /// Closed listening sessions.
+    pub sessions_closed: usize,
+    /// Proactive decisions made.
+    pub decisions: usize,
+}
+
+impl PlatformSnapshot {
+    /// Captures the engine's current state.
+    #[must_use]
+    pub fn capture(engine: &Engine, at: TimePoint) -> Self {
+        PlatformSnapshot {
+            at,
+            users: engine.profiles.len(),
+            clips: engine.repo.len(),
+            programmes: engine.epg.len(),
+            services: engine.services.len(),
+            fixes: engine.tracking.total_fixes(),
+            fixes_dropped: engine.tracking.dropped_invalid(),
+            classifier_docs: engine.classifier_docs(),
+            bus_published: engine.bus.published(),
+            bus_delivered: engine.bus.delivered(),
+            pending_recommendations: engine.bus.pending(Topic::Recommendation),
+            injections: engine.injections.counters(),
+            sessions_closed: engine.sessions.closed_count(),
+            decisions: engine.decisions().len(),
+        }
+    }
+
+    /// Serializes to pretty JSON (the dashboard's export format).
+    ///
+    /// # Panics
+    /// Never: the snapshot contains only serializable scalars.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot is plain data")
+    }
+
+    /// Parses a snapshot back from JSON.
+    ///
+    /// # Errors
+    /// Propagates the serde error on malformed input.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use pphcr_catalog::{CategoryId, ClipKind, ServiceIndex};
+    use pphcr_geo::TimeSpan;
+    use pphcr_userdata::{AgeBand, UserId, UserProfile};
+
+    fn populated_engine() -> Engine {
+        let mut e = Engine::new(EngineConfig::default());
+        let t = TimePoint::at(0, 8, 0, 0);
+        e.register_user(
+            UserProfile {
+                id: UserId(1),
+                name: "u".into(),
+                age_band: AgeBand::Adult,
+                favourite_service: ServiceIndex(0),
+            },
+            t,
+        );
+        for i in 0..3u64 {
+            e.ingest_clip(
+                format!("c{i}"),
+                ClipKind::Podcast,
+                TimeSpan::minutes(5),
+                t,
+                None,
+                &[],
+                Some(CategoryId::new(1)),
+            );
+        }
+        e
+    }
+
+    #[test]
+    fn capture_counts_platform_state() {
+        let e = populated_engine();
+        let snap = PlatformSnapshot::capture(&e, TimePoint::at(0, 9, 0, 0));
+        assert_eq!(snap.users, 1);
+        assert_eq!(snap.clips, 3);
+        assert_eq!(snap.services, 10);
+        assert!(snap.bus_published >= 4, "tune + 3 ingests: {}", snap.bus_published);
+        assert_eq!(snap.decisions, 0);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let e = populated_engine();
+        let snap = PlatformSnapshot::capture(&e, TimePoint::at(0, 9, 0, 0));
+        let json = snap.to_json();
+        assert!(json.contains("\"clips\": 3"));
+        let back = PlatformSnapshot::from_json(&json).unwrap();
+        assert_eq!(back, snap);
+        assert!(PlatformSnapshot::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn snapshots_diff_after_activity() {
+        let mut e = populated_engine();
+        let before = PlatformSnapshot::capture(&e, TimePoint::at(0, 9, 0, 0));
+        let t = TimePoint::at(0, 9, 30, 0);
+        // First skip queues reactive content; the second skips a playing
+        // clip, which emits feedback onto the bus.
+        e.skip(UserId(1), t);
+        e.skip(UserId(1), t.advance(TimeSpan::seconds(30)));
+        let after = PlatformSnapshot::capture(&e, t.advance(TimeSpan::seconds(30)));
+        assert!(after.bus_published > before.bus_published);
+    }
+}

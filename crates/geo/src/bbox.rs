@@ -1,0 +1,157 @@
+//! Axis-aligned bounding boxes over geographic coordinates.
+//!
+//! Used by the tracking store and the dashboard map view (paper Fig. 5)
+//! to window queries over a listener's fixes.
+
+use crate::point::GeoPoint;
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned latitude/longitude bounding box.
+///
+/// Degenerate (point) boxes are allowed. Boxes never wrap the antimeridian;
+/// the PPHCR deployment area (a single metropolitan region) never does
+/// either.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundingBox {
+    /// Southernmost latitude.
+    pub min_lat: f64,
+    /// Westernmost longitude.
+    pub min_lon: f64,
+    /// Northernmost latitude.
+    pub max_lat: f64,
+    /// Easternmost longitude.
+    pub max_lon: f64,
+}
+
+impl BoundingBox {
+    /// A box covering exactly one point.
+    #[must_use]
+    pub fn from_point(p: GeoPoint) -> Self {
+        BoundingBox { min_lat: p.lat, min_lon: p.lon, max_lat: p.lat, max_lon: p.lon }
+    }
+
+    /// The smallest box containing every point in `points`, or `None` for
+    /// an empty input.
+    #[must_use]
+    pub fn from_points(points: &[GeoPoint]) -> Option<Self> {
+        let mut iter = points.iter();
+        let first = iter.next()?;
+        let mut bbox = BoundingBox::from_point(*first);
+        for p in iter {
+            bbox.expand(*p);
+        }
+        Some(bbox)
+    }
+
+    /// Grows the box (in place) so it contains `p`.
+    pub fn expand(&mut self, p: GeoPoint) {
+        self.min_lat = self.min_lat.min(p.lat);
+        self.max_lat = self.max_lat.max(p.lat);
+        self.min_lon = self.min_lon.min(p.lon);
+        self.max_lon = self.max_lon.max(p.lon);
+    }
+
+    /// Returns the box padded by `margin_deg` degrees on every side.
+    #[must_use]
+    pub fn padded(self, margin_deg: f64) -> Self {
+        BoundingBox {
+            min_lat: self.min_lat - margin_deg,
+            min_lon: self.min_lon - margin_deg,
+            max_lat: self.max_lat + margin_deg,
+            max_lon: self.max_lon + margin_deg,
+        }
+    }
+
+    /// True when `p` lies inside the box (boundary inclusive).
+    #[must_use]
+    pub fn contains(&self, p: GeoPoint) -> bool {
+        (self.min_lat..=self.max_lat).contains(&p.lat)
+            && (self.min_lon..=self.max_lon).contains(&p.lon)
+    }
+
+    /// True when the two boxes share any area (boundary touching counts).
+    #[must_use]
+    pub fn intersects(&self, other: &BoundingBox) -> bool {
+        self.min_lat <= other.max_lat
+            && other.min_lat <= self.max_lat
+            && self.min_lon <= other.max_lon
+            && other.min_lon <= self.max_lon
+    }
+
+    /// The centre of the box.
+    #[must_use]
+    pub fn center(&self) -> GeoPoint {
+        GeoPoint::new((self.min_lat + self.max_lat) / 2.0, (self.min_lon + self.max_lon) / 2.0)
+    }
+
+    /// The box's diagonal, in meters (haversine between corners).
+    #[must_use]
+    pub fn diagonal_m(&self) -> f64 {
+        GeoPoint::new(self.min_lat, self.min_lon)
+            .haversine_m(GeoPoint::new(self.max_lat, self.max_lon))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_points_covers_all() {
+        let pts = [
+            GeoPoint::new(45.0, 7.0),
+            GeoPoint::new(45.2, 7.5),
+            GeoPoint::new(44.9, 7.3),
+        ];
+        let b = BoundingBox::from_points(&pts).unwrap();
+        for p in pts {
+            assert!(b.contains(p));
+        }
+        assert_eq!(b.min_lat, 44.9);
+        assert_eq!(b.max_lon, 7.5);
+    }
+
+    #[test]
+    fn from_points_empty_is_none() {
+        assert!(BoundingBox::from_points(&[]).is_none());
+    }
+
+    #[test]
+    fn contains_is_boundary_inclusive() {
+        let b = BoundingBox::from_points(&[GeoPoint::new(0.0, 0.0), GeoPoint::new(1.0, 1.0)])
+            .unwrap();
+        assert!(b.contains(GeoPoint::new(0.0, 0.0)));
+        assert!(b.contains(GeoPoint::new(1.0, 1.0)));
+        assert!(!b.contains(GeoPoint::new(1.0001, 0.5)));
+    }
+
+    #[test]
+    fn intersects_detects_overlap_and_disjoint() {
+        let a = BoundingBox::from_points(&[GeoPoint::new(0.0, 0.0), GeoPoint::new(2.0, 2.0)])
+            .unwrap();
+        let b = BoundingBox::from_points(&[GeoPoint::new(1.0, 1.0), GeoPoint::new(3.0, 3.0)])
+            .unwrap();
+        let c = BoundingBox::from_points(&[GeoPoint::new(5.0, 5.0), GeoPoint::new(6.0, 6.0)])
+            .unwrap();
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn padded_grows_every_side() {
+        let b = BoundingBox::from_point(GeoPoint::new(45.0, 7.0)).padded(0.1);
+        assert!(b.contains(GeoPoint::new(45.09, 7.09)));
+        assert!(b.contains(GeoPoint::new(44.91, 6.91)));
+        assert!(!b.contains(GeoPoint::new(45.2, 7.0)));
+    }
+
+    #[test]
+    fn center_and_diagonal() {
+        let b = BoundingBox::from_points(&[GeoPoint::new(45.0, 7.0), GeoPoint::new(45.2, 7.2)])
+            .unwrap();
+        let c = b.center();
+        assert!((c.lat - 45.1).abs() < 1e-12);
+        assert!(b.diagonal_m() > 0.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! TF-IDF vectors and cosine similarity.
+//!
+//! Category posteriors are coarse (30 classes). For item-to-item
+//! similarity inside a category — "more clips like the one Lilly just
+//! finished" — the recommender falls back to TF-IDF cosine similarity
+//! over the interned transcripts.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A fitted TF-IDF model over interned token ids.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TfIdf {
+    /// token id → number of documents containing it.
+    doc_freq: HashMap<u32, u32>,
+    n_docs: u32,
+}
+
+/// A sparse TF-IDF vector (token id → weight), L2-normalized.
+pub type SparseVector = HashMap<u32, f64>;
+
+impl TfIdf {
+    /// Creates an empty model.
+    #[must_use]
+    pub fn new() -> Self {
+        TfIdf::default()
+    }
+
+    /// Number of fitted documents.
+    #[must_use]
+    pub fn n_docs(&self) -> u32 {
+        self.n_docs
+    }
+
+    /// Adds one document to the document-frequency statistics.
+    pub fn fit_doc(&mut self, token_ids: &[u32]) {
+        self.n_docs += 1;
+        let mut seen: Vec<u32> = token_ids.to_vec();
+        seen.sort_unstable();
+        seen.dedup();
+        for t in seen {
+            *self.doc_freq.entry(t).or_insert(0) += 1;
+        }
+    }
+
+    /// Smoothed inverse document frequency of a token.
+    #[must_use]
+    pub fn idf(&self, token: u32) -> f64 {
+        let df = f64::from(self.doc_freq.get(&token).copied().unwrap_or(0));
+        ((1.0 + f64::from(self.n_docs)) / (1.0 + df)).ln() + 1.0
+    }
+
+    /// The L2-normalized TF-IDF vector of a document. Empty documents
+    /// yield an empty vector.
+    #[must_use]
+    pub fn vector(&self, token_ids: &[u32]) -> SparseVector {
+        let mut tf: HashMap<u32, f64> = HashMap::new();
+        for &t in token_ids {
+            *tf.entry(t).or_insert(0.0) += 1.0;
+        }
+        let mut v: SparseVector =
+            tf.into_iter().map(|(t, f)| (t, f * self.idf(t))).collect();
+        let norm: f64 = v.values().map(|w| w * w).sum::<f64>().sqrt();
+        if norm > 0.0 {
+            for w in v.values_mut() {
+                *w /= norm;
+            }
+        }
+        v
+    }
+
+    /// Cosine similarity of two normalized sparse vectors, in `[0, 1]`.
+    #[must_use]
+    pub fn cosine(a: &SparseVector, b: &SparseVector) -> f64 {
+        let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+        small
+            .iter()
+            .filter_map(|(t, wa)| large.get(t).map(|wb| wa * wb))
+            .sum::<f64>()
+            .clamp(0.0, 1.0)
+    }
+
+    /// Similarity of two raw documents under this model.
+    #[must_use]
+    pub fn doc_similarity(&self, a: &[u32], b: &[u32]) -> f64 {
+        Self::cosine(&self.vector(a), &self.vector(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fitted() -> TfIdf {
+        let mut m = TfIdf::new();
+        m.fit_doc(&[1, 2, 3]);
+        m.fit_doc(&[1, 2, 4]);
+        m.fit_doc(&[1, 5, 6]);
+        m.fit_doc(&[1, 7, 8]);
+        m
+    }
+
+    #[test]
+    fn idf_orders_rarity() {
+        let m = fitted();
+        // Token 1 appears in all docs, token 3 in one.
+        assert!(m.idf(3) > m.idf(2));
+        assert!(m.idf(2) > m.idf(1));
+        // Unseen tokens are the rarest of all.
+        assert!(m.idf(99) >= m.idf(3));
+    }
+
+    #[test]
+    fn vectors_are_normalized() {
+        let m = fitted();
+        let v = m.vector(&[1, 2, 2, 3]);
+        let norm: f64 = v.values().map(|w| w * w).sum::<f64>();
+        assert!((norm - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identical_docs_have_similarity_one() {
+        let m = fitted();
+        assert!((m.doc_similarity(&[1, 2, 3], &[1, 2, 3]) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_docs_have_similarity_zero() {
+        let m = fitted();
+        assert_eq!(m.doc_similarity(&[2, 3], &[5, 6]), 0.0);
+    }
+
+    #[test]
+    fn shared_rare_token_beats_shared_common_token() {
+        let m = fitted();
+        // Both pairs share exactly one token; the rare one (3) binds
+        // more strongly than the ubiquitous one (1).
+        let rare = m.doc_similarity(&[3, 10], &[3, 11]);
+        let common = m.doc_similarity(&[1, 10], &[1, 11]);
+        assert!(rare > common, "rare {rare} vs common {common}");
+    }
+
+    #[test]
+    fn empty_docs_similarity_zero() {
+        let m = fitted();
+        assert_eq!(m.doc_similarity(&[], &[1, 2]), 0.0);
+        assert!(m.vector(&[]).is_empty());
+    }
+
+    #[test]
+    fn term_frequency_matters() {
+        let m = fitted();
+        let heavy = m.doc_similarity(&[2, 2, 2, 9], &[2]);
+        let light = m.doc_similarity(&[2, 9, 9, 9], &[2]);
+        assert!(heavy > light);
+    }
+}

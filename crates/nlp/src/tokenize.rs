@@ -1,0 +1,90 @@
+//! Tokenization of transcripts and editorial text.
+//!
+//! A deliberately simple pipeline — lowercase, split on
+//! non-alphanumeric, drop one-character tokens and stopwords — matching
+//! what a production Bayesian news classifier over 30 coarse categories
+//! actually needs. The stopword list mixes Italian (the paper's ASR
+//! language) and English function words so both synthetic corpora and
+//! doc examples classify cleanly.
+
+/// Function words excluded from classification features.
+const STOPWORDS: &[&str] = &[
+    // Italian.
+    "il", "lo", "la", "le", "gli", "un", "una", "uno", "di", "da", "in", "su", "per", "con",
+    "tra", "fra", "che", "chi", "cui", "non", "come", "dove", "quando", "ma", "anche", "più",
+    "del", "della", "dei", "delle", "nel", "nella", "al", "alla", "ai", "alle", "è", "sono",
+    "ha", "hanno", "questo", "questa", "essere", "si", "ci", "se",
+    // English.
+    "the", "a", "an", "of", "to", "and", "or", "in", "on", "at", "is", "are", "was", "were",
+    "be", "been", "it", "its", "this", "that", "with", "as", "by", "for", "from", "but", "not",
+];
+
+/// True when `word` is a stopword.
+#[must_use]
+pub fn is_stopword(word: &str) -> bool {
+    STOPWORDS.contains(&word)
+}
+
+/// Splits `text` into lowercase content tokens.
+///
+/// Tokens are maximal runs of alphanumeric characters; single characters
+/// and stopwords are dropped. Unicode letters are kept (the corpus is
+/// Italian), digits are kept (dates, scores, prices carry signal in
+/// news).
+#[must_use]
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let lower = text.to_lowercase();
+    for raw in lower.split(|c: char| !c.is_alphanumeric()) {
+        if raw.chars().count() < 2 || is_stopword(raw) {
+            continue;
+        }
+        out.push(raw.to_string());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_splitting_and_lowercase() {
+        assert_eq!(tokenize("Champagne, Cava e Prosecco!"), vec!["champagne", "cava", "prosecco"]);
+    }
+
+    #[test]
+    fn stopwords_removed_in_both_languages() {
+        let toks = tokenize("la partita di calcio and the final score");
+        assert_eq!(toks, vec!["partita", "calcio", "final", "score"]);
+    }
+
+    #[test]
+    fn single_chars_dropped() {
+        assert_eq!(tokenize("e o x ab"), vec!["ab"]);
+    }
+
+    #[test]
+    fn digits_are_tokens() {
+        assert_eq!(tokenize("inflazione al 3,5% nel 2017"), vec!["inflazione", "2017"]);
+    }
+
+    #[test]
+    fn accented_words_survive() {
+        let toks = tokenize("città però caffè");
+        assert_eq!(toks, vec!["città", "però", "caffè"]);
+    }
+
+    #[test]
+    fn empty_and_punctuation_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("... -- !!").is_empty());
+    }
+
+    #[test]
+    fn is_stopword_spot_checks() {
+        assert!(is_stopword("della"));
+        assert!(is_stopword("the"));
+        assert!(!is_stopword("prosecco"));
+    }
+}

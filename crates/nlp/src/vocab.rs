@@ -1,0 +1,96 @@
+//! Token interning.
+//!
+//! Classifier and TF-IDF matrices are indexed by dense token ids, not
+//! strings. [`Vocabulary`] interns tokens on first sight and hands out
+//! stable `u32` ids.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A bidirectional token ↔ dense-id map.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Vocabulary {
+    ids: HashMap<String, u32>,
+    tokens: Vec<String>,
+}
+
+impl Vocabulary {
+    /// Creates an empty vocabulary.
+    #[must_use]
+    pub fn new() -> Self {
+        Vocabulary::default()
+    }
+
+    /// Returns the id for `token`, interning it if new.
+    pub fn intern(&mut self, token: &str) -> u32 {
+        if let Some(&id) = self.ids.get(token) {
+            return id;
+        }
+        let id = self.tokens.len() as u32;
+        self.ids.insert(token.to_string(), id);
+        self.tokens.push(token.to_string());
+        id
+    }
+
+    /// Interns every token of a document.
+    pub fn intern_all(&mut self, tokens: &[String]) -> Vec<u32> {
+        tokens.iter().map(|t| self.intern(t)).collect()
+    }
+
+    /// The id of `token` if already interned.
+    #[must_use]
+    pub fn get(&self, token: &str) -> Option<u32> {
+        self.ids.get(token).copied()
+    }
+
+    /// The token for `id`, if minted.
+    #[must_use]
+    pub fn token(&self, id: u32) -> Option<&str> {
+        self.tokens.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of distinct tokens.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// True when no token has been interned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("radio");
+        let b = v.intern("radio");
+        assert_eq!(a, b);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_and_reversible() {
+        let mut v = Vocabulary::new();
+        assert_eq!(v.intern("uno"), 0);
+        assert_eq!(v.intern("due"), 1);
+        assert_eq!(v.intern("tre"), 2);
+        assert_eq!(v.token(1), Some("due"));
+        assert_eq!(v.get("tre"), Some(2));
+        assert_eq!(v.get("quattro"), None);
+        assert_eq!(v.token(99), None);
+    }
+
+    #[test]
+    fn intern_all_maps_in_order() {
+        let mut v = Vocabulary::new();
+        let ids = v.intern_all(&["a1".into(), "b2".into(), "a1".into()]);
+        assert_eq!(ids, vec![0, 1, 0]);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for the text pipeline.
+
+use pphcr_nlp::{tokenize, word_error_rate, AsrConfig, NaiveBayes, SimulatedAsr, TfIdf, Vocabulary};
+use proptest::prelude::*;
+
+fn arb_words(max: usize) -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec("[a-z]{2,10}", 0..max)
+}
+
+proptest! {
+    /// Tokenization is idempotent: tokenizing the joined tokens yields
+    /// the same tokens.
+    #[test]
+    fn tokenize_idempotent(text in "[a-zA-Z0-9 ,.!?;:]{0,200}") {
+        let once = tokenize(&text);
+        let again = tokenize(&once.join(" "));
+        prop_assert_eq!(once, again);
+    }
+
+    /// Tokens are lowercase, at least two characters, and contain no
+    /// separators.
+    #[test]
+    fn tokens_are_clean(text in ".{0,200}") {
+        for t in tokenize(&text) {
+            prop_assert!(t.chars().count() >= 2);
+            prop_assert!(t.chars().all(|c| c.is_alphanumeric()));
+            prop_assert_eq!(t.to_lowercase(), t.clone());
+        }
+    }
+
+    /// Interning assigns stable dense ids.
+    #[test]
+    fn vocabulary_ids_dense_and_stable(words in arb_words(60)) {
+        let mut v = Vocabulary::new();
+        let ids = v.intern_all(&words);
+        prop_assert_eq!(ids.len(), words.len());
+        for (w, id) in words.iter().zip(&ids) {
+            prop_assert_eq!(v.get(w), Some(*id));
+            prop_assert_eq!(v.token(*id), Some(w.as_str()));
+        }
+        prop_assert!(v.len() <= words.len().max(1));
+        // Re-interning changes nothing.
+        let ids2 = v.intern_all(&words);
+        prop_assert_eq!(ids, ids2);
+    }
+
+    /// WER is 0 exactly on identical sequences, and never negative;
+    /// against an empty hypothesis it equals 1 (all deletions).
+    #[test]
+    fn wer_basic_properties(words in arb_words(40)) {
+        prop_assert_eq!(word_error_rate(&words, &words), 0.0);
+        if !words.is_empty() {
+            prop_assert_eq!(word_error_rate(&words, &[]), 1.0);
+        }
+    }
+
+    /// The simulated recognizer's measured WER tracks its configured
+    /// WER on long scripts.
+    #[test]
+    fn asr_wer_calibrated(wer in 0.0f64..0.6, seed in 0u64..1_000) {
+        let script: Vec<String> = (0..2_000).map(|i| format!("w{i}")).collect();
+        let pool: Vec<String> = (0..50).map(|i| format!("p{i}")).collect();
+        let mut asr = SimulatedAsr::new(AsrConfig { wer, seed, ..Default::default() });
+        let out = asr.transcribe(&script, &pool);
+        let measured = word_error_rate(&script, &out);
+        prop_assert!((measured - wer).abs() < 0.06, "target {} measured {}", wer, measured);
+    }
+
+    /// Naive Bayes posteriors always form a distribution, and training
+    /// on a token makes its class (weakly) more likely.
+    #[test]
+    fn bayes_posterior_is_distribution(
+        docs in prop::collection::vec((0u32..5, prop::collection::vec(0u32..40, 1..20)), 1..30),
+        query in prop::collection::vec(0u32..40, 0..20),
+    ) {
+        let mut nb = NaiveBayes::new(5, 1.0);
+        for (cat, tokens) in &docs {
+            nb.train(*cat, tokens);
+        }
+        let pred = nb.predict(&query).unwrap();
+        let sum: f64 = pred.posterior.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!(pred.posterior.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        prop_assert!(pred.category < 5);
+    }
+
+    /// TF-IDF cosine similarity is symmetric and bounded, and every
+    /// document has similarity ~1 with itself.
+    #[test]
+    fn tfidf_similarity_properties(
+        a in prop::collection::vec(0u32..30, 1..40),
+        b in prop::collection::vec(0u32..30, 1..40),
+    ) {
+        let mut m = TfIdf::new();
+        m.fit_doc(&a);
+        m.fit_doc(&b);
+        let sab = m.doc_similarity(&a, &b);
+        let sba = m.doc_similarity(&b, &a);
+        prop_assert!((sab - sba).abs() < 1e-9);
+        prop_assert!((0.0..=1.0).contains(&sab));
+        prop_assert!((m.doc_similarity(&a, &a) - 1.0).abs() < 1e-9);
+    }
+}

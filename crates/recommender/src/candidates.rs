@@ -1,0 +1,333 @@
+//! Candidate filtering.
+//!
+//! §1.2: "For each user the recommender filters a candidate set of
+//! media items using content-based relevance based on past listener's
+//! feedbacks." The filter narrows the repository (thousands of clips)
+//! to a scored shortlist: recent clips in categories the listener does
+//! not dislike, clips fitting the available time, plus every geo-tagged
+//! clip near the route ahead (those may win on context alone — Fig. 2's
+//! item B).
+
+use crate::context::ListenerContext;
+use crate::score::ScoringWeights;
+use pphcr_audio::ClipId;
+use pphcr_catalog::{ClipMetadata, ContentRepository};
+use pphcr_geo::{TimePoint, TimeSpan};
+use pphcr_userdata::PreferenceVector;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// A candidate clip with its relevance breakdown.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScoredClip {
+    /// The clip.
+    pub clip: ClipId,
+    /// Clip duration (copied out for the scheduler).
+    pub duration: TimeSpan,
+    /// Compound relevance score in `[0, 1]`.
+    pub score: f64,
+    /// Content-based component.
+    pub content_score: f64,
+    /// Context-based component.
+    pub context_score: f64,
+    /// Distance from the clip's geo tag to the route ahead, if tagged
+    /// and near.
+    pub geo_distance_m: Option<f64>,
+    /// Along-route position of the tag (meters from the current
+    /// position), for geo-pinned scheduling.
+    pub along_route_m: Option<f64>,
+}
+
+/// Candidate filtering parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CandidateFilter {
+    /// Ignore clips older than this.
+    pub max_age: TimeSpan,
+    /// Drop clips whose category preference is below this (strong
+    /// dislikes never reach the scheduler).
+    pub min_category_pref: f64,
+    /// Corridor width for route geo matches, meters.
+    pub route_corridor_m: f64,
+    /// Keep at most this many candidates (by score).
+    pub max_candidates: usize,
+}
+
+impl Default for CandidateFilter {
+    fn default() -> Self {
+        CandidateFilter {
+            max_age: TimeSpan::hours(24 * 7),
+            min_category_pref: -0.5,
+            route_corridor_m: 2_000.0,
+            max_candidates: 50,
+        }
+    }
+}
+
+impl CandidateFilter {
+    /// Builds the scored candidate list, best first.
+    #[must_use]
+    pub fn candidates(
+        &self,
+        repo: &ContentRepository,
+        prefs: &PreferenceVector,
+        ctx: &ListenerContext,
+        weights: &ScoringWeights,
+    ) -> Vec<ScoredClip> {
+        self.candidates_excluding(repo, prefs, ctx, weights, &HashSet::new())
+    }
+
+    /// Like [`Self::candidates`], excluding already-played clips.
+    #[must_use]
+    pub fn candidates_excluding(
+        &self,
+        repo: &ContentRepository,
+        prefs: &PreferenceVector,
+        ctx: &ListenerContext,
+        weights: &ScoringWeights,
+        exclude: &HashSet<ClipId>,
+    ) -> Vec<ScoredClip> {
+        let cutoff = ctx.now.rewind(self.max_age);
+        // Geo matches along the route ahead (id → (distance, along)).
+        let mut geo_hits: std::collections::HashMap<ClipId, (f64, f64)> =
+            std::collections::HashMap::new();
+        if let Some(drive) = ctx.drive.as_ref() {
+            for (meta, along) in
+                repo.geo_along_route(&drive.route_ahead, self.route_corridor_m)
+            {
+                let dist = drive
+                    .route_ahead
+                    .distance_to(repo.projection().project(meta.geo.expect("geo hit").point))
+                    .unwrap_or(f64::INFINITY);
+                geo_hits.insert(meta.id, (dist, along));
+            }
+        }
+        let mut out: Vec<ScoredClip> = Vec::new();
+        for meta in repo.iter() {
+            if exclude.contains(&meta.id) {
+                continue;
+            }
+            let is_geo_hit = geo_hits.contains_key(&meta.id);
+            if meta.published < cutoff && !is_geo_hit {
+                continue;
+            }
+            if prefs.score(meta.category) < self.min_category_pref && !is_geo_hit {
+                continue;
+            }
+            out.push(self.score_one(meta, prefs, ctx, weights, &geo_hits));
+        }
+        out.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.clip.cmp(&b.clip)));
+        // Truncate by score, but never drop route geo matches: Fig. 2's
+        // item B must reach the scheduler even when its compound score
+        // is mid-pack — the *scheduler* decides whether it fits.
+        if out.len() > self.max_candidates {
+            let spared: Vec<ScoredClip> = out
+                .split_off(self.max_candidates)
+                .into_iter()
+                .filter(|c| c.along_route_m.is_some())
+                .collect();
+            out.extend(spared);
+        }
+        out
+    }
+
+    fn score_one(
+        &self,
+        meta: &ClipMetadata,
+        prefs: &PreferenceVector,
+        ctx: &ListenerContext,
+        weights: &ScoringWeights,
+        geo_hits: &std::collections::HashMap<ClipId, (f64, f64)>,
+    ) -> ScoredClip {
+        let hit = geo_hits.get(&meta.id).copied();
+        let geo_distance_m = hit.map(|(d, _)| d);
+        let along_route_m = hit.map(|(_, a)| a);
+        let content_score = weights.content_relevance(prefs, meta);
+        let context_score = weights.context_relevance(meta, ctx, geo_distance_m);
+        let score = weights.compound(prefs, meta, ctx, geo_distance_m);
+        ScoredClip {
+            clip: meta.id,
+            duration: meta.duration,
+            score,
+            content_score,
+            context_score,
+            geo_distance_m,
+            along_route_m,
+        }
+    }
+}
+
+/// Convenience for tests and benches: the earliest publication instant
+/// still inside the filter window at `now`.
+#[must_use]
+pub fn freshness_cutoff(filter: &CandidateFilter, now: TimePoint) -> TimePoint {
+    now.rewind(filter.max_age)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::DriveContext;
+    use pphcr_catalog::{CategoryId, ClipKind, GeoTag};
+    use pphcr_geo::{GeoPoint, LocalProjection, ProjectedPoint};
+    use pphcr_trajectory::TripPrediction;
+    use pphcr_userdata::{FeedbackEvent, FeedbackKind, FeedbackStore, UserId};
+
+    const TORINO: GeoPoint = GeoPoint { lat: 45.0703, lon: 7.6869 };
+
+    fn meta(id: u64, cat: u16, published: TimePoint, minutes: u64) -> ClipMetadata {
+        ClipMetadata {
+            id: ClipId(id),
+            title: format!("clip {id}"),
+            kind: ClipKind::Podcast,
+            category: CategoryId::new(cat),
+            category_confidence: 1.0,
+            duration: TimeSpan::minutes(minutes),
+            published,
+            geo: None,
+            transcript: Vec::new(),
+        }
+    }
+
+    fn repo() -> ContentRepository {
+        let mut r = ContentRepository::new(LocalProjection::new(TORINO));
+        let morning = TimePoint::at(0, 6, 0, 0);
+        r.ingest(meta(1, 8, morning, 15)); // wine
+        r.ingest(meta(2, 5, morning, 10)); // football
+        r.ingest(meta(3, 9, morning, 5)); // technology
+        r
+    }
+
+    fn prefs(user: u64, likes: &[u16], dislikes: &[u16]) -> PreferenceVector {
+        let mut store = FeedbackStore::default();
+        let t = TimePoint::at(0, 7, 0, 0);
+        for &c in likes {
+            for _ in 0..3 {
+                store.record(FeedbackEvent {
+                    user: UserId(user),
+                    clip: None,
+                    category: CategoryId::new(c),
+                    kind: FeedbackKind::Like,
+                    time: t,
+                });
+            }
+        }
+        for &c in dislikes {
+            for _ in 0..3 {
+                store.record(FeedbackEvent {
+                    user: UserId(user),
+                    clip: None,
+                    category: CategoryId::new(c),
+                    kind: FeedbackKind::Dislike,
+                    time: t,
+                });
+            }
+        }
+        store.preferences(UserId(user), t)
+    }
+
+    fn ctx() -> ListenerContext {
+        ListenerContext::stationary(TimePoint::at(0, 9, 0, 0))
+    }
+
+    #[test]
+    fn liked_category_ranks_first_disliked_is_dropped() {
+        let filter = CandidateFilter::default();
+        let weights = ScoringWeights::default();
+        let p = prefs(1, &[8], &[5]);
+        let cands = filter.candidates(&repo(), &p, &ctx(), &weights);
+        assert_eq!(cands[0].clip, ClipId(1), "wine first");
+        assert!(
+            cands.iter().all(|c| c.clip != ClipId(2)),
+            "disliked football filtered out: {cands:?}"
+        );
+    }
+
+    #[test]
+    fn stale_clips_filtered() {
+        let mut r = repo();
+        r.ingest(meta(9, 8, TimePoint::EPOCH, 5));
+        let mut late_ctx = ctx();
+        late_ctx.now = TimePoint::at(10, 9, 0, 0); // ten days later
+        let filter = CandidateFilter::default();
+        let cands =
+            filter.candidates(&r, &PreferenceVector::neutral(), &late_ctx, &ScoringWeights::default());
+        assert!(cands.iter().all(|c| c.clip != ClipId(9)));
+    }
+
+    #[test]
+    fn exclusion_set_respected() {
+        let filter = CandidateFilter::default();
+        let p = PreferenceVector::neutral();
+        let exclude: HashSet<ClipId> = [ClipId(1)].into_iter().collect();
+        let cands = filter.candidates_excluding(
+            &repo(),
+            &p,
+            &ctx(),
+            &ScoringWeights::default(),
+            &exclude,
+        );
+        assert!(cands.iter().all(|c| c.clip != ClipId(1)));
+        assert_eq!(cands.len(), 2);
+    }
+
+    #[test]
+    fn max_candidates_truncates() {
+        let mut r = ContentRepository::new(LocalProjection::new(TORINO));
+        for i in 0..100 {
+            r.ingest(meta(i, (i % 30) as u16, TimePoint::at(0, 6, 0, 0), 5));
+        }
+        let filter = CandidateFilter { max_candidates: 10, ..Default::default() };
+        let cands =
+            filter.candidates(&r, &PreferenceVector::neutral(), &ctx(), &ScoringWeights::default());
+        assert_eq!(cands.len(), 10);
+    }
+
+    #[test]
+    fn scores_sorted_descending() {
+        let filter = CandidateFilter::default();
+        let p = prefs(1, &[8, 9], &[]);
+        let cands = filter.candidates(&repo(), &p, &ctx(), &ScoringWeights::default());
+        assert!(cands.windows(2).all(|w| w[0].score >= w[1].score));
+    }
+
+    #[test]
+    fn geo_hit_survives_dislike_and_staleness() {
+        let mut r = repo();
+        let proj = *r.projection();
+        // A disliked-category, stale clip pinned right on the route.
+        let mut pinned = meta(42, 5, TimePoint::EPOCH, 4);
+        pinned.geo = Some(GeoTag {
+            point: proj.unproject(ProjectedPoint::new(5_000.0, 0.0)),
+            radius_m: 800.0,
+        });
+        r.ingest(pinned);
+        let prediction = TripPrediction {
+            destination: 1,
+            confidence: 0.9,
+            total_duration: TimeSpan::minutes(20),
+            remaining: TimeSpan::minutes(18),
+            route_ahead: vec![ProjectedPoint::new(0.0, 0.0), ProjectedPoint::new(10_000.0, 0.0)],
+            complexity: 0.5,
+            posterior: vec![(1, 1.0)],
+        };
+        let drive_ctx = ListenerContext {
+            now: TimePoint::at(10, 8, 0, 0), // clip is 10 days old
+            position: Some(ProjectedPoint::new(0.0, 0.0)),
+            speed_mps: 10.0,
+            drive: Some(DriveContext::new(prediction, vec![])),
+            ambient: Default::default(),
+        };
+        let p = prefs(1, &[], &[5]);
+        let cands = CandidateFilter::default().candidates(
+            &r,
+            &p,
+            &drive_ctx,
+            &ScoringWeights::default(),
+        );
+        let hit = cands.iter().find(|c| c.clip == ClipId(42));
+        let hit = hit.expect("geo-pinned clip must remain a candidate");
+        assert!(hit.along_route_m.is_some());
+        assert!((hit.along_route_m.unwrap() - 5_000.0).abs() < 10.0);
+        assert!(hit.geo_distance_m.unwrap() < 10.0);
+    }
+}

@@ -1,0 +1,256 @@
+//! The listener context: everything the paper lists as context —
+//! "profile, emotional state, activity, geographical position, weather,
+//! or other factors contributing to the state of the listener" — that
+//! the prototype actually senses: position, trajectory, speed and time.
+
+use pphcr_geo::{DistractionZone, Polyline, ProjectedPoint, TimePoint, TimeSpan};
+use pphcr_trajectory::TripPrediction;
+use serde::{Deserialize, Serialize};
+
+/// Context of an in-progress drive (present when the proactivity model
+/// detected a trip).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriveContext {
+    /// Destination/ΔT prediction from the mobility model.
+    pub prediction: TripPrediction,
+    /// The expected remaining route geometry.
+    pub route_ahead: Polyline,
+    /// Distraction zones on the remaining route, as arc-length
+    /// intervals (meters from the current position).
+    pub zones: Vec<DistractionZone>,
+    /// Expected mean driving speed over the remaining route, m/s.
+    pub expected_speed_mps: f64,
+}
+
+impl DriveContext {
+    /// Builds the drive context from a prediction.
+    ///
+    /// `zones` must be expressed relative to the *remaining* route (the
+    /// caller re-bases road-network zones onto `route_ahead`).
+    #[must_use]
+    pub fn new(prediction: TripPrediction, zones: Vec<DistractionZone>) -> Self {
+        let route_ahead = Polyline::new(prediction.route_ahead.clone());
+        let remaining_s = prediction.remaining.as_seconds().max(1) as f64;
+        let expected_speed_mps = (route_ahead.length_m() / remaining_s).max(1.0);
+        DriveContext { prediction, route_ahead, zones, expected_speed_mps }
+    }
+
+    /// The predicted time still to drive — the recommender's ΔT.
+    #[must_use]
+    pub fn delta_t(&self) -> TimeSpan {
+        self.prediction.remaining
+    }
+
+    /// Converts an along-route distance (meters from the current
+    /// position) to seconds from now, under the expected speed.
+    #[must_use]
+    pub fn eta_seconds(&self, along_m: f64) -> u64 {
+        (along_m.max(0.0) / self.expected_speed_mps).round() as u64
+    }
+
+    /// Distraction zones as time windows `[start_s, end_s)` measured in
+    /// seconds from now, sorted by start.
+    #[must_use]
+    pub fn zone_windows(&self) -> Vec<(u64, u64)> {
+        let mut out: Vec<(u64, u64)> = self
+            .zones
+            .iter()
+            .map(|z| (self.eta_seconds(z.start_m), self.eta_seconds(z.end_m).max(self.eta_seconds(z.start_m) + 1)))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+/// Weather at the listener's position — one of the "richer contexts"
+/// the paper's future work names. Adverse weather raises driving
+/// demand (the scheduler gets more conservative) and makes weather and
+/// traffic content more relevant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Weather {
+    /// Clear conditions.
+    #[default]
+    Clear,
+    /// Rain.
+    Rain,
+    /// Snow.
+    Snow,
+    /// Fog.
+    Fog,
+}
+
+impl Weather {
+    /// Multiplier on the route's distraction pressure.
+    #[must_use]
+    pub fn distraction_multiplier(self) -> f64 {
+        match self {
+            Weather::Clear => 1.0,
+            Weather::Rain => 1.3,
+            Weather::Fog => 1.5,
+            Weather::Snow => 1.7,
+        }
+    }
+
+    /// True when conditions make weather/traffic content urgent.
+    #[must_use]
+    pub fn is_adverse(self) -> bool {
+        self != Weather::Clear
+    }
+}
+
+/// The listener's inferred activity (from device speed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activity {
+    /// Not moving.
+    Still,
+    /// Pedestrian speeds.
+    Walking,
+    /// Vehicle speeds.
+    Driving,
+}
+
+/// Ambient context beyond position/trajectory: weather now, more
+/// dimensions (e.g. calendar, companionship) later.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Ambient {
+    /// Current weather.
+    pub weather: Weather,
+}
+
+/// The full listener context at one instant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ListenerContext {
+    /// Current time.
+    pub now: TimePoint,
+    /// Current position (projected frame), when a fix is available.
+    pub position: Option<ProjectedPoint>,
+    /// Current speed, m/s.
+    pub speed_mps: f64,
+    /// Drive context, when a trip is in progress and predicted.
+    pub drive: Option<DriveContext>,
+    /// Ambient context (weather, …).
+    pub ambient: Ambient,
+}
+
+impl ListenerContext {
+    /// A stationary context (no drive): the manual-skip scenario.
+    #[must_use]
+    pub fn stationary(now: TimePoint) -> Self {
+        ListenerContext {
+            now,
+            position: None,
+            speed_mps: 0.0,
+            drive: None,
+            ambient: Ambient::default(),
+        }
+    }
+
+    /// The hour-of-day feature.
+    #[must_use]
+    pub fn hour(&self) -> u64 {
+        self.now.hour_of_day()
+    }
+
+    /// The listener's inferred activity.
+    #[must_use]
+    pub fn activity(&self) -> Activity {
+        if self.speed_mps <= 0.5 {
+            Activity::Still
+        } else if self.speed_mps <= 2.5 {
+            Activity::Walking
+        } else {
+            Activity::Driving
+        }
+    }
+
+    /// True when the listener is driving (speed above walking pace).
+    #[must_use]
+    pub fn is_driving(&self) -> bool {
+        self.activity() == Activity::Driving
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pphcr_geo::{NodeId, NodeKind};
+
+    fn prediction(remaining_s: u64, route_len_m: f64) -> TripPrediction {
+        TripPrediction {
+            destination: 1,
+            confidence: 0.8,
+            total_duration: TimeSpan::seconds(remaining_s + 60),
+            remaining: TimeSpan::seconds(remaining_s),
+            route_ahead: vec![
+                ProjectedPoint::new(0.0, 0.0),
+                ProjectedPoint::new(route_len_m, 0.0),
+            ],
+            complexity: 1.0,
+            posterior: vec![(1, 0.8), (2, 0.2)],
+        }
+    }
+
+    #[test]
+    fn expected_speed_derived_from_route_and_delta_t() {
+        let ctx = DriveContext::new(prediction(600, 6_000.0), vec![]);
+        assert!((ctx.expected_speed_mps - 10.0).abs() < 1e-9);
+        assert_eq!(ctx.delta_t(), TimeSpan::seconds(600));
+    }
+
+    #[test]
+    fn eta_conversion() {
+        let ctx = DriveContext::new(prediction(600, 6_000.0), vec![]);
+        assert_eq!(ctx.eta_seconds(1_000.0), 100);
+        assert_eq!(ctx.eta_seconds(-5.0), 0, "behind us means now");
+    }
+
+    #[test]
+    fn zone_windows_sorted_and_nonempty() {
+        let zones = vec![
+            DistractionZone {
+                node: NodeId(5),
+                kind: NodeKind::Roundabout,
+                start_m: 3_000.0,
+                end_m: 3_120.0,
+            },
+            DistractionZone {
+                node: NodeId(2),
+                kind: NodeKind::Intersection,
+                start_m: 960.0,
+                end_m: 1_040.0,
+            },
+        ];
+        let ctx = DriveContext::new(prediction(600, 6_000.0), zones);
+        let w = ctx.zone_windows();
+        assert_eq!(w, vec![(96, 104), (300, 312)]);
+    }
+
+    #[test]
+    fn degenerate_zone_still_occupies_one_second() {
+        let zones = vec![DistractionZone {
+            node: NodeId(1),
+            kind: NodeKind::Intersection,
+            start_m: 100.0,
+            end_m: 100.0,
+        }];
+        let ctx = DriveContext::new(prediction(600, 6_000.0), zones);
+        let w = ctx.zone_windows();
+        assert_eq!(w.len(), 1);
+        assert!(w[0].1 > w[0].0);
+    }
+
+    #[test]
+    fn stationary_context() {
+        let ctx = ListenerContext::stationary(TimePoint::at(0, 10, 42, 30));
+        assert!(!ctx.is_driving());
+        assert!(ctx.drive.is_none());
+        assert_eq!(ctx.hour(), 10);
+    }
+
+    #[test]
+    fn zero_remaining_does_not_divide_by_zero() {
+        let ctx = DriveContext::new(prediction(0, 5_000.0), vec![]);
+        assert!(ctx.expected_speed_mps.is_finite());
+        assert!(ctx.expected_speed_mps >= 1.0);
+    }
+}

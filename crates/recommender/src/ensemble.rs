@@ -1,0 +1,214 @@
+//! The ensemble effect of the recommendation list.
+//!
+//! Paper §3 (future work): *"we plan to create recommendations list
+//! taking into account richer contexts: time, activity, weather, and
+//! the ensemble effect of the recommendations list."* A list of five
+//! wine podcasts scores higher than a varied morning, yet bores the
+//! listener by the third item — the items' value is not independent.
+//!
+//! [`diversify`] implements maximal-marginal-relevance (MMR)
+//! re-ranking: items are picked greedily by relevance *minus* their
+//! similarity to what the list already holds. [`category_entropy`]
+//! quantifies the resulting spread for the evaluation harness.
+
+use crate::candidates::ScoredClip;
+use pphcr_catalog::ContentRepository;
+
+/// Similarity between two clips for ensemble purposes: same category
+/// is near-duplication, same kind (two news bulletins) is mild overlap.
+#[must_use]
+pub fn ensemble_similarity(repo: &ContentRepository, a: &ScoredClip, b: &ScoredClip) -> f64 {
+    match (repo.get(a.clip), repo.get(b.clip)) {
+        (Some(ma), Some(mb)) => {
+            if ma.category == mb.category {
+                1.0
+            } else if ma.kind == mb.kind {
+                0.3
+            } else {
+                0.0
+            }
+        }
+        _ => 0.0,
+    }
+}
+
+/// MMR re-ranking: selects up to `k` items maximizing
+/// `lambda · relevance − (1 − lambda) · max-similarity-to-selected`.
+///
+/// `lambda = 1` reproduces the input order (pure relevance);
+/// `lambda = 0` maximizes variety regardless of relevance. The returned
+/// items keep their original scores — the re-ranking changes *order and
+/// membership*, not relevance.
+#[must_use]
+pub fn diversify(
+    ranked: &[ScoredClip],
+    repo: &ContentRepository,
+    lambda: f64,
+    k: usize,
+) -> Vec<ScoredClip> {
+    let lambda = lambda.clamp(0.0, 1.0);
+    let mut remaining: Vec<&ScoredClip> = ranked.iter().collect();
+    let mut selected: Vec<ScoredClip> = Vec::with_capacity(k.min(ranked.len()));
+    while selected.len() < k && !remaining.is_empty() {
+        let (best_idx, _) = remaining
+            .iter()
+            .enumerate()
+            .map(|(i, cand)| {
+                let max_sim = selected
+                    .iter()
+                    .map(|s| ensemble_similarity(repo, cand, s))
+                    .fold(0.0f64, f64::max);
+                (i, lambda * cand.score - (1.0 - lambda) * max_sim)
+            })
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("remaining is non-empty");
+        selected.push(remaining.remove(best_idx).clone());
+    }
+    selected
+}
+
+/// Shannon entropy (bits) of the category distribution of a list — the
+/// harness's variety metric. 0 for a single-category list, `log2(n)`
+/// for `n` equally represented categories.
+#[must_use]
+pub fn category_entropy(items: &[ScoredClip], repo: &ContentRepository) -> f64 {
+    let mut counts: std::collections::HashMap<u16, usize> = std::collections::HashMap::new();
+    let mut total = 0usize;
+    for item in items {
+        if let Some(meta) = repo.get(item.clip) {
+            *counts.entry(meta.category.0).or_insert(0) += 1;
+            total += 1;
+        }
+    }
+    if total == 0 {
+        return 0.0;
+    }
+    counts
+        .values()
+        .map(|&n| {
+            let p = n as f64 / total as f64;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pphcr_audio::ClipId;
+    use pphcr_catalog::{CategoryId, ClipKind, ClipMetadata};
+    use pphcr_geo::{GeoPoint, LocalProjection, TimePoint, TimeSpan};
+
+    fn repo_with(cats: &[u16]) -> ContentRepository {
+        let mut r = ContentRepository::new(LocalProjection::new(GeoPoint::new(45.07, 7.69)));
+        for (i, &c) in cats.iter().enumerate() {
+            r.ingest(ClipMetadata {
+                id: ClipId(i as u64),
+                title: format!("clip {i}"),
+                kind: ClipKind::Podcast,
+                category: CategoryId::new(c),
+                category_confidence: 1.0,
+                duration: TimeSpan::minutes(5),
+                published: TimePoint::at(0, 6, 0, 0),
+                geo: None,
+                transcript: Vec::new(),
+            });
+        }
+        r
+    }
+
+    fn scored(id: u64, score: f64) -> ScoredClip {
+        ScoredClip {
+            clip: ClipId(id),
+            duration: TimeSpan::minutes(5),
+            score,
+            content_score: score,
+            context_score: score,
+            geo_distance_m: None,
+            along_route_m: None,
+        }
+    }
+
+    /// Five wine clips scoring high, two food and one comedy lower.
+    fn wine_heavy() -> (ContentRepository, Vec<ScoredClip>) {
+        let repo = repo_with(&[8, 8, 8, 8, 8, 7, 7, 19]);
+        let ranked = vec![
+            scored(0, 0.9),
+            scored(1, 0.89),
+            scored(2, 0.88),
+            scored(3, 0.87),
+            scored(4, 0.86),
+            scored(5, 0.7),
+            scored(6, 0.69),
+            scored(7, 0.6),
+        ];
+        (repo, ranked)
+    }
+
+    #[test]
+    fn lambda_one_keeps_relevance_order() {
+        let (repo, ranked) = wine_heavy();
+        let out = diversify(&ranked, &repo, 1.0, 5);
+        let ids: Vec<u64> = out.iter().map(|c| c.clip.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn moderate_lambda_breaks_up_monoculture() {
+        let (repo, ranked) = wine_heavy();
+        let out = diversify(&ranked, &repo, 0.6, 5);
+        let entropy_mmr = category_entropy(&out, &repo);
+        let entropy_top = category_entropy(&diversify(&ranked, &repo, 1.0, 5), &repo);
+        assert!(entropy_mmr > entropy_top, "{entropy_mmr} vs {entropy_top}");
+        // The best wine clip still leads: relevance is not discarded.
+        assert_eq!(out[0].clip, ClipId(0));
+        // But not all five wines make the list.
+        let wines = out
+            .iter()
+            .filter(|c| repo.get(c.clip).unwrap().category == CategoryId::new(8))
+            .count();
+        assert!(wines < 5, "{wines}");
+    }
+
+    #[test]
+    fn lambda_zero_maximizes_variety() {
+        let (repo, ranked) = wine_heavy();
+        let out = diversify(&ranked, &repo, 0.0, 3);
+        let cats: std::collections::HashSet<u16> =
+            out.iter().map(|c| repo.get(c.clip).unwrap().category.0).collect();
+        assert_eq!(cats.len(), 3, "three distinct categories: {cats:?}");
+    }
+
+    #[test]
+    fn k_truncates_and_handles_short_input() {
+        let (repo, ranked) = wine_heavy();
+        assert_eq!(diversify(&ranked, &repo, 0.7, 3).len(), 3);
+        assert_eq!(diversify(&ranked, &repo, 0.7, 100).len(), ranked.len());
+        assert!(diversify(&[], &repo, 0.7, 3).is_empty());
+    }
+
+    #[test]
+    fn entropy_bounds() {
+        let repo = repo_with(&[1, 1, 1, 1]);
+        let uniform = vec![scored(0, 0.5), scored(1, 0.5), scored(2, 0.5), scored(3, 0.5)];
+        assert_eq!(category_entropy(&uniform, &repo), 0.0, "single category");
+        let repo4 = repo_with(&[0, 1, 2, 3]);
+        let spread = vec![scored(0, 0.5), scored(1, 0.5), scored(2, 0.5), scored(3, 0.5)];
+        assert!((category_entropy(&spread, &repo4) - 2.0).abs() < 1e-9, "log2(4)");
+        assert_eq!(category_entropy(&[], &repo), 0.0);
+    }
+
+    #[test]
+    fn similarity_levels() {
+        let mut repo = repo_with(&[8, 8, 7]);
+        // Make clip 2 a different kind to exercise the 0.0 branch.
+        let mut meta = repo.get(ClipId(2)).unwrap().clone();
+        meta.kind = ClipKind::MusicTrack;
+        repo.ingest(meta);
+        let a = scored(0, 0.5);
+        let b = scored(1, 0.5);
+        let c = scored(2, 0.5);
+        assert_eq!(ensemble_similarity(&repo, &a, &b), 1.0);
+        assert_eq!(ensemble_similarity(&repo, &a, &c), 0.0);
+    }
+}

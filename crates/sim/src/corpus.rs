@@ -1,0 +1,268 @@
+//! The synthetic editorial corpus.
+//!
+//! Stands in for Rai's "more than 100 podcasts created every day".
+//! Each of the 30 categories owns a vocabulary of distinctive words;
+//! documents mix category words (Zipf-ish frequencies) with a shared
+//! common vocabulary, which is what makes classification non-trivial at
+//! higher noise levels. The generator also emits whole daily batches
+//! with durations, kinds and landmark geo-tags.
+
+use crate::world::SyntheticCity;
+use pphcr_catalog::{CategoryId, ClipKind, GeoTag, CATEGORY_COUNT};
+use pphcr_geo::{TimePoint, TimeSpan};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated document: its true category and its script tokens.
+#[derive(Debug, Clone)]
+pub struct GeneratedDoc {
+    /// Ground-truth category.
+    pub category: CategoryId,
+    /// Script tokens (pre-ASR ground truth).
+    pub tokens: Vec<String>,
+}
+
+/// A generated clip (document + editorial metadata).
+#[derive(Debug, Clone)]
+pub struct GeneratedClip {
+    /// The document.
+    pub doc: GeneratedDoc,
+    /// Title.
+    pub title: String,
+    /// Kind.
+    pub kind: ClipKind,
+    /// Duration.
+    pub duration: TimeSpan,
+    /// Publication instant.
+    pub published: TimePoint,
+    /// Geo tag, for the location-relevant share of the batch.
+    pub geo: Option<GeoTag>,
+}
+
+/// The corpus generator.
+#[derive(Debug, Clone)]
+pub struct CorpusGenerator {
+    /// Distinct words per category vocabulary.
+    pub words_per_category: usize,
+    /// Shared (uninformative) vocabulary size.
+    pub common_words: usize,
+    /// Fraction of each document drawn from the shared vocabulary.
+    pub common_fraction: f64,
+    /// Fraction drawn from a *neighbouring* category's vocabulary —
+    /// real editorial categories bleed into each other (wine ↔ food,
+    /// football ↔ sports), which is what makes classification
+    /// non-trivial.
+    pub neighbour_overlap: f64,
+    seed: u64,
+}
+
+impl CorpusGenerator {
+    /// Creates a generator.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        CorpusGenerator {
+            words_per_category: 60,
+            common_words: 200,
+            common_fraction: 0.45,
+            neighbour_overlap: 0.15,
+            seed,
+        }
+    }
+
+    /// The `rank`-th word of a category vocabulary.
+    #[must_use]
+    pub fn category_word(category: CategoryId, rank: usize) -> String {
+        format!("{}w{rank}", category.name())
+    }
+
+    /// A Zipf-ish rank in `[0, n)`: rank r with probability ∝ 1/(r+1).
+    fn zipf_rank(rng: &mut StdRng, n: usize) -> usize {
+        // Inverse-CDF on the harmonic distribution, cheap approximation:
+        // draw u ∈ (0,1], rank = floor(n^u) - 1 biases towards low ranks.
+        let u = rng.gen::<f64>();
+        (((n as f64).powf(u)) as usize).saturating_sub(1).min(n - 1)
+    }
+
+    /// Generates one document of `len` tokens for `category`.
+    #[must_use]
+    pub fn document(&self, category: CategoryId, len: usize, doc_seed: u64) -> GeneratedDoc {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ doc_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut tokens = Vec::with_capacity(len);
+        for _ in 0..len {
+            let u = rng.gen::<f64>();
+            if u < self.common_fraction {
+                let r = Self::zipf_rank(&mut rng, self.common_words);
+                tokens.push(format!("common{r}"));
+            } else if u < self.common_fraction + self.neighbour_overlap {
+                // A word from an adjacent category.
+                let delta: i32 = if rng.gen() { 1 } else { -1 };
+                let n = (i32::from(category.0) + delta).rem_euclid(i32::from(CATEGORY_COUNT));
+                let r = Self::zipf_rank(&mut rng, self.words_per_category);
+                tokens.push(Self::category_word(CategoryId::new(n as u16), r));
+            } else {
+                let r = Self::zipf_rank(&mut rng, self.words_per_category);
+                tokens.push(Self::category_word(category, r));
+            }
+        }
+        GeneratedDoc { category, tokens }
+    }
+
+    /// A labelled training set: `per_category` documents of `len`
+    /// tokens for every category.
+    #[must_use]
+    pub fn training_set(&self, per_category: usize, len: usize) -> Vec<GeneratedDoc> {
+        let mut out = Vec::with_capacity(per_category * CATEGORY_COUNT as usize);
+        for c in CategoryId::all() {
+            for k in 0..per_category {
+                out.push(self.document(c, len, u64::from(c.0) * 10_000 + k as u64));
+            }
+        }
+        out
+    }
+
+    /// One day's podcast batch: `count` clips published through the
+    /// day, mixed kinds and durations, with `geo_fraction` of them
+    /// tagged at city landmarks.
+    #[must_use]
+    pub fn daily_batch(
+        &self,
+        city: &SyntheticCity,
+        day: u64,
+        count: usize,
+        geo_fraction: f64,
+    ) -> Vec<GeneratedClip> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ day.wrapping_mul(0xDA117));
+        let mut out = Vec::with_capacity(count);
+        for i in 0..count {
+            let category = CategoryId::new(rng.gen_range(0..CATEGORY_COUNT));
+            let kind = match rng.gen_range(0..10) {
+                0..=5 => ClipKind::Podcast,
+                6..=7 => ClipKind::NewsBulletin,
+                8 => ClipKind::MusicTrack,
+                _ => ClipKind::Advertisement,
+            };
+            let minutes = match kind {
+                ClipKind::NewsBulletin => rng.gen_range(2..6),
+                ClipKind::Advertisement => 1,
+                ClipKind::MusicTrack => rng.gen_range(3..6),
+                ClipKind::Podcast => rng.gen_range(5..31),
+            };
+            let doc_len = (minutes * 120) as usize; // ~120 words/min speech
+            let doc = self.document(category, doc_len, day * 1_000_000 + i as u64);
+            let geo = (rng.gen::<f64>() < geo_fraction).then(|| {
+                let (_, point) = city.landmark_geo(rng.gen_range(0..city.landmarks.len()));
+                GeoTag { point, radius_m: rng.gen_range(500.0..2_000.0) }
+            });
+            let published = TimePoint::at(day, rng.gen_range(5..20), rng.gen_range(0..60), 0);
+            out.push(GeneratedClip {
+                title: format!("{} {} of day {day} #{i}", category.name(), kind_name(kind)),
+                doc,
+                kind,
+                duration: TimeSpan::minutes(minutes),
+                published,
+                geo,
+            });
+        }
+        out
+    }
+}
+
+fn kind_name(kind: ClipKind) -> &'static str {
+    match kind {
+        ClipKind::Podcast => "podcast",
+        ClipKind::NewsBulletin => "bulletin",
+        ClipKind::MusicTrack => "track",
+        ClipKind::Advertisement => "ad",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pphcr_nlp::{NaiveBayes, Vocabulary};
+
+    #[test]
+    fn documents_are_deterministic() {
+        let g = CorpusGenerator::new(9);
+        let a = g.document(CategoryId::new(3), 50, 7);
+        let b = g.document(CategoryId::new(3), 50, 7);
+        assert_eq!(a.tokens, b.tokens);
+        let c = g.document(CategoryId::new(3), 50, 8);
+        assert_ne!(a.tokens, c.tokens);
+    }
+
+    #[test]
+    fn documents_mix_category_common_and_neighbour_words() {
+        let g = CorpusGenerator::new(9);
+        let d = g.document(CategoryId::new(8), 400, 1);
+        let cat_words = d.tokens.iter().filter(|t| t.starts_with("wine")).count();
+        let common = d.tokens.iter().filter(|t| t.starts_with("common")).count();
+        // Category 8's neighbours are 7 (food) and 9 (technology).
+        let neighbour = d
+            .tokens
+            .iter()
+            .filter(|t| t.starts_with("food") || t.starts_with("technology"))
+            .count();
+        assert!(cat_words > 100, "{cat_words}");
+        assert!(common > 100, "{common}");
+        assert!(neighbour > 20, "{neighbour}");
+        assert_eq!(cat_words + common + neighbour, 400);
+    }
+
+    #[test]
+    fn zipf_favours_low_ranks() {
+        let g = CorpusGenerator::new(4);
+        let d = g.document(CategoryId::new(0), 2_000, 3);
+        let rank0 = d.tokens.iter().filter(|t| *t == "artw0").count();
+        let rank40 = d.tokens.iter().filter(|t| *t == "artw40").count();
+        assert!(rank0 > rank40, "rank0={rank0} rank40={rank40}");
+    }
+
+    #[test]
+    fn classifier_learns_the_corpus() {
+        let g = CorpusGenerator::new(5);
+        let train = g.training_set(5, 120);
+        let mut vocab = Vocabulary::new();
+        let mut nb = NaiveBayes::new(u32::from(CATEGORY_COUNT), 1.0);
+        for doc in &train {
+            let ids = vocab.intern_all(&doc.tokens);
+            nb.train(u32::from(doc.category.0), &ids);
+        }
+        // Fresh documents classify correctly.
+        let mut correct = 0;
+        let total = 30;
+        for c in CategoryId::all() {
+            let doc = g.document(c, 120, 999_000 + u64::from(c.0));
+            let pred = nb.predict_tokens(&vocab, &doc.tokens).unwrap();
+            if pred.category == u32::from(c.0) {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 28, "accuracy {correct}/{total}");
+    }
+
+    #[test]
+    fn daily_batch_matches_paper_scale() {
+        let city = SyntheticCity::generate(8, 400.0, 1);
+        let g = CorpusGenerator::new(5);
+        let batch = g.daily_batch(&city, 0, 110, 0.2);
+        assert_eq!(batch.len(), 110);
+        let geo_tagged = batch.iter().filter(|c| c.geo.is_some()).count();
+        assert!((10..=35).contains(&geo_tagged), "{geo_tagged}");
+        assert!(batch.iter().all(|c| c.published.day() == 0));
+        assert!(batch.iter().any(|c| c.kind == ClipKind::NewsBulletin));
+        assert!(batch.iter().all(|c| c.duration >= TimeSpan::minutes(1)));
+    }
+
+    #[test]
+    fn batches_differ_per_day() {
+        let city = SyntheticCity::generate(8, 400.0, 1);
+        let g = CorpusGenerator::new(5);
+        let a = g.daily_batch(&city, 0, 10, 0.0);
+        let b = g.daily_batch(&city, 1, 10, 0.0);
+        assert_ne!(
+            a.iter().map(|c| c.doc.category).collect::<Vec<_>>(),
+            b.iter().map(|c| c.doc.category).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! Synthetic world and experiment harness for PPHCR.
+//!
+//! The paper's evaluation ran on proprietary assets: Rai's live
+//! streams and podcast corpus, real listeners and their GPS traces.
+//! Per the substitution rules in `DESIGN.md`, this crate generates
+//! controlled equivalents:
+//!
+//! * [`world`] — a synthetic city: grid road network with intersections
+//!   and roundabouts, homes, workplaces and landmarks,
+//! * [`population`] — commuters with ground-truth tastes and repeatable
+//!   home↔work mobility (noisy GPS fixes included),
+//! * [`corpus`] — a 30-category text corpus with per-category
+//!   vocabularies (Zipf-ish frequencies) and daily podcast batches,
+//! * [`listener`] — the listener behaviour model: how a simulated
+//!   person with tastes reacts to played content (listen, like, skip,
+//!   channel-surf),
+//! * [`experiments`] — the harness the benches call: each function
+//!   reproduces one experiment of `DESIGN.md` and returns printable
+//!   rows.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod corpus;
+pub mod experiments;
+pub mod listener;
+pub mod population;
+pub mod world;
+
+pub use corpus::CorpusGenerator;
+pub use listener::{ListenerModel, ListeningOutcome};
+pub use population::{Commuter, Population};
+pub use world::SyntheticCity;

@@ -1,0 +1,479 @@
+//! Destination, route and travel-time (ΔT) prediction.
+//!
+//! Paper Fig. 2: *"When the user's car starts moving, the system
+//! predicts a travel duration ΔT, and tries to allocate the most
+//! relevant content for the available time ΔT."* Two predictors feed
+//! that step:
+//!
+//! * [`TripPredictor`] — matches an in-progress trip against the
+//!   listener's [`MobilityModel`]: a Bayesian posterior over known
+//!   destinations combining route frequency (prior), departure-hour
+//!   affinity and geometric agreement of the driven prefix. Yields the
+//!   destination, remaining ΔT and the projected route geometry.
+//! * [`MarkovRoutePredictor`] — an order-2 Markov model over grid cells
+//!   for short-horizon movement when no profile matches (cold start or
+//!   a novel route).
+
+use crate::model::{MobilityModel, RouteProfile};
+use pphcr_geo::{Polyline, ProjectedPoint, TimePoint, TimeSpan};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Prediction for an in-progress trip.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TripPrediction {
+    /// Predicted destination staying point.
+    pub destination: u32,
+    /// Posterior probability of that destination among known routes.
+    pub confidence: f64,
+    /// Predicted total trip duration from departure.
+    pub total_duration: TimeSpan,
+    /// Predicted time still to drive from `now` (the recommender's ΔT).
+    pub remaining: TimeSpan,
+    /// Expected remaining route geometry (from the current position to
+    /// the destination), in the projected frame.
+    pub route_ahead: Vec<ProjectedPoint>,
+    /// Mean complexity of the predicted route.
+    pub complexity: f64,
+    /// Full posterior over destinations, highest first.
+    pub posterior: Vec<(u32, f64)>,
+}
+
+/// Predicts destination and ΔT by matching trip prefixes to route
+/// profiles.
+#[derive(Debug, Clone)]
+pub struct TripPredictor {
+    /// Weight of the departure-hour affinity in the match score.
+    pub hour_weight: f64,
+    /// Scale (meters) of the geometric prefix-agreement kernel: the mean
+    /// distance between the driven prefix and a candidate route is
+    /// passed through `exp(-d/scale)`.
+    pub geometry_scale_m: f64,
+    /// Minimum posterior mass required to commit to a destination.
+    pub min_confidence: f64,
+}
+
+impl Default for TripPredictor {
+    fn default() -> Self {
+        TripPredictor { hour_weight: 1.0, geometry_scale_m: 400.0, min_confidence: 0.35 }
+    }
+}
+
+impl TripPredictor {
+    /// Predicts the destination and remaining travel time.
+    ///
+    /// * `model` — the listener's compacted history,
+    /// * `origin` — staying point the trip departed from,
+    /// * `departure` — when the car started moving,
+    /// * `now` — current time,
+    /// * `prefix` — positions driven so far (projected frame, oldest
+    ///   first).
+    ///
+    /// Returns `None` when the model has no route leaving `origin` or no
+    /// candidate reaches `min_confidence`.
+    #[must_use]
+    pub fn predict(
+        &self,
+        model: &MobilityModel,
+        origin: u32,
+        departure: TimePoint,
+        now: TimePoint,
+        prefix: &[ProjectedPoint],
+    ) -> Option<TripPrediction> {
+        let candidates = model.routes_from(origin);
+        if candidates.is_empty() {
+            return None;
+        }
+        let hour = departure.hour_of_day();
+        let mut scored: Vec<(&RouteProfile, f64)> = candidates
+            .iter()
+            .map(|p| {
+                let prior = p.trip_count as f64;
+                let hour_aff = p.hour_affinity(hour).powf(self.hour_weight);
+                let geo = self.geometry_agreement(prefix, p);
+                (*p, prior * hour_aff * geo)
+            })
+            .collect();
+        let total: f64 = scored.iter().map(|(_, s)| s).sum();
+        if total <= 0.0 {
+            return None;
+        }
+        for (_, s) in &mut scored {
+            *s /= total;
+        }
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let (best, confidence) = (scored[0].0, scored[0].1);
+        if confidence < self.min_confidence {
+            return None;
+        }
+        let total_duration = best.mean_duration();
+        let elapsed = now.since(departure);
+        let remaining = total_duration.minus(elapsed);
+        let route_ahead = self.route_ahead(prefix, best);
+        Some(TripPrediction {
+            destination: best.destination,
+            confidence,
+            total_duration,
+            remaining,
+            route_ahead,
+            complexity: best.mean_complexity,
+            posterior: scored.iter().map(|(p, s)| (p.destination, *s)).collect(),
+        })
+    }
+
+    /// Mean-distance kernel between the driven prefix and a candidate
+    /// route's representative geometry. 1.0 when the prefix is empty
+    /// (pure prior) or lies exactly on the route.
+    fn geometry_agreement(&self, prefix: &[ProjectedPoint], profile: &RouteProfile) -> f64 {
+        if prefix.is_empty() || profile.representative.len() < 2 {
+            return 1.0;
+        }
+        let pl = Polyline::new(profile.representative.clone());
+        let mean_d = prefix
+            .iter()
+            .map(|p| pl.distance_to(*p).unwrap_or(f64::INFINITY))
+            .sum::<f64>()
+            / prefix.len() as f64;
+        (-mean_d / self.geometry_scale_m).exp()
+    }
+
+    /// The part of the representative route still ahead of the driver:
+    /// from the projection of the last prefix point onwards.
+    fn route_ahead(&self, prefix: &[ProjectedPoint], profile: &RouteProfile) -> Vec<ProjectedPoint> {
+        let rep = &profile.representative;
+        if rep.len() < 2 {
+            return rep.clone();
+        }
+        let Some(cur) = prefix.last() else { return rep.clone() };
+        let pl = Polyline::new(rep.clone());
+        let along = pl.project_point(*cur).map_or(0.0, |pr| pr.along_m);
+        let mut out = Vec::new();
+        if let Some(start) = pl.point_at(along) {
+            out.push(start);
+        }
+        // Keep the vertices strictly after `along`.
+        let mut cum = 0.0;
+        for w in rep.windows(2) {
+            cum += w[0].distance_m(w[1]);
+            if cum > along {
+                out.push(w[1]);
+            }
+        }
+        out
+    }
+}
+
+/// A grid cell coordinate.
+pub type Cell = (i32, i32);
+
+/// Order-2 Markov model over uniform grid cells.
+///
+/// Trained on projected position sequences; predicts the next cell from
+/// the last two. Used for short-horizon look-ahead on novel routes where
+/// no [`RouteProfile`] matches.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MarkovRoutePredictor {
+    cell_m: f64,
+    /// (prev, cur) → next → count.
+    transitions: HashMap<(Cell, Cell), HashMap<Cell, u32>>,
+    observations: u64,
+}
+
+impl MarkovRoutePredictor {
+    /// Creates a predictor with square cells of side `cell_m` meters.
+    ///
+    /// # Panics
+    /// Panics if `cell_m` is not strictly positive.
+    #[must_use]
+    pub fn new(cell_m: f64) -> Self {
+        assert!(cell_m > 0.0, "cell size must be positive");
+        MarkovRoutePredictor { cell_m, transitions: HashMap::new(), observations: 0 }
+    }
+
+    /// The configured cell side, meters.
+    #[must_use]
+    pub fn cell_size_m(&self) -> f64 {
+        self.cell_m
+    }
+
+    /// Number of observed transitions.
+    #[must_use]
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Maps a position to its cell.
+    #[must_use]
+    pub fn cell_of(&self, p: ProjectedPoint) -> (i32, i32) {
+        ((p.x / self.cell_m).floor() as i32, (p.y / self.cell_m).floor() as i32)
+    }
+
+    /// Trains on one trip's positions (oldest first). Consecutive
+    /// duplicate cells are collapsed so dwell does not dominate.
+    pub fn train(&mut self, path: &[ProjectedPoint]) {
+        let cells = self.dedup_cells(path);
+        for w in cells.windows(3) {
+            *self
+                .transitions
+                .entry((w[0], w[1]))
+                .or_default()
+                .entry(w[2])
+                .or_insert(0) += 1;
+            self.observations += 1;
+        }
+    }
+
+    /// Distribution over next cells given the last two positions, or an
+    /// empty vector for unseen contexts. Sorted by descending
+    /// probability.
+    #[must_use]
+    pub fn next_cell_distribution(
+        &self,
+        prev: ProjectedPoint,
+        cur: ProjectedPoint,
+    ) -> Vec<((i32, i32), f64)> {
+        let key = (self.cell_of(prev), self.cell_of(cur));
+        let Some(counts) = self.transitions.get(&key) else { return Vec::new() };
+        let total: u32 = counts.values().sum();
+        let mut out: Vec<((i32, i32), f64)> =
+            counts.iter().map(|(c, &n)| (*c, f64::from(n) / f64::from(total))).collect();
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Greedy most-likely continuation of `steps` cells, as cell-centre
+    /// positions. Stops early at unseen contexts.
+    #[must_use]
+    pub fn predict_path(
+        &self,
+        prev: ProjectedPoint,
+        cur: ProjectedPoint,
+        steps: usize,
+    ) -> Vec<ProjectedPoint> {
+        let mut out = Vec::with_capacity(steps);
+        let mut a = self.cell_of(prev);
+        let mut b = self.cell_of(cur);
+        for _ in 0..steps {
+            let Some(counts) = self.transitions.get(&(a, b)) else { break };
+            let Some((&next, _)) = counts
+                .iter()
+                .max_by(|(c1, n1), (c2, n2)| n1.cmp(n2).then_with(|| c2.cmp(c1)))
+            else {
+                break;
+            };
+            out.push(self.cell_center(next));
+            a = b;
+            b = next;
+        }
+        out
+    }
+
+    fn cell_center(&self, c: (i32, i32)) -> ProjectedPoint {
+        ProjectedPoint::new(
+            (f64::from(c.0) + 0.5) * self.cell_m,
+            (f64::from(c.1) + 0.5) * self.cell_m,
+        )
+    }
+
+    fn dedup_cells(&self, path: &[ProjectedPoint]) -> Vec<(i32, i32)> {
+        let mut cells: Vec<(i32, i32)> = Vec::with_capacity(path.len());
+        for p in path {
+            let c = self.cell_of(*p);
+            if cells.last() != Some(&c) {
+                cells.push(c);
+            }
+        }
+        cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{MobilityModel, ModelConfig};
+    use pphcr_geo::{GeoPoint, LocalProjection};
+
+    fn commuter_model() -> (MobilityModel, LocalProjection) {
+        let (trace, proj, _, _) = crate::model::tests::commuter_trace(7);
+        (MobilityModel::build(&trace, &proj, &ModelConfig::default()), proj)
+    }
+
+    #[test]
+    fn morning_departure_predicts_work() {
+        let (model, _) = commuter_model();
+        let predictor = TripPredictor::default();
+        // Day 8, 08:01, just left home (stay 0), no prefix yet.
+        let dep = TimePoint::at(8, 8, 0, 0);
+        let pred = predictor
+            .predict(&model, 0, dep, dep.advance(TimeSpan::minutes(1)), &[])
+            .expect("commute is well known");
+        assert_eq!(pred.destination, 1, "work");
+        assert!(pred.confidence > 0.5, "{}", pred.confidence);
+        // ~20 min commute minus 1 min elapsed.
+        let rem = pred.remaining.as_seconds();
+        assert!((900..=1_300).contains(&rem), "remaining {rem}s");
+    }
+
+    #[test]
+    fn remaining_shrinks_with_elapsed_time() {
+        let (model, _) = commuter_model();
+        let predictor = TripPredictor::default();
+        let dep = TimePoint::at(8, 8, 0, 0);
+        let early = predictor.predict(&model, 0, dep, dep.advance(TimeSpan::minutes(2)), &[]);
+        let late = predictor.predict(&model, 0, dep, dep.advance(TimeSpan::minutes(10)), &[]);
+        let (early, late) = (early.unwrap(), late.unwrap());
+        assert!(late.remaining < early.remaining);
+        assert_eq!(late.total_duration, early.total_duration);
+    }
+
+    #[test]
+    fn unknown_origin_yields_none() {
+        let (model, _) = commuter_model();
+        let predictor = TripPredictor::default();
+        let dep = TimePoint::at(8, 8, 0, 0);
+        assert!(predictor.predict(&model, 99, dep, dep, &[]).is_none());
+    }
+
+    #[test]
+    fn prefix_on_route_raises_confidence() {
+        let (model, _) = commuter_model();
+        let predictor = TripPredictor::default();
+        let dep = TimePoint::at(8, 8, 0, 0);
+        let profile = model.profiles.get(&(0, 1)).unwrap();
+        let on_route: Vec<ProjectedPoint> =
+            profile.representative.iter().take(3).copied().collect();
+        let with_prefix =
+            predictor.predict(&model, 0, dep, dep.advance(TimeSpan::minutes(3)), &on_route);
+        assert!(with_prefix.is_some());
+        assert!(with_prefix.unwrap().confidence > 0.5);
+    }
+
+    #[test]
+    fn route_ahead_starts_near_current_position() {
+        let (model, _) = commuter_model();
+        let predictor = TripPredictor::default();
+        let dep = TimePoint::at(8, 8, 0, 0);
+        let profile = model.profiles.get(&(0, 1)).unwrap();
+        let rep = Polyline::new(profile.representative.clone());
+        let midway = rep.point_at(rep.length_m() / 2.0).unwrap();
+        let pred = predictor
+            .predict(&model, 0, dep, dep.advance(TimeSpan::minutes(10)), &[midway])
+            .unwrap();
+        let first = pred.route_ahead.first().copied().unwrap();
+        assert!(first.distance_m(midway) < 100.0);
+        // Remaining geometry should be roughly half the route.
+        let ahead_len = Polyline::new(pred.route_ahead.clone()).length_m();
+        assert!(ahead_len < rep.length_m() * 0.75, "{ahead_len} vs {}", rep.length_m());
+    }
+
+    #[test]
+    fn posterior_sums_to_one() {
+        let (model, _) = commuter_model();
+        let predictor = TripPredictor { min_confidence: 0.0, ..Default::default() };
+        let dep = TimePoint::at(8, 18, 0, 0);
+        let pred = predictor.predict(&model, 1, dep, dep, &[]).unwrap();
+        let sum: f64 = pred.posterior.iter().map(|(_, p)| p).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    // --- Markov predictor ---
+
+    fn l_path() -> Vec<ProjectedPoint> {
+        // East 10 cells then north 10 cells, cell = 100 m.
+        let mut path = Vec::new();
+        for i in 0..=10 {
+            path.push(ProjectedPoint::new(i as f64 * 100.0 + 50.0, 50.0));
+        }
+        for j in 1..=10 {
+            path.push(ProjectedPoint::new(1_050.0, j as f64 * 100.0 + 50.0));
+        }
+        path
+    }
+
+    #[test]
+    fn markov_learns_the_turn() {
+        let mut m = MarkovRoutePredictor::new(100.0);
+        for _ in 0..5 {
+            m.train(&l_path());
+        }
+        // Approaching the corner heading east: next cell must be north of
+        // the corner once past it.
+        let dist = m.next_cell_distribution(
+            ProjectedPoint::new(950.0, 50.0),
+            ProjectedPoint::new(1_050.0, 50.0),
+        );
+        assert_eq!(dist.len(), 1);
+        assert_eq!(dist[0].0, (10, 1), "turns north at the corner");
+        assert!((dist[0].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn markov_unseen_context_is_empty() {
+        let m = MarkovRoutePredictor::new(100.0);
+        assert!(m
+            .next_cell_distribution(ProjectedPoint::new(0.0, 0.0), ProjectedPoint::new(100.0, 0.0))
+            .is_empty());
+    }
+
+    #[test]
+    fn markov_predict_path_follows_training() {
+        let mut m = MarkovRoutePredictor::new(100.0);
+        m.train(&l_path());
+        let path = m.predict_path(
+            ProjectedPoint::new(150.0, 50.0),
+            ProjectedPoint::new(250.0, 50.0),
+            5,
+        );
+        assert_eq!(path.len(), 5);
+        // All predicted cells continue east along y-cell 0.
+        for (i, p) in path.iter().enumerate() {
+            assert!((p.y - 50.0).abs() < 1e-9);
+            assert!((p.x - (350.0 + i as f64 * 100.0)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn markov_mixed_routes_split_probability() {
+        let mut m = MarkovRoutePredictor::new(100.0);
+        // From the same two-cell context, 3 trips go east, 1 goes north.
+        let ctx = [ProjectedPoint::new(50.0, 50.0), ProjectedPoint::new(150.0, 50.0)];
+        let east = [ctx[0], ctx[1], ProjectedPoint::new(250.0, 50.0)];
+        let north = [ctx[0], ctx[1], ProjectedPoint::new(150.0, 150.0)];
+        for _ in 0..3 {
+            m.train(&east);
+        }
+        m.train(&north);
+        let dist = m.next_cell_distribution(ctx[0], ctx[1]);
+        assert_eq!(dist.len(), 2);
+        assert_eq!(dist[0].0, (2, 0));
+        assert!((dist[0].1 - 0.75).abs() < 1e-12);
+        assert!((dist[1].1 - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn markov_dwell_does_not_inflate_counts() {
+        let mut m = MarkovRoutePredictor::new(100.0);
+        // Many samples inside the same cells must collapse.
+        let mut path = Vec::new();
+        for _ in 0..50 {
+            path.push(ProjectedPoint::new(50.0, 50.0));
+        }
+        for _ in 0..50 {
+            path.push(ProjectedPoint::new(150.0, 50.0));
+        }
+        for _ in 0..50 {
+            path.push(ProjectedPoint::new(250.0, 50.0));
+        }
+        m.train(&path);
+        assert_eq!(m.observations(), 1, "one deduped transition triple");
+    }
+
+    #[test]
+    fn cold_start_no_profiles_predicts_none_but_markov_works() {
+        let proj = LocalProjection::new(GeoPoint::new(45.0, 7.0));
+        let empty = MobilityModel::default();
+        let predictor = TripPredictor::default();
+        assert!(predictor.predict(&empty, 0, TimePoint(0), TimePoint(0), &[]).is_none());
+        let _ = proj; // projection unused in cold start, kept for symmetry
+    }
+}

@@ -1,0 +1,202 @@
+//! Ramer–Douglas–Peucker simplification and trajectory complexity.
+//!
+//! The paper computes a trajectory *complexity* feature by "analysing
+//! the trajectory simplified using the Ramer-Douglas-Peucker algorithm".
+//! RDP keeps the vertices whose removal would move the path by more than
+//! a tolerance ε; a geometrically complex route (many real turns)
+//! retains many vertices, a straight commute almost none. Complexity
+//! feeds the recommender's context score — at high complexity (dense
+//! urban driving) short, light content wins over long talk programmes.
+
+use pphcr_geo::ProjectedPoint;
+
+/// Indices of the vertices RDP keeps for tolerance `epsilon_m` (meters).
+///
+/// Always includes the first and last index of a non-empty input. The
+/// returned indices are strictly increasing. Runs iteratively with an
+/// explicit stack so adversarial zig-zags cannot overflow the call
+/// stack.
+#[must_use]
+pub fn rdp_indices(points: &[ProjectedPoint], epsilon_m: f64) -> Vec<usize> {
+    match points.len() {
+        0 => return Vec::new(),
+        1 => return vec![0],
+        2 => return vec![0, 1],
+        _ => {}
+    }
+    let mut keep = vec![false; points.len()];
+    keep[0] = true;
+    keep[points.len() - 1] = true;
+    let mut stack = vec![(0usize, points.len() - 1)];
+    while let Some((first, last)) = stack.pop() {
+        if last <= first + 1 {
+            continue;
+        }
+        let (a, b) = (points[first], points[last]);
+        let mut max_d = -1.0;
+        let mut max_i = first;
+        for (i, p) in points.iter().enumerate().take(last).skip(first + 1) {
+            let d = p.distance_to_segment_m(a, b);
+            if d > max_d {
+                max_d = d;
+                max_i = i;
+            }
+        }
+        if max_d > epsilon_m {
+            keep[max_i] = true;
+            stack.push((first, max_i));
+            stack.push((max_i, last));
+        }
+    }
+    keep.iter().enumerate().filter_map(|(i, &k)| k.then_some(i)).collect()
+}
+
+/// The simplified polyline: the kept vertices for tolerance `epsilon_m`.
+#[must_use]
+pub fn simplify(points: &[ProjectedPoint], epsilon_m: f64) -> Vec<ProjectedPoint> {
+    rdp_indices(points, epsilon_m).into_iter().map(|i| points[i]).collect()
+}
+
+/// Trajectory complexity: direction changes per kilometre of the
+/// RDP-simplified path.
+///
+/// The simplification first removes GPS jitter (tolerance `epsilon_m`),
+/// then the total absolute turning angle (radians) of what remains is
+/// divided by the path length in km. A straight highway commute scores
+/// ≈ 0; a dense city centre route scores high. Returns 0 for paths
+/// shorter than 2 segments or 100 m.
+#[must_use]
+pub fn trajectory_complexity(points: &[ProjectedPoint], epsilon_m: f64) -> f64 {
+    let simplified = simplify(points, epsilon_m);
+    if simplified.len() < 3 {
+        return 0.0;
+    }
+    let length_m: f64 =
+        simplified.windows(2).map(|w| w[0].distance_m(w[1])).sum();
+    if length_m < 100.0 {
+        return 0.0;
+    }
+    let mut total_turn = 0.0;
+    for w in simplified.windows(3) {
+        let (a, b, c) = (w[0], w[1], w[2]);
+        let h1 = (b.y - a.y).atan2(b.x - a.x);
+        let h2 = (c.y - b.y).atan2(c.x - b.x);
+        let mut d = (h2 - h1).abs();
+        if d > std::f64::consts::PI {
+            d = 2.0 * std::f64::consts::PI - d;
+        }
+        total_turn += d;
+    }
+    total_turn / (length_m / 1_000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> ProjectedPoint {
+        ProjectedPoint::new(x, y)
+    }
+
+    #[test]
+    fn trivial_inputs() {
+        assert!(rdp_indices(&[], 1.0).is_empty());
+        assert_eq!(rdp_indices(&[p(0.0, 0.0)], 1.0), vec![0]);
+        assert_eq!(rdp_indices(&[p(0.0, 0.0), p(1.0, 1.0)], 1.0), vec![0, 1]);
+    }
+
+    #[test]
+    fn straight_line_collapses_to_endpoints() {
+        let pts: Vec<ProjectedPoint> = (0..100).map(|i| p(i as f64 * 10.0, 0.0)).collect();
+        assert_eq!(rdp_indices(&pts, 0.5), vec![0, 99]);
+    }
+
+    #[test]
+    fn jitter_below_epsilon_is_removed() {
+        let pts: Vec<ProjectedPoint> = (0..50)
+            .map(|i| p(i as f64 * 10.0, if i % 2 == 0 { 0.4 } else { -0.4 }))
+            .collect();
+        let kept = rdp_indices(&pts, 1.0);
+        assert_eq!(kept, vec![0, 49]);
+    }
+
+    #[test]
+    fn real_corner_is_kept() {
+        // L-shape: corner at index 10 deviates ~707 m from the chord.
+        let mut pts: Vec<ProjectedPoint> = (0..=10).map(|i| p(i as f64 * 100.0, 0.0)).collect();
+        pts.extend((1..=10).map(|i| p(1_000.0, i as f64 * 100.0)));
+        let kept = rdp_indices(&pts, 5.0);
+        assert!(kept.contains(&10), "corner vertex must survive: {kept:?}");
+        assert_eq!(kept.first(), Some(&0));
+        assert_eq!(kept.last(), Some(&(pts.len() - 1)));
+    }
+
+    #[test]
+    fn epsilon_zero_keeps_every_non_collinear_point() {
+        let pts = vec![p(0.0, 0.0), p(10.0, 3.0), p(20.0, -2.0), p(30.0, 0.0)];
+        assert_eq!(rdp_indices(&pts, 0.0).len(), 4);
+    }
+
+    /// The defining RDP guarantee: every dropped point lies within ε of
+    /// the simplified polyline.
+    #[test]
+    fn error_bound_holds() {
+        // A noisy sine-like path.
+        let pts: Vec<ProjectedPoint> = (0..200)
+            .map(|i| {
+                let x = i as f64 * 25.0;
+                p(x, 300.0 * (x / 800.0).sin() + ((i * 7919) % 13) as f64)
+            })
+            .collect();
+        let eps = 20.0;
+        let kept = simplify(&pts, eps);
+        let pl = pphcr_geo::Polyline::new(kept);
+        for q in &pts {
+            let d = pl.distance_to(*q).unwrap();
+            assert!(d <= eps + 1e-9, "dropped point {q:?} is {d} m from the simplified path");
+        }
+    }
+
+    #[test]
+    fn indices_strictly_increasing() {
+        let pts: Vec<ProjectedPoint> =
+            (0..60).map(|i| p(i as f64 * 30.0, ((i * 31) % 17) as f64 * 12.0)).collect();
+        let kept = rdp_indices(&pts, 10.0);
+        assert!(kept.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn complexity_straight_is_zero() {
+        let pts: Vec<ProjectedPoint> = (0..100).map(|i| p(i as f64 * 50.0, 0.0)).collect();
+        assert_eq!(trajectory_complexity(&pts, 5.0), 0.0);
+    }
+
+    #[test]
+    fn complexity_orders_routes_correctly() {
+        // Zig-zag city route: 90° turn every 200 m.
+        let mut zig = vec![p(0.0, 0.0)];
+        for i in 0..20 {
+            let last = *zig.last().unwrap();
+            if i % 2 == 0 {
+                zig.push(ProjectedPoint::new(last.x + 200.0, last.y));
+            } else {
+                zig.push(ProjectedPoint::new(last.x, last.y + 200.0));
+            }
+        }
+        // Gentle highway curve.
+        let gentle: Vec<ProjectedPoint> =
+            (0..21).map(|i| p(i as f64 * 200.0, (i as f64 * 0.05).sin() * 100.0)).collect();
+        let c_zig = trajectory_complexity(&zig, 5.0);
+        let c_gentle = trajectory_complexity(&gentle, 5.0);
+        assert!(c_zig > c_gentle, "zig-zag {c_zig} should exceed gentle {c_gentle}");
+        assert!(c_zig > 1.0);
+    }
+
+    #[test]
+    fn complexity_short_path_is_zero() {
+        assert_eq!(trajectory_complexity(&[p(0.0, 0.0), p(10.0, 0.0)], 1.0), 0.0);
+        // Long enough in points but under 100 m total.
+        let tiny: Vec<ProjectedPoint> = (0..10).map(|i| p(i as f64, (i % 2) as f64)).collect();
+        assert_eq!(trajectory_complexity(&tiny, 0.1), 0.0);
+    }
+}

@@ -1,0 +1,183 @@
+//! GPS smoothing and outlier rejection.
+//!
+//! Urban GPS produces two artefacts the compaction pipeline must not
+//! ingest raw: scatter (multipath jitter of a few meters) and *jumps*
+//! (a reflection locks the receiver onto a position hundreds of meters
+//! away for a fix or two). [`reject_outliers`] drops fixes that imply
+//! physically impossible speeds; [`smooth`] then applies an
+//! exponentially weighted moving average in the projected frame. Both
+//! run before trip segmentation in a production pipeline (this crate's
+//! [`crate::model::MobilityModel`] tolerates raw traces, but the
+//! simplified geometry is visibly cleaner after smoothing).
+
+use crate::fix::{GpsFix, Trace};
+use pphcr_geo::LocalProjection;
+
+/// Drops fixes whose implied speed from the previous *kept* fix exceeds
+/// `max_speed_mps` (physically impossible motion — a GPS jump).
+/// The first fix is always kept. Returns the cleaned trace and the
+/// number of rejected fixes.
+#[must_use]
+pub fn reject_outliers(trace: &Trace, max_speed_mps: f64) -> (Trace, usize) {
+    let fixes = trace.fixes();
+    let mut kept: Vec<GpsFix> = Vec::with_capacity(fixes.len());
+    let mut rejected = 0;
+    for fix in fixes {
+        match kept.last() {
+            None => kept.push(*fix),
+            Some(prev) => {
+                let dt = fix.time.since(prev.time).as_seconds();
+                let dist = prev.point.haversine_m(fix.point);
+                // Same-second duplicates can't be speed-checked; keep them.
+                let implied = if dt == 0 { 0.0 } else { dist / dt as f64 };
+                if implied <= max_speed_mps {
+                    kept.push(*fix);
+                } else {
+                    rejected += 1;
+                }
+            }
+        }
+    }
+    (Trace::from_fixes(kept), rejected)
+}
+
+/// Exponentially weighted moving average over positions in the
+/// projected frame. `alpha` ∈ (0, 1]: 1 = no smoothing, small values =
+/// heavy smoothing. Timestamps and speeds are preserved.
+///
+/// # Panics
+/// Panics when `alpha` is outside `(0, 1]`.
+#[must_use]
+pub fn smooth(trace: &Trace, proj: &LocalProjection, alpha: f64) -> Trace {
+    assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+    let fixes = trace.fixes();
+    let mut out: Vec<GpsFix> = Vec::with_capacity(fixes.len());
+    let mut state: Option<pphcr_geo::ProjectedPoint> = None;
+    for fix in fixes {
+        let p = proj.project(fix.point);
+        let s = match state {
+            None => p,
+            Some(prev) => pphcr_geo::ProjectedPoint::new(
+                prev.x + alpha * (p.x - prev.x),
+                prev.y + alpha * (p.y - prev.y),
+            ),
+        };
+        state = Some(s);
+        out.push(GpsFix::new(proj.unproject(s), fix.time, fix.speed_mps));
+    }
+    Trace::from_fixes(out)
+}
+
+/// The standard cleaning pipeline: outlier rejection then smoothing.
+#[must_use]
+pub fn clean(trace: &Trace, proj: &LocalProjection) -> Trace {
+    let (no_jumps, _) = reject_outliers(trace, 70.0); // > 250 km/h is a jump
+    smooth(&no_jumps, proj, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pphcr_geo::{GeoPoint, TimePoint};
+
+    const ORIGIN: GeoPoint = GeoPoint { lat: 45.07, lon: 7.69 };
+
+    fn drive_with_jump() -> Trace {
+        let mut fixes: Vec<GpsFix> = (0..20)
+            .map(|i| {
+                GpsFix::new(ORIGIN.destination(90.0, i as f64 * 300.0), TimePoint(i * 30), 10.0)
+            })
+            .collect();
+        // A multipath jump: fix 10 teleports 5 km north for one sample.
+        fixes[10].point = ORIGIN.destination(0.0, 5_000.0);
+        Trace::from_fixes(fixes)
+    }
+
+    #[test]
+    fn outlier_jump_is_rejected() {
+        let (cleaned, rejected) = reject_outliers(&drive_with_jump(), 70.0);
+        assert_eq!(rejected, 1);
+        assert_eq!(cleaned.len(), 19);
+        // Remaining fixes form a plausible path: max hop speed ≤ 70 m/s.
+        for w in cleaned.fixes().windows(2) {
+            let dt = w[1].time.since(w[0].time).as_seconds().max(1);
+            let v = w[0].point.haversine_m(w[1].point) / dt as f64;
+            assert!(v <= 70.0, "hop at {v} m/s survived");
+        }
+    }
+
+    #[test]
+    fn clean_path_is_untouched_by_rejection() {
+        let fixes: Vec<GpsFix> = (0..30)
+            .map(|i| {
+                GpsFix::new(ORIGIN.destination(90.0, i as f64 * 200.0), TimePoint(i * 30), 7.0)
+            })
+            .collect();
+        let trace = Trace::from_fixes(fixes);
+        let (cleaned, rejected) = reject_outliers(&trace, 70.0);
+        assert_eq!(rejected, 0);
+        assert_eq!(cleaned.len(), 30);
+    }
+
+    #[test]
+    fn smoothing_reduces_jitter() {
+        let proj = LocalProjection::new(ORIGIN);
+        // A straight east drive with ±20 m alternating north-south jitter.
+        let fixes: Vec<GpsFix> = (0..40)
+            .map(|i| {
+                let base = ORIGIN.destination(90.0, i as f64 * 250.0);
+                let jittered = base.destination(if i % 2 == 0 { 0.0 } else { 180.0 }, 20.0);
+                GpsFix::new(jittered, TimePoint(i * 30), 8.0)
+            })
+            .collect();
+        let trace = Trace::from_fixes(fixes);
+        let smoothed = smooth(&trace, &proj, 0.3);
+        let wobble = |t: &Trace| -> f64 {
+            t.fixes()
+                .iter()
+                .map(|f| proj.project(f.point).y.abs())
+                .sum::<f64>()
+                / t.len() as f64
+        };
+        assert!(wobble(&smoothed) < wobble(&trace) * 0.6, "{} vs {}", wobble(&smoothed), wobble(&trace));
+        // Length, times, speeds preserved.
+        assert_eq!(smoothed.len(), trace.len());
+        assert_eq!(smoothed.fixes()[5].time, trace.fixes()[5].time);
+        assert_eq!(smoothed.fixes()[5].speed_mps, trace.fixes()[5].speed_mps);
+    }
+
+    #[test]
+    fn alpha_one_is_identity() {
+        let proj = LocalProjection::new(ORIGIN);
+        let trace = drive_with_jump();
+        let same = smooth(&trace, &proj, 1.0);
+        for (a, b) in trace.fixes().iter().zip(same.fixes()) {
+            assert!(a.point.haversine_m(b.point) < 1e-6);
+        }
+    }
+
+    #[test]
+    fn clean_pipeline_combines_both() {
+        let proj = LocalProjection::new(ORIGIN);
+        let cleaned = clean(&drive_with_jump(), &proj);
+        assert_eq!(cleaned.len(), 19, "jump dropped");
+        // The cleaned path is still ~5.7 km long (19 fixes × 300 m).
+        assert!(cleaned.length_m() > 4_500.0);
+    }
+
+    #[test]
+    fn empty_trace_passes_through() {
+        let proj = LocalProjection::new(ORIGIN);
+        let empty = Trace::new();
+        assert_eq!(reject_outliers(&empty, 70.0).1, 0);
+        assert!(smooth(&empty, &proj, 0.5).is_empty());
+        assert!(clean(&empty, &proj).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0, 1]")]
+    fn bad_alpha_panics() {
+        let proj = LocalProjection::new(ORIGIN);
+        let _ = smooth(&Trace::new(), &proj, 0.0);
+    }
+}

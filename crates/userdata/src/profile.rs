@@ -1,0 +1,119 @@
+//! The profiles DB: demographic details.
+
+use pphcr_catalog::ServiceIndex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifier of a listener.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct UserId(pub u64);
+
+impl std::fmt::Display for UserId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "user:{}", self.0)
+    }
+}
+
+/// Coarse age band (the only demographic granularity the prototype
+/// needs; finer detail would be privacy surface without recommender
+/// value).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AgeBand {
+    /// Under 25.
+    Young,
+    /// 25–44.
+    Adult,
+    /// 45–64.
+    Middle,
+    /// 65 and over.
+    Senior,
+}
+
+/// A listener's profile record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserProfile {
+    /// The listener's id.
+    pub id: UserId,
+    /// Display name.
+    pub name: String,
+    /// Age band.
+    pub age_band: AgeBand,
+    /// The service the listener usually tunes to.
+    pub favourite_service: ServiceIndex,
+}
+
+/// The profiles DB.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ProfileStore {
+    profiles: HashMap<UserId, UserProfile>,
+}
+
+impl ProfileStore {
+    /// Creates an empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        ProfileStore::default()
+    }
+
+    /// Registers or updates a profile.
+    pub fn upsert(&mut self, profile: UserProfile) {
+        self.profiles.insert(profile.id, profile);
+    }
+
+    /// Looks a profile up.
+    #[must_use]
+    pub fn get(&self, id: UserId) -> Option<&UserProfile> {
+        self.profiles.get(&id)
+    }
+
+    /// Number of registered listeners.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// True when no listener is registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// Iterates over all profiles (unspecified order).
+    pub fn iter(&self) -> impl Iterator<Item = &UserProfile> {
+        self.profiles.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lilly() -> UserProfile {
+        UserProfile {
+            id: UserId(1),
+            name: "Lilly".into(),
+            age_band: AgeBand::Young,
+            favourite_service: ServiceIndex(2),
+        }
+    }
+
+    #[test]
+    fn upsert_and_get() {
+        let mut store = ProfileStore::new();
+        store.upsert(lilly());
+        assert_eq!(store.get(UserId(1)).unwrap().name, "Lilly");
+        assert!(store.get(UserId(2)).is_none());
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn upsert_replaces() {
+        let mut store = ProfileStore::new();
+        store.upsert(lilly());
+        let mut updated = lilly();
+        updated.favourite_service = ServiceIndex(5);
+        store.upsert(updated);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.get(UserId(1)).unwrap().favourite_service, ServiceIndex(5));
+    }
+}

@@ -1,0 +1,58 @@
+//! Network capacity planning with the hybrid delivery model (paper §1:
+//! "network resource optimization, allowing effective use of the
+//! broadcast channel and the Internet").
+//!
+//! A broadcaster asks: at what audience size does hybrid content radio
+//! (linear over broadcast + clips over IP) move fewer bytes than an
+//! all-IP streaming app, and how does that depend on how much of the
+//! listening is personalized?
+//!
+//! Run with `cargo run --example network_planning`.
+
+use pphcr::core::{DeliveryPlanKind, NetworkCostModel};
+use pphcr::geo::TimeSpan;
+
+fn main() {
+    let model = NetworkCostModel::default();
+    let listen = TimeSpan::hours(1); // one listening hour per listener
+
+    println!("Per-plan traffic for one listening hour (96 kbps streams)");
+    println!("{:-<78}", "");
+    println!(
+        "{:>10} {:>6} | {:>14} {:>14} {:>14}",
+        "audience", "p", "broadcast MB", "unicast MB", "total MB"
+    );
+    for &n in &[100u64, 1_000, 10_000, 100_000] {
+        for p in [0.1, 0.3] {
+            for plan in
+                [DeliveryPlanKind::AllBroadcast, DeliveryPlanKind::AllIp, DeliveryPlanKind::Hybrid]
+            {
+                let r = model.traffic(plan, n, listen, p);
+                println!(
+                    "{:>10} {:>6.1} | {:>14.1} {:>14.1} {:>14.1}  {}",
+                    n,
+                    r.personalized_fraction,
+                    r.broadcast_bytes as f64 / 1e6,
+                    r.unicast_bytes as f64 / 1e6,
+                    r.total_bytes() as f64 / 1e6,
+                    r.plan
+                );
+            }
+        }
+        println!("{:-<78}", "");
+    }
+
+    println!("\nAudience at which hybrid beats all-IP (crossover):");
+    for p in [0.05, 0.1, 0.2, 0.3, 0.5, 0.8, 1.0] {
+        match model.hybrid_crossover(listen, p, 1_000_000) {
+            Some(n) => println!("  personalized fraction {p:>4.2} → {n} listeners"),
+            None => println!("  personalized fraction {p:>4.2} → never (clips equal the full stream)"),
+        }
+    }
+    println!(
+        "\nReading: the more of the hour is personalized, the more listeners\n\
+         the shared broadcast must amortize before hybrid wins — but for the\n\
+         realistic 10–30% personalization of the paper's scenarios, hybrid\n\
+         wins from a handful of listeners upward."
+    );
+}
