@@ -6,9 +6,9 @@
 //! bounded [`ClipSource`]s. Metadata (title, category, geo tags) lives
 //! in `pphcr-catalog`; the two sides share the [`ClipId`].
 
+use crate::bitrate::Bitrate;
 use crate::sample::SampleClock;
 use crate::source::ClipSource;
-use crate::bitrate::Bitrate;
 use pphcr_geo::TimeSpan;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -98,9 +98,7 @@ impl ClipStore {
     /// Total stored audio duration.
     #[must_use]
     pub fn total_duration(&self) -> TimeSpan {
-        self.clips
-            .values()
-            .fold(TimeSpan::ZERO, |acc, c| acc.plus(c.duration))
+        self.clips.values().fold(TimeSpan::ZERO, |acc, c| acc.plus(c.duration))
     }
 }
 

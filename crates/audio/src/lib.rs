@@ -40,5 +40,5 @@ pub use clip::{AudioClip, ClipId, ClipStore};
 pub use loudness::{match_gain, measure, Gained, Loudness};
 pub use sample::SampleClock;
 pub use source::{AudioSource, ClipSource, LiveSource, SilenceSource, SourceId};
-pub use splice::{PlannedSegment, RenderStats, SplicePlan, SpliceError};
+pub use splice::{PlannedSegment, RenderStats, SpliceError, SplicePlan};
 pub use timeshift::TimeShiftBuffer;

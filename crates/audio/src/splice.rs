@@ -353,10 +353,7 @@ mod tests {
     #[test]
     fn validation_rejects_degenerate_plans() {
         assert_eq!(SplicePlan::new(vec![], 0).unwrap_err(), SpliceError::EmptyPlan);
-        let zero = SplicePlan::new(
-            vec![PlannedSegment { start: 5, end: 5, source: live(0) }],
-            0,
-        );
+        let zero = SplicePlan::new(vec![PlannedSegment { start: 5, end: 5, source: live(0) }], 0);
         assert_eq!(zero.unwrap_err(), SpliceError::ZeroLengthSegment { index: 0 });
     }
 
@@ -381,10 +378,8 @@ mod tests {
 
     #[test]
     fn validation_rejects_overlong_fade() {
-        let plan = SplicePlan::new(
-            vec![PlannedSegment { start: 0, end: 100, source: live(0) }],
-            51,
-        );
+        let plan =
+            SplicePlan::new(vec![PlannedSegment { start: 0, end: 100, source: live(0) }], 51);
         assert_eq!(plan.unwrap_err(), SpliceError::FadeTooLong { index: 0 });
     }
 
@@ -425,15 +420,11 @@ mod tests {
 
     #[test]
     fn time_shifted_segment_replays_the_past() {
-        let shifted = SegmentSource::LiveShifted {
-            source: LiveSource::new(2),
-            delay_samples: 1_200,
-        };
-        let plan = SplicePlan::new(
-            vec![PlannedSegment { start: 2_000, end: 3_000, source: shifted }],
-            0,
-        )
-        .unwrap();
+        let shifted =
+            SegmentSource::LiveShifted { source: LiveSource::new(2), delay_samples: 1_200 };
+        let plan =
+            SplicePlan::new(vec![PlannedSegment { start: 2_000, end: 3_000, source: shifted }], 0)
+                .unwrap();
         let live_src = LiveSource::new(2);
         assert_eq!(plan.sample_at(2_500), live_src.sample(1_300));
     }

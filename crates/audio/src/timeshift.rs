@@ -47,10 +47,16 @@ impl std::fmt::Display for TimeShiftError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TimeShiftError::Evicted { oldest_available } => {
-                write!(f, "requested samples already evicted (oldest available: {oldest_available})")
+                write!(
+                    f,
+                    "requested samples already evicted (oldest available: {oldest_available})"
+                )
             }
             TimeShiftError::NotYetRecorded { newest_available } => {
-                write!(f, "requested samples not yet recorded (newest available: {newest_available})")
+                write!(
+                    f,
+                    "requested samples not yet recorded (newest available: {newest_available})"
+                )
             }
         }
     }

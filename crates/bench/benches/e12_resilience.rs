@@ -1,0 +1,30 @@
+//! E12 — chaos resilience: delivery under a hostile network.
+//!
+//! Prints the per-profile resilience table (retries, duplicate
+//! filtering, dead letters, final health mix) and benchmarks the
+//! chaos-hardened delivery loop against the calm baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pphcr_sim::experiments::e12_resilience;
+use std::hint::black_box;
+
+fn bench_e12(c: &mut Criterion) {
+    pphcr_bench::print_once(|| {
+        println!("\n=== E12: chaos resilience ===");
+        for row in e12_resilience(5, 4, 42) {
+            println!("{row}");
+        }
+        println!();
+    });
+
+    c.bench_function("e12_resilience_small", |b| {
+        b.iter(|| black_box(e12_resilience(2, 2, 42)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_e12
+}
+criterion_main!(benches);

@@ -43,7 +43,7 @@ fn bench_e6(c: &mut Criterion) {
         let mut t = t0;
         b.iter(|| {
             t = t.advance(TimeSpan::seconds(30));
-            engine.inject(UserId(1), clip, t, "bench");
+            engine.inject(UserId(1), clip, t, "bench").unwrap();
             black_box(engine.tick(UserId(1), t))
         });
     });

@@ -13,7 +13,8 @@ use std::hint::black_box;
 fn bench_e7(c: &mut Criterion) {
     pphcr_bench::print_once(|| {
         println!("\n=== E7: network cost, 1 listening hour, p=0.2 ===");
-        let (rows, crossovers) = e7_netcost(&[100, 1_000, 10_000, 100_000], 0.2, TimeSpan::hours(1));
+        let (rows, crossovers) =
+            e7_netcost(&[100, 1_000, 10_000, 100_000], 0.2, TimeSpan::hours(1));
         for row in rows {
             println!("{row}");
         }

@@ -1,4 +1,4 @@
-//! Prints every experiment table of `DESIGN.md` (E1–E10) without
+//! Prints every experiment table of `DESIGN.md` (E1–E12) without
 //! Criterion timing noise. `EXPERIMENTS.md` records this output.
 //!
 //! ```text
@@ -44,7 +44,8 @@ fn main() {
     println!("{}", exp::e6_injection(1));
 
     println!("\n=== E7: network cost — 1 listening hour, p=0.2 ===");
-    let (rows, crossovers) = exp::e7_netcost(&[100, 1_000, 10_000, 100_000], 0.2, TimeSpan::hours(1));
+    let (rows, crossovers) =
+        exp::e7_netcost(&[100, 1_000, 10_000, 100_000], 0.2, TimeSpan::hours(1));
     for row in rows {
         println!("{row}");
     }
@@ -76,6 +77,11 @@ fn main() {
     println!("\n=== E11: ensemble diversity sweep (MMR λ) ===");
     let world11 = exp::trip_world(30, 300, 5);
     for row in exp::e11_ensemble(&world11, &[1.0, 0.8, 0.6, 0.4, 0.2, 0.0], 6) {
+        println!("{row}");
+    }
+
+    println!("\n=== E12: chaos resilience — delivery under a hostile wire ===");
+    for row in exp::e12_resilience(5, 4, 42) {
         println!("{row}");
     }
 

@@ -12,36 +12,36 @@ pub const CATEGORY_COUNT: u16 = 30;
 
 /// Names of the categories, indexed by [`CategoryId`].
 pub const CATEGORY_NAMES: [&str; CATEGORY_COUNT as usize] = [
-    "art",            // 0 (named in the paper)
-    "culture",        // 1 (named in the paper)
-    "music",          // 2 (named in the paper)
-    "economics",      // 3 (named in the paper)
-    "politics",       // 4
-    "football",       // 5 (Greg's nemesis in §2.1.1)
-    "sports",         // 6
-    "food",           // 7 (Lilly's favourite in §2.1.2)
-    "wine",           // 8 ("Decanter" programme)
-    "technology",     // 9 (Greg's favourite)
-    "science",        // 10
-    "health",         // 11
-    "travel",         // 12
-    "local-news",     // 13
-    "national-news",  // 14
-    "world-news",     // 15
-    "weather",        // 16
-    "traffic",        // 17
-    "entertainment",  // 18
-    "comedy",         // 19 ("The rabbit's roar")
-    "cinema",         // 20
-    "theatre",        // 21
-    "literature",     // 22
-    "history",        // 23
-    "religion",       // 24
-    "environment",    // 25
-    "business",       // 26
-    "education",      // 27
-    "crime",          // 28
-    "lifestyle",      // 29
+    "art",           // 0 (named in the paper)
+    "culture",       // 1 (named in the paper)
+    "music",         // 2 (named in the paper)
+    "economics",     // 3 (named in the paper)
+    "politics",      // 4
+    "football",      // 5 (Greg's nemesis in §2.1.1)
+    "sports",        // 6
+    "food",          // 7 (Lilly's favourite in §2.1.2)
+    "wine",          // 8 ("Decanter" programme)
+    "technology",    // 9 (Greg's favourite)
+    "science",       // 10
+    "health",        // 11
+    "travel",        // 12
+    "local-news",    // 13
+    "national-news", // 14
+    "world-news",    // 15
+    "weather",       // 16
+    "traffic",       // 17
+    "entertainment", // 18
+    "comedy",        // 19 ("The rabbit's roar")
+    "cinema",        // 20
+    "theatre",       // 21
+    "literature",    // 22
+    "history",       // 23
+    "religion",      // 24
+    "environment",   // 25
+    "business",      // 26
+    "education",     // 27
+    "crime",         // 28
+    "lifestyle",     // 29
 ];
 
 /// Identifier of an editorial category (0–29).

@@ -81,10 +81,8 @@ impl Gazetteer {
                 *counts.entry(t.as_str()).or_insert(0) += 1;
             }
         }
-        let mut out: Vec<(&Place, usize)> = counts
-            .into_iter()
-            .map(|(name, n)| (&self.places[name], n))
-            .collect();
+        let mut out: Vec<(&Place, usize)> =
+            counts.into_iter().map(|(name, n)| (&self.places[name], n)).collect();
         out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.name.cmp(&b.0.name)));
         out
     }

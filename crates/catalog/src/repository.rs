@@ -6,8 +6,8 @@
 //! relevance to a point or a projected route. Geo-tagged clips are
 //! indexed in a uniform grid so route queries do not scan the archive.
 
-use crate::clipmeta::ClipMetadata;
 use crate::category::CategoryId;
+use crate::clipmeta::ClipMetadata;
 use pphcr_audio::ClipId;
 use pphcr_geo::grid::GridIndex;
 use pphcr_geo::{LocalProjection, Polyline, TimePoint, TimeSpan};
@@ -122,11 +122,7 @@ impl ContentRepository {
     /// Geo-tagged clips whose tag lies within `radius_m` of `point`
     /// (projected frame).
     #[must_use]
-    pub fn geo_near(
-        &self,
-        point: pphcr_geo::ProjectedPoint,
-        radius_m: f64,
-    ) -> Vec<&ClipMetadata> {
+    pub fn geo_near(&self, point: pphcr_geo::ProjectedPoint, radius_m: f64) -> Vec<&ClipMetadata> {
         self.geo_index
             .query_radius(point, radius_m)
             .into_iter()
@@ -140,11 +136,7 @@ impl ContentRepository {
     /// Fig. 2's item B (relevant to the location L_B the user will
     /// reach) is found.
     #[must_use]
-    pub fn geo_along_route(
-        &self,
-        route: &Polyline,
-        corridor_m: f64,
-    ) -> Vec<(&ClipMetadata, f64)> {
+    pub fn geo_along_route(&self, route: &Polyline, corridor_m: f64) -> Vec<(&ClipMetadata, f64)> {
         let mut out = Vec::new();
         if route.is_empty() {
             return out;
@@ -270,10 +262,8 @@ mod tests {
         let mut r = ContentRepository::new(LocalProjection::new(TORINO));
         // Route: 10 km due east of Torino.
         let proj = *r.projection();
-        let route = Polyline::new(vec![
-            ProjectedPoint::new(0.0, 0.0),
-            ProjectedPoint::new(10_000.0, 0.0),
-        ]);
+        let route =
+            Polyline::new(vec![ProjectedPoint::new(0.0, 0.0), ProjectedPoint::new(10_000.0, 0.0)]);
         // Tag at 7 km, 200 m off the road.
         let mut late = meta(20, 13, TimePoint::EPOCH, 3);
         late.geo = Some(GeoTag {
@@ -282,8 +272,10 @@ mod tests {
         });
         // Tag at 2 km, on the road.
         let mut early = meta(21, 13, TimePoint::EPOCH, 3);
-        early.geo =
-            Some(GeoTag { point: proj.unproject(ProjectedPoint::new(2_000.0, 0.0)), radius_m: 300.0 });
+        early.geo = Some(GeoTag {
+            point: proj.unproject(ProjectedPoint::new(2_000.0, 0.0)),
+            radius_m: 300.0,
+        });
         // Tag 5 km off the corridor.
         let mut off = meta(22, 13, TimePoint::EPOCH, 3);
         off.geo = Some(GeoTag {
@@ -304,10 +296,8 @@ mod tests {
     fn geo_along_route_respects_tag_radius() {
         let mut r = ContentRepository::new(LocalProjection::new(TORINO));
         let proj = *r.projection();
-        let route = Polyline::new(vec![
-            ProjectedPoint::new(0.0, 0.0),
-            ProjectedPoint::new(10_000.0, 0.0),
-        ]);
+        let route =
+            Polyline::new(vec![ProjectedPoint::new(0.0, 0.0), ProjectedPoint::new(10_000.0, 0.0)]);
         // A stadium-sized tag 2 km off the road still covers the route.
         let mut big = meta(30, 6, TimePoint::EPOCH, 3);
         big.geo = Some(GeoTag {

@@ -87,9 +87,7 @@ impl Schedule {
             return Err(ScheduleError::EmptyInterval);
         }
         let slots = self.by_service.entry(programme.service).or_default();
-        if let Some(existing) =
-            slots.iter().find(|p| p.interval.overlaps(programme.interval))
-        {
+        if let Some(existing) = slots.iter().find(|p| p.interval.overlaps(programme.interval)) {
             return Err(ScheduleError::Overlaps { existing: existing.id });
         }
         let idx = slots.partition_point(|p| p.interval.start < programme.interval.start);
@@ -185,9 +183,8 @@ mod tests {
     #[test]
     fn overlap_rejected() {
         let mut s = fig4_schedule();
-        let err = s
-            .add(prog(9, 0, TimePoint::at(0, 11, 0, 0), TimePoint::at(0, 11, 5, 0)))
-            .unwrap_err();
+        let err =
+            s.add(prog(9, 0, TimePoint::at(0, 11, 0, 0), TimePoint::at(0, 11, 5, 0))).unwrap_err();
         assert_eq!(err, ScheduleError::Overlaps { existing: ProgrammeId(2) });
         // Same time on another service is fine.
         s.add(prog(9, 1, TimePoint::at(0, 11, 0, 0), TimePoint::at(0, 11, 5, 0))).unwrap();
@@ -216,8 +213,7 @@ mod tests {
     fn programmes_in_window() {
         let s = fig4_schedule();
         let svc = ServiceIndex(0);
-        let window =
-            TimeInterval::new(TimePoint::at(0, 10, 54, 0), TimePoint::at(0, 11, 11, 0));
+        let window = TimeInterval::new(TimePoint::at(0, 10, 54, 0), TimePoint::at(0, 11, 11, 0));
         let progs = s.programmes_in(svc, window);
         let ids: Vec<u64> = progs.iter().map(|p| p.id.0).collect();
         assert_eq!(ids, vec![1, 2, 3]);
@@ -229,8 +225,7 @@ mod tests {
         s.add(prog(2, 0, TimePoint(200), TimePoint(300))).unwrap();
         s.add(prog(1, 0, TimePoint(0), TimePoint(100))).unwrap();
         s.add(prog(3, 0, TimePoint(100), TimePoint(200))).unwrap();
-        let ids: Vec<u64> =
-            s.service_programmes(ServiceIndex(0)).iter().map(|p| p.id.0).collect();
+        let ids: Vec<u64> = s.service_programmes(ServiceIndex(0)).iter().map(|p| p.id.0).collect();
         assert_eq!(ids, vec![1, 3, 2]);
         assert_eq!(s.len(), 3);
     }

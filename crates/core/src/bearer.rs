@@ -98,8 +98,7 @@ impl BearerSelector {
     /// available anywhere.
     #[must_use]
     pub fn new(coverage: CoverageMap) -> Self {
-        let current =
-            if coverage.is_empty() { BearerClass::Ip } else { BearerClass::Broadcast };
+        let current = if coverage.is_empty() { BearerClass::Ip } else { BearerClass::Broadcast };
         BearerSelector { coverage, hysteresis_m: 150.0, current, switches: 0 }
     }
 

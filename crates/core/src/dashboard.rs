@@ -50,6 +50,29 @@ pub struct DecisionView {
     pub fill_ratio: f64,
 }
 
+/// The delivery-health panel: the listener's position on the
+/// graceful-degradation ladder plus resilience counters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HealthView {
+    /// The listener.
+    pub user: UserId,
+    /// Ladder rung, as rendered ("healthy" / "degraded" /
+    /// "broadcast-only").
+    pub state: String,
+    /// When the rung was last entered.
+    pub since: TimePoint,
+    /// Unicast fetch failures or timeouts.
+    pub fetch_failures: u64,
+    /// Last-acknowledged schedule replays.
+    pub replays: u64,
+    /// Stale mobility-model reuses.
+    pub stale_model_reuses: u64,
+    /// Duplicate deliveries filtered.
+    pub dup_deliveries: u64,
+    /// Ladder transitions.
+    pub transitions: u64,
+}
+
 /// The dashboard facade.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Dashboard;
@@ -70,11 +93,8 @@ impl Dashboard {
             .iter()
             .map(|s| (s.center, s.visit_count, s.total_dwell.as_seconds()))
             .collect();
-        let mut routes: Vec<(u32, u32, usize)> = model
-            .profiles
-            .values()
-            .map(|p| (p.origin, p.destination, p.trip_count))
-            .collect();
+        let mut routes: Vec<(u32, u32, usize)> =
+            model.profiles.values().map(|p| (p.origin, p.destination, p.trip_count)).collect();
         routes.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
         TrajectoryView { user, recent, stay_points, routes }
     }
@@ -104,15 +124,26 @@ impl Dashboard {
             .map(|d| DecisionView {
                 at: d.at,
                 confidence: d.confidence,
-                items: d
-                    .schedule
-                    .items
-                    .iter()
-                    .map(|i| (i.clip.0, i.start_s, i.score))
-                    .collect(),
+                items: d.schedule.items.iter().map(|i| (i.clip.0, i.start_s, i.score)).collect(),
                 fill_ratio: d.schedule.fill_ratio(),
             })
             .collect()
+    }
+
+    /// Builds the delivery-health panel for a listener (`None` for
+    /// unregistered users).
+    #[must_use]
+    pub fn health(engine: &Engine, user: UserId) -> Option<HealthView> {
+        engine.user_health(user).map(|h| HealthView {
+            user,
+            state: h.state().to_string(),
+            since: h.since,
+            fetch_failures: h.fetch_failures,
+            replays: h.replays,
+            stale_model_reuses: h.stale_model_reuses,
+            dup_deliveries: h.dup_deliveries,
+            transitions: h.transitions,
+        })
     }
 
     /// Renders a compact text summary of every panel (what the demo
@@ -125,7 +156,12 @@ impl Dashboard {
         let prefs = Dashboard::preferences(engine, user, now);
         let decisions = Dashboard::decisions(engine, user, 5);
         let _ = writeln!(out, "== dashboard: {user} at {now} ==");
-        let _ = writeln!(out, "-- trajectory: {} stay points, {} routes", traj.stay_points.len(), traj.routes.len());
+        let _ = writeln!(
+            out,
+            "-- trajectory: {} stay points, {} routes",
+            traj.stay_points.len(),
+            traj.routes.len()
+        );
         for (i, (p, visits, dwell)) in traj.stay_points.iter().enumerate() {
             let _ = writeln!(out, "   stay {i}: {p} visits={visits} dwell={dwell}s");
         }
@@ -149,6 +185,24 @@ impl Dashboard {
         }
         let pending = engine.injections.pending(user);
         let _ = writeln!(out, "-- pending injections: {}", pending.len());
+        if let Some(h) = Dashboard::health(engine, user) {
+            let _ = writeln!(
+                out,
+                "-- health: {} (fetch failures={} replays={} stale models={} dup deliveries={})",
+                h.state, h.fetch_failures, h.replays, h.stale_model_reuses, h.dup_deliveries
+            );
+        }
+        let wire = engine.bus.wire_stats();
+        let _ = writeln!(
+            out,
+            "-- wire: dropped={} duplicated={} reordered={} delayed={} | dead letters={} retries={}",
+            wire.dropped,
+            wire.duplicated,
+            wire.reordered,
+            wire.delayed,
+            engine.bus.dead_letters().len(),
+            engine.delivery.retries(),
+        );
         out
     }
 }
@@ -224,11 +278,20 @@ mod tests {
             &[],
             Some(CategoryId::new(2)),
         );
-        e.inject(UserId(1), clip, t, "note");
+        e.inject(UserId(1), clip, t, "note").unwrap();
         let text = Dashboard::render_text(&mut e, UserId(1), t);
         assert!(text.contains("trajectory"));
         assert!(text.contains("preferences"));
         assert!(text.contains("decisions"));
         assert!(text.contains("pending injections: 1"));
+        assert!(text.contains("-- health: healthy"));
+        assert!(text.contains("-- wire: dropped=0"));
+    }
+
+    #[test]
+    fn health_panel_for_unregistered_user_is_none() {
+        let e = engine_with_user();
+        assert!(Dashboard::health(&e, UserId(99)).is_none());
+        assert!(Dashboard::health(&e, UserId(1)).is_some());
     }
 }

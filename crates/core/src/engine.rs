@@ -7,9 +7,14 @@
 //! clips are queued on the listener's player (editorial injections
 //! first). All state is in-process and deterministic.
 
-use crate::bus::{Bus, BusMessage, Topic};
+use crate::bearer::{BearerClass, BearerSelector, CoverageMap};
+use crate::bus::{Bus, BusMessage, PublishError, Topic};
+use crate::fault::ChaosRng;
+use crate::health::{HealthState, UserHealth};
 use crate::injection::InjectionQueue;
+use crate::netcost::UnicastLink;
 use crate::player::{Player, PlayerEvent, QueuedClip};
+use crate::retry::{BackoffPolicy, DeliveryTracker};
 use pphcr_audio::{AudioClip, Bitrate, ClipId, ClipStore};
 use pphcr_catalog::{
     CategoryId, ClipKind, ClipMetadata, ContentRepository, Gazetteer, GeoTag, Schedule, Service,
@@ -24,7 +29,7 @@ use pphcr_recommender::{
 };
 use pphcr_trajectory::{GpsFix, TripPredictor};
 use pphcr_userdata::{
-    FeedbackEvent, FeedbackKind, ProfileStore, FeedbackStore, SessionEnd, SessionStore,
+    FeedbackEvent, FeedbackKind, FeedbackStore, ProfileStore, SessionEnd, SessionStore,
     TrackingStore, UserId, UserProfile,
 };
 use std::collections::{HashMap, HashSet};
@@ -43,6 +48,13 @@ pub struct EngineConfig {
     /// Max distance from the route at which a junction creates a
     /// distraction zone, meters.
     pub junction_snap_m: f64,
+    /// Retry schedule for acknowledged Recommendation deliveries.
+    pub backoff: BackoffPolicy,
+    /// Seed of the engine-side chaos generator (backoff jitter).
+    pub chaos_seed: u64,
+    /// A fix older than this at prediction time counts as a stale
+    /// mobility input (lossy Tracking topic).
+    pub stale_fix_after: TimeSpan,
 }
 
 impl Default for EngineConfig {
@@ -53,7 +65,39 @@ impl Default for EngineConfig {
             predictor: TripPredictor::default(),
             classifier_alpha: 1.0,
             junction_snap_m: 60.0,
+            backoff: BackoffPolicy::default(),
+            chaos_seed: 0x5EED,
+            stale_fix_after: TimeSpan::minutes(2),
         }
+    }
+}
+
+/// Typed errors from engine entry points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The listener has never been registered.
+    UnknownUser(UserId),
+    /// The clip is not in the content repository.
+    UnknownClip(ClipId),
+    /// The bus refused the message (bounded queue full).
+    BusRejected(PublishError),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::UnknownUser(u) => write!(f, "unknown user {u}"),
+            EngineError::UnknownClip(c) => write!(f, "unknown clip {c:?}"),
+            EngineError::BusRejected(e) => write!(f, "bus rejected message: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<PublishError> for EngineError {
+    fn from(e: PublishError) -> Self {
+        EngineError::BusRejected(e)
     }
 }
 
@@ -144,6 +188,11 @@ pub struct Engine {
     pub injections: InjectionQueue,
     /// The message bus.
     pub bus: Bus,
+    /// Ack/retry ledger and duplicate filter for deliveries.
+    pub delivery: DeliveryTracker,
+    /// The unicast clip-fetch link (perfect by default; swap in a
+    /// flaky one for chaos runs).
+    pub unicast: UnicastLink,
     config: EngineConfig,
     vocab: Vocabulary,
     classifier: NaiveBayes,
@@ -156,6 +205,11 @@ pub struct Engine {
     heard: HashMap<UserId, HashSet<ClipId>>,
     decisions: Vec<DecisionRecord>,
     next_clip_id: u64,
+    chaos_rng: ChaosRng,
+    health: HashMap<UserId, UserHealth>,
+    last_acked: HashMap<UserId, SlotSchedule>,
+    coverage: Option<CoverageMap>,
+    bearers: HashMap<UserId, BearerSelector>,
 }
 
 impl Engine {
@@ -185,8 +239,59 @@ impl Engine {
             heard: HashMap::new(),
             decisions: Vec::new(),
             next_clip_id: 0,
+            delivery: DeliveryTracker::new(),
+            unicast: UnicastLink::perfect(),
+            chaos_rng: ChaosRng::new(config.chaos_seed),
+            health: HashMap::new(),
+            last_acked: HashMap::new(),
+            coverage: None,
+            bearers: HashMap::new(),
             config,
         }
+    }
+
+    /// Attaches the broadcast coverage map; every listener then gets a
+    /// hysteretic bearer selector fed by their arriving fixes.
+    pub fn set_coverage(&mut self, coverage: CoverageMap) {
+        self.coverage = Some(coverage);
+    }
+
+    /// The listener's current bearer class, when coverage is attached.
+    /// [`HealthState::BroadcastOnly`] forces the broadcast bearer
+    /// regardless of position.
+    #[must_use]
+    pub fn bearer_for(&self, user: UserId) -> Option<BearerClass> {
+        if self.health_of(user) == Some(HealthState::BroadcastOnly) {
+            return Some(BearerClass::Broadcast);
+        }
+        self.bearers.get(&user).map(BearerSelector::current)
+    }
+
+    /// The listener's position on the degradation ladder (`None` for
+    /// unregistered users).
+    #[must_use]
+    pub fn health_of(&self, user: UserId) -> Option<HealthState> {
+        self.health.get(&user).map(UserHealth::state)
+    }
+
+    /// Full per-listener health record.
+    #[must_use]
+    pub fn user_health(&self, user: UserId) -> Option<&UserHealth> {
+        self.health.get(&user)
+    }
+
+    /// Listeners per ladder rung: (healthy, degraded, broadcast-only).
+    #[must_use]
+    pub fn health_counts(&self) -> (u64, u64, u64) {
+        let mut counts = (0, 0, 0);
+        for h in self.health.values() {
+            match h.state() {
+                HealthState::Healthy => counts.0 += 1,
+                HealthState::Degraded => counts.1 += 1,
+                HealthState::BroadcastOnly => counts.2 += 1,
+            }
+        }
+        counts
     }
 
     /// Attaches the road network used for distraction zones.
@@ -214,19 +319,34 @@ impl Engine {
         self.profiles.upsert(profile);
         self.players.insert(user, Player::new(user, service, now));
         self.proactivity.insert(user, ProactivityModel::default());
+        self.health.insert(user, UserHealth::new(now));
+        if let Some(coverage) = &self.coverage {
+            self.bearers.insert(user, BearerSelector::new(coverage.clone()));
+        }
         self.sessions.start(user, service, now);
         self.bus.publish(Topic::Tracking, BusMessage::Tuned { user, service }, now);
     }
 
     /// Channel surf: tune the listener to another service, closing the
     /// current listening session as surfed and opening a new one.
-    pub fn change_service(&mut self, user: UserId, service: pphcr_catalog::ServiceIndex, now: TimePoint) {
-        if let Some(player) = self.players.get_mut(&user) {
-            player.change_service(service);
-            self.sessions.close(user, now, SessionEnd::Surfed { to: service });
-            self.sessions.start(user, service, now);
-            self.bus.publish(Topic::Tracking, BusMessage::Tuned { user, service }, now);
-        }
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownUser`] when the listener was never
+    /// registered.
+    pub fn change_service(
+        &mut self,
+        user: UserId,
+        service: pphcr_catalog::ServiceIndex,
+        now: TimePoint,
+    ) -> Result<(), EngineError> {
+        let Some(player) = self.players.get_mut(&user) else {
+            return Err(EngineError::UnknownUser(user));
+        };
+        player.change_service(service);
+        self.sessions.close(user, now, SessionEnd::Surfed { to: service });
+        self.sessions.start(user, service, now);
+        self.bus.publish(Topic::Tracking, BusMessage::Tuned { user, service }, now);
+        Ok(())
     }
 
     /// Mutable access to a listener's player.
@@ -271,9 +391,7 @@ impl Engine {
         self.next_clip_id += 1;
         // Estimate geographic relevance from the transcript when the
         // editor supplied no tag.
-        let geo = geo.or_else(|| {
-            self.gazetteer.as_ref().and_then(|g| g.tag(transcript_tokens))
-        });
+        let geo = geo.or_else(|| self.gazetteer.as_ref().and_then(|g| g.tag(transcript_tokens)));
         let token_ids: Vec<u32> =
             transcript_tokens.iter().filter_map(|t| self.vocab.get(t)).collect();
         let (category, confidence) = match editorial_category {
@@ -300,12 +418,39 @@ impl Engine {
     }
 
     /// Records a GPS fix from a listener's device.
+    ///
+    /// The fix travels the bus's Tracking topic: on a faulty transport
+    /// it may be lost, delayed or reordered before it reaches the
+    /// tracking store. Telemetry from unregistered devices is accepted
+    /// (users may stream fixes before completing registration).
     pub fn record_fix(&mut self, user: UserId, fix: GpsFix) {
         self.bus.publish(Topic::Tracking, BusMessage::Fix { user, fix }, fix.time);
+        self.pump_tracking();
+    }
+
+    /// Drains the Tracking topic and applies every fix that actually
+    /// arrived.
+    fn pump_tracking(&mut self) {
+        for envelope in self.bus.drain(Topic::Tracking) {
+            if let BusMessage::Fix { user, fix } = envelope.message {
+                self.apply_fix(user, fix);
+            }
+            // Tuned announcements need no engine-side handling.
+        }
+    }
+
+    /// Applies one arrived fix: tracking store, bearer selector, trip
+    /// tracker.
+    fn apply_fix(&mut self, user: UserId, fix: GpsFix) {
         self.tracking.record(user, fix);
-        // Update the trip tracker.
         let proj = *self.tracking.projection();
         let pos = proj.project(fix.point);
+        if fix.validate().is_ok() {
+            if let Some(selector) = self.bearers.get_mut(&user) {
+                selector.observe(pos);
+            }
+        }
+        // Update the trip tracker.
         let tracker = self.trips.entry(user).or_default();
         if fix.speed_mps > 2.5 {
             if tracker.driving_since.is_none() {
@@ -324,16 +469,50 @@ impl Engine {
         }
     }
 
-    /// Records a feedback event (from a player or synthetic).
+    /// Records a feedback event (from a player or synthetic). Like
+    /// fixes, feedback rides the bus and is only learned from once it
+    /// arrives.
     pub fn record_feedback(&mut self, event: FeedbackEvent) {
         self.bus.publish(Topic::Feedback, BusMessage::Feedback(event), event.time);
-        self.feedback.record(event);
+        self.pump_feedback();
+    }
+
+    /// Drains the Feedback topic into the feedback store.
+    fn pump_feedback(&mut self) {
+        for envelope in self.bus.drain(Topic::Feedback) {
+            if let BusMessage::Feedback(event) = envelope.message {
+                self.feedback.record(event);
+            }
+        }
     }
 
     /// Editor-side injection (the Fig. 6 dashboard action).
-    pub fn inject(&mut self, user: UserId, clip: ClipId, now: TimePoint, note: impl Into<String>) {
-        self.bus.publish(Topic::Editorial, BusMessage::Inject { user, clip, at: now }, now);
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownUser`] / [`EngineError::UnknownClip`] for
+    /// a bad target, [`EngineError::BusRejected`] when the bounded
+    /// Editorial queue refuses the submission (the editor must see the
+    /// failure, not lose the push silently).
+    pub fn inject(
+        &mut self,
+        user: UserId,
+        clip: ClipId,
+        now: TimePoint,
+        note: impl Into<String>,
+    ) -> Result<(), EngineError> {
+        if !self.players.contains_key(&user) {
+            return Err(EngineError::UnknownUser(user));
+        }
+        if self.repo.get(clip).is_none() {
+            return Err(EngineError::UnknownClip(clip));
+        }
+        self.bus.publish_checked(
+            Topic::Editorial,
+            BusMessage::Inject { user, clip, at: now },
+            now,
+        )?;
         self.injections.submit(user, clip, now, note);
+        Ok(())
     }
 
     /// Clips this listener has already had queued (never re-recommend).
@@ -421,9 +600,7 @@ impl Engine {
             None => {
                 let start_pos = path.first().copied();
                 let model = self.tracking.mobility_model(user);
-                start_pos
-                    .and_then(|p| model.stay_near(p, &proj, 400.0))
-                    .map(|s| s.id)
+                start_pos.and_then(|p| model.stay_near(p, &proj, 400.0)).map(|s| s.id)
             }
         };
         if let Some(origin) = origin_stay {
@@ -442,38 +619,40 @@ impl Engine {
     }
 
     /// One engine step for a listener: advance their player, learn from
-    /// its events, deliver injections, and run the proactive loop.
+    /// its events, send editorial injections and proactive schedules as
+    /// acknowledged deliveries over the bus, and sweep the retry
+    /// ledger. Total for unregistered users (returns no events).
     pub fn tick(&mut self, user: UserId, now: TimePoint) -> Vec<EngineEvent> {
         let mut out = Vec::new();
+        self.bus.advance_clock(now);
+        // 0. Collect telemetry that was still on the wire.
+        self.pump_tracking();
+        self.pump_feedback();
         // 1. Advance the player.
         if let Some(player) = self.players.get_mut(&user) {
             let events = player.tick(now, &self.epg);
             self.apply_player_events(user, &events);
         }
-        // 2. Deliver pending editorial injections (front of queue).
+        // 2. Send pending editorial injections as tracked deliveries.
         let pending = self.injections.take(user);
         for inj in pending {
             if let Some(meta) = self.repo.get(inj.clip) {
-                let queued = QueuedClip {
-                    clip: meta.id,
-                    duration: meta.duration,
-                    category: meta.category,
-                };
-                if let Some(player) = self.players.get_mut(&user) {
-                    player.enqueue_front(queued);
+                if self.players.contains_key(&user) {
+                    // Sender-side heard bookkeeping: never re-recommend a
+                    // clip an editor already pushed, delivered or not.
                     self.heard.entry(user).or_default().insert(meta.id);
-                    // Editorial → Recommendation is one forward hop.
-                    self.bus.publish(
-                        Topic::Recommendation,
+                    self.send_tracked(
+                        user,
                         BusMessage::Inject { user, clip: meta.id, at: inj.submitted_at },
                         now,
                     );
-                    out.push(EngineEvent::InjectionDelivered { user, clip: meta.id, hops: 2 });
                 }
             }
         }
+        self.pump_recommendations(now, &mut out);
         // 3. Proactive loop.
         let ctx = self.context_for(user, now);
+        self.note_stale_model(user, &ctx, now);
         if let Some(drive) = ctx.drive.as_ref() {
             out.push(EngineEvent::TripPredicted {
                 user,
@@ -496,6 +675,143 @@ impl Engine {
             if let Some(drive) = ctx.drive.as_ref() {
                 let schedule = self.recommender.scheduler.pack(&ranked, drive, now);
                 if !schedule.items.is_empty() {
+                    if self.players.contains_key(&user) {
+                        let hs = self.heard.entry(user).or_default();
+                        for item in &schedule.items {
+                            hs.insert(item.clip);
+                        }
+                        self.send_tracked(
+                            user,
+                            BusMessage::Delivery { user, schedule: schedule.clone() },
+                            now,
+                        );
+                    }
+                    self.decisions.push(DecisionRecord {
+                        user,
+                        at: now,
+                        trigger,
+                        schedule,
+                        confidence: ctx.drive.as_ref().map_or(0.0, |d| d.prediction.confidence),
+                    });
+                }
+            }
+        }
+        self.pump_recommendations(now, &mut out);
+        // 4. Retry sweep: re-send unacknowledged deliveries whose
+        // backoff timer fired; dead-letter the ones out of budget.
+        self.sweep_retries(now);
+        out
+    }
+
+    /// Publishes a message on the Recommendation topic and registers it
+    /// in the ack/retry ledger.
+    fn send_tracked(&mut self, user: UserId, message: BusMessage, now: TimePoint) {
+        if let Ok(envelope) = self.bus.publish_checked(Topic::Recommendation, message, now) {
+            self.delivery.register(user, envelope, now, &self.config.backoff, &mut self.chaos_rng);
+        }
+    }
+
+    /// Counts a prediction made from stale tracking input (the latest
+    /// stored fix is older than the configured threshold — fixes were
+    /// lost or delayed on the wire, and the mobility model is reused
+    /// as-is).
+    fn note_stale_model(&mut self, user: UserId, ctx: &ListenerContext, now: TimePoint) {
+        if ctx.drive.is_none() {
+            return;
+        }
+        let stale = self
+            .tracking
+            .recent_fixes(user, 1)
+            .last()
+            .is_some_and(|f| now.since(f.time) > self.config.stale_fix_after);
+        if stale {
+            if let Some(h) = self.health.get_mut(&user) {
+                h.stale_model_reuses += 1;
+            }
+        }
+    }
+
+    /// Records a delivery failure for the listener and applies the
+    /// ladder's side effects: stepping onto BroadcastOnly abandons
+    /// personalization and pins the player to the live stream.
+    fn note_failure(&mut self, user: UserId, now: TimePoint) {
+        let health = self.health.entry(user).or_insert_with(|| UserHealth::new(now));
+        let before = health.state();
+        health.record_failure(now);
+        if health.state() == HealthState::BroadcastOnly && before != HealthState::BroadcastOnly {
+            if let Some(player) = self.players.get_mut(&user) {
+                player.fallback_live();
+            }
+        }
+    }
+
+    /// Drains arrived Recommendation deliveries and applies them to the
+    /// target players: duplicate-filtered by sequence number, guarded
+    /// by the unicast clip fetch, acknowledged on success, and mapped
+    /// onto the degradation ladder on failure.
+    fn pump_recommendations(&mut self, now: TimePoint, out: &mut Vec<EngineEvent>) {
+        for envelope in self.bus.drain(Topic::Recommendation) {
+            let target = match &envelope.message {
+                BusMessage::Inject { user, .. } | BusMessage::Delivery { user, .. } => *user,
+                _ => continue,
+            };
+            if self.delivery.seen(envelope.seq) {
+                self.delivery.note_duplicate();
+                if let Some(h) = self.health.get_mut(&target) {
+                    h.dup_deliveries += 1;
+                }
+                continue;
+            }
+            if !self.players.contains_key(&target) {
+                // No device to deliver to; acknowledge so the ledger
+                // does not retry into the void.
+                self.delivery.mark_delivered(envelope.seq);
+                continue;
+            }
+            // The personalized audio itself travels over unicast; a
+            // failed or timed-out fetch means the delivery did not
+            // complete and will be retried.
+            let fetched = self.unicast.fetch().is_ok();
+            if !fetched {
+                if let Some(h) = self.health.get_mut(&target) {
+                    h.fetch_failures += 1;
+                }
+                self.note_failure(target, now);
+                self.replay_last_acked(target, out);
+                continue;
+            }
+            let was_broadcast_only = self.health_of(target) == Some(HealthState::BroadcastOnly);
+            if let Some(h) = self.health.get_mut(&target) {
+                h.record_success(now);
+            }
+            self.delivery.mark_delivered(envelope.seq);
+            if was_broadcast_only {
+                // The fetch doubled as a recovery probe; the listener
+                // stays pinned to live until the ok-streak climbs the
+                // ladder, so the content is not queued.
+                continue;
+            }
+            match envelope.message {
+                BusMessage::Inject { user, clip, .. } => {
+                    if let Some(meta) = self.repo.get(clip) {
+                        let queued = QueuedClip {
+                            clip: meta.id,
+                            duration: meta.duration,
+                            category: meta.category,
+                        };
+                        if let Some(player) = self.players.get_mut(&user) {
+                            player.enqueue_front(queued);
+                            self.heard.entry(user).or_default().insert(clip);
+                            // Editorial → Recommendation is one forward hop.
+                            out.push(EngineEvent::InjectionDelivered {
+                                user,
+                                clip,
+                                hops: envelope.hops + 1,
+                            });
+                        }
+                    }
+                }
+                BusMessage::Delivery { user, schedule } => {
                     let queued: Vec<QueuedClip> = schedule
                         .items
                         .iter()
@@ -514,23 +830,64 @@ impl Engine {
                         }
                         player.enqueue(queued);
                     }
-                    self.bus.publish(
-                        Topic::Recommendation,
-                        BusMessage::Delivery { user, schedule: schedule.clone() },
-                        now,
-                    );
-                    self.decisions.push(DecisionRecord {
-                        user,
-                        at: now,
-                        trigger,
-                        schedule: schedule.clone(),
-                        confidence: ctx.drive.as_ref().map_or(0.0, |d| d.prediction.confidence),
-                    });
+                    self.last_acked.insert(user, schedule.clone());
                     out.push(EngineEvent::Recommended { user, schedule });
                 }
+                _ => {}
             }
         }
-        out
+    }
+
+    /// Degraded rung: replay the last acknowledged schedule from the
+    /// device's local cache when a fresh delivery could not be fetched
+    /// and the queue has run dry.
+    fn replay_last_acked(&mut self, user: UserId, out: &mut Vec<EngineEvent>) {
+        if self.health_of(user) != Some(HealthState::Degraded) {
+            return;
+        }
+        let Some(schedule) = self.last_acked.get(&user).cloned() else { return };
+        let Some(player) = self.players.get_mut(&user) else { return };
+        if player.queue_len() > 0 {
+            return;
+        }
+        let queued: Vec<QueuedClip> = schedule
+            .items
+            .iter()
+            .filter_map(|item| {
+                self.repo.get(item.clip).map(|meta| QueuedClip {
+                    clip: meta.id,
+                    duration: meta.duration,
+                    category: meta.category,
+                })
+            })
+            .collect();
+        if queued.is_empty() {
+            return;
+        }
+        if let Some(player) = self.players.get_mut(&user) {
+            player.enqueue(queued);
+        }
+        if let Some(h) = self.health.get_mut(&user) {
+            h.replays += 1;
+        }
+        out.push(EngineEvent::Recommended { user, schedule });
+    }
+
+    /// Re-sends unacknowledged deliveries whose backoff timer fired and
+    /// dead-letters those that exhausted the retry budget. Every retry
+    /// and every abandonment counts as a failure on the listener's
+    /// ladder.
+    fn sweep_retries(&mut self, now: TimePoint) {
+        let (to_retry, to_dead_letter) =
+            self.delivery.due_retries(now, &self.config.backoff, &mut self.chaos_rng);
+        for d in to_retry {
+            self.note_failure(d.user, now);
+            self.bus.resend(Topic::Recommendation, d.envelope, now);
+        }
+        for d in to_dead_letter {
+            self.note_failure(d.user, now);
+            self.bus.dead_letter_exhausted(Topic::Recommendation, d.envelope, now);
+        }
     }
 
     /// Manual skip (the Greg scenario, §2.1.1): negative feedback, then
@@ -677,7 +1034,7 @@ mod tests {
             &[],
             Some(CategoryId::new(2)),
         );
-        e.inject(UserId(1), clip, t, "try this");
+        e.inject(UserId(1), clip, t, "try this").unwrap();
         let events = e.tick(UserId(1), t.advance(TimeSpan::seconds(30)));
         assert!(events
             .iter()
@@ -750,7 +1107,7 @@ mod tests {
         let mut e = engine();
         let t0 = TimePoint::at(0, 9, 0, 0);
         e.register_user(profile(1), t0);
-        e.change_service(UserId(1), ServiceIndex(4), t0.advance(TimeSpan::minutes(7)));
+        e.change_service(UserId(1), ServiceIndex(4), t0.advance(TimeSpan::minutes(7))).unwrap();
         let history = e.sessions.history(UserId(1));
         assert_eq!(history.len(), 1);
         assert_eq!(history[0].end, SessionEnd::Surfed { to: ServiceIndex(4) });
@@ -795,10 +1152,8 @@ mod tests {
     #[test]
     fn zones_require_network() {
         let e = engine();
-        let route = Polyline::new(vec![
-            ProjectedPoint::new(0.0, 0.0),
-            ProjectedPoint::new(5_000.0, 0.0),
-        ]);
+        let route =
+            Polyline::new(vec![ProjectedPoint::new(0.0, 0.0), ProjectedPoint::new(5_000.0, 0.0)]);
         assert!(e.zones_for(&route).is_empty());
     }
 
@@ -812,10 +1167,8 @@ mod tests {
         net.add_two_way(a, b, 14.0);
         net.add_two_way(b, c, 14.0);
         e.set_road_network(net);
-        let route = Polyline::new(vec![
-            ProjectedPoint::new(0.0, 0.0),
-            ProjectedPoint::new(5_000.0, 0.0),
-        ]);
+        let route =
+            Polyline::new(vec![ProjectedPoint::new(0.0, 0.0), ProjectedPoint::new(5_000.0, 0.0)]);
         let zones = e.zones_for(&route);
         assert_eq!(zones.len(), 1, "only the roundabout is near the route: {zones:?}");
         assert!((zones[0].start_m - (2_000.0 - 60.0)).abs() < 15.0);
@@ -844,7 +1197,10 @@ mod tests {
         for day in 0..7u64 {
             let d0 = TimePoint::at(day, 0, 0, 0);
             for i in 0..90u64 {
-                e.record_fix(UserId(1), GpsFix::new(home, d0.advance(TimeSpan::minutes(i * 5)), 0.1));
+                e.record_fix(
+                    UserId(1),
+                    GpsFix::new(home, d0.advance(TimeSpan::minutes(i * 5)), 0.1),
+                );
             }
             for i in 0..40u64 {
                 let frac = i as f64 / 39.0;
@@ -899,10 +1255,7 @@ mod tests {
         for i in 0..12u64 {
             let now = d8.advance(TimeSpan::seconds(i * 30));
             let frac = i as f64 / 39.0;
-            e.record_fix(
-                UserId(1),
-                GpsFix::new(home.destination(80.0, frac * 9_000.0), now, 7.5),
-            );
+            e.record_fix(UserId(1), GpsFix::new(home.destination(80.0, frac * 9_000.0), now, 7.5));
             let events = e.tick(UserId(1), now);
             if events.iter().any(|ev| matches!(ev, EngineEvent::Recommended { .. })) {
                 recommended = true;
@@ -910,10 +1263,13 @@ mod tests {
             }
         }
         assert!(recommended, "the proactive loop must fire during the commute");
-        assert!(e.player(UserId(1)).unwrap().queue_len() > 0 || matches!(
-            e.player(UserId(1)).unwrap().mode(),
-            crate::player::PlaybackMode::Clip { .. }
-        ));
+        assert!(
+            e.player(UserId(1)).unwrap().queue_len() > 0
+                || matches!(
+                    e.player(UserId(1)).unwrap().mode(),
+                    crate::player::PlaybackMode::Clip { .. }
+                )
+        );
         assert_eq!(e.decisions().len(), 1);
     }
 }

@@ -1,0 +1,447 @@
+//! Minimal hand-rolled JSON support for snapshot export.
+//!
+//! The build environment is fully offline, so `serde_json` is not
+//! available; this module provides the tiny subset the platform needs:
+//! a recursive-descent parser into a [`JsonValue`] tree and a pretty
+//! writer matching serde_json's `to_string_pretty` layout (two-space
+//! indent, `"key": value`).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object; key order is not preserved.
+    Obj(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// Returns the value at `key` if this is an object containing it.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// Returns the number if this is a numeric value.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Returns the number as `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// Returns the string if this is a string value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the elements if this is an array.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Error produced when parsing malformed JSON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// Byte offset in the input where parsing failed.
+    pub offset: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses a JSON document.
+///
+/// # Errors
+/// Returns a [`JsonError`] describing the first malformed construct.
+pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError { message: message.to_string(), offset: self.pos }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{text}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii slice");
+        text.parse::<f64>().map(JsonValue::Num).map_err(|_| self.err("malformed number"))
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            if self.pos + 4 > self.bytes.len() {
+                                return Err(self.err("bad unicode escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .map_err(|_| self.err("bad unicode escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad unicode escape"))?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 code point.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let ch = rest.chars().next().expect("non-empty");
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(map));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Incremental pretty-printer producing serde_json-style output
+/// (two-space indent, `"key": value`).
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    depth: usize,
+    need_comma: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// Creates an empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn pad(&mut self) {
+        for _ in 0..self.depth {
+            self.out.push_str("  ");
+        }
+    }
+
+    fn before_item(&mut self) {
+        if let Some(need) = self.need_comma.last_mut() {
+            if *need {
+                self.out.push(',');
+            }
+            *need = true;
+            self.out.push('\n');
+            self.pad();
+        }
+    }
+
+    /// Opens the top-level (or a nested) object.
+    pub fn begin_object(&mut self) -> &mut Self {
+        self.before_item();
+        self.out.push('{');
+        self.depth += 1;
+        self.need_comma.push(false);
+        self
+    }
+
+    /// Opens a named nested object.
+    pub fn begin_named_object(&mut self, key: &str) -> &mut Self {
+        self.before_item();
+        self.out.push_str(&format!("\"{key}\": {{"));
+        self.depth += 1;
+        self.need_comma.push(false);
+        self
+    }
+
+    /// Closes the current object.
+    pub fn end_object(&mut self) -> &mut Self {
+        let had_items = self.need_comma.pop().unwrap_or(false);
+        self.depth -= 1;
+        if had_items {
+            self.out.push('\n');
+            self.pad();
+        }
+        self.out.push('}');
+        self
+    }
+
+    /// Opens a named array.
+    pub fn begin_named_array(&mut self, key: &str) -> &mut Self {
+        self.before_item();
+        self.out.push_str(&format!("\"{key}\": ["));
+        self.depth += 1;
+        self.need_comma.push(false);
+        self
+    }
+
+    /// Closes the current array.
+    pub fn end_array(&mut self) -> &mut Self {
+        let had_items = self.need_comma.pop().unwrap_or(false);
+        self.depth -= 1;
+        if had_items {
+            self.out.push('\n');
+            self.pad();
+        }
+        self.out.push(']');
+        self
+    }
+
+    /// Writes a `"key": <unsigned>` field.
+    pub fn field_u64(&mut self, key: &str, value: u64) -> &mut Self {
+        self.before_item();
+        self.out.push_str(&format!("\"{key}\": {value}"));
+        self
+    }
+
+    /// Writes a `"key": <float>` field.
+    pub fn field_f64(&mut self, key: &str, value: f64) -> &mut Self {
+        self.before_item();
+        self.out.push_str(&format!("\"{key}\": {value}"));
+        self
+    }
+
+    /// Writes a `"key": "value"` field with escaping.
+    pub fn field_str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.before_item();
+        self.out.push_str(&format!("\"{key}\": {}", escape(value)));
+        self
+    }
+
+    /// Writes a bare unsigned array element.
+    pub fn item_u64(&mut self, value: u64) -> &mut Self {
+        self.before_item();
+        self.out.push_str(&value.to_string());
+        self
+    }
+
+    /// Writes a bare string array element.
+    pub fn item_str(&mut self, value: &str) -> &mut Self {
+        self.before_item();
+        self.out.push_str(&escape(value));
+        self
+    }
+
+    /// Finishes and returns the document.
+    #[must_use]
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_matches_pretty_layout() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_u64("clips", 3);
+        w.begin_named_array("pair");
+        w.item_u64(1).item_u64(2);
+        w.end_array();
+        w.end_object();
+        let json = w.finish();
+        assert!(json.contains("\"clips\": 3"), "{json}");
+        let v = parse(&json).unwrap();
+        assert_eq!(v.get("clips").and_then(JsonValue::as_u64), Some(3));
+        assert_eq!(v.get("pair").and_then(JsonValue::as_arr).map(<[JsonValue]>::len), Some(2));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        assert!(parse("{not json").is_err());
+        assert!(parse("").is_err());
+        assert!(parse("{\"a\": 1,}").is_err());
+        assert!(parse("[1 2]").is_err());
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_nesting() {
+        let v = parse(r#"{"s": "a\"b\n", "arr": [1, {"x": -2.5}], "b": true, "n": null}"#).unwrap();
+        assert_eq!(v.get("s").and_then(JsonValue::as_str), Some("a\"b\n"));
+        let arr = v.get("arr").and_then(JsonValue::as_arr).unwrap();
+        assert_eq!(arr[1].get("x").and_then(JsonValue::as_f64), Some(-2.5));
+    }
+}

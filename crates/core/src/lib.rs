@@ -19,18 +19,27 @@ pub mod bearer;
 pub mod bus;
 pub mod dashboard;
 pub mod engine;
+pub mod fault;
+pub mod health;
 pub mod injection;
+pub mod json;
 pub mod netcost;
 pub mod player;
 pub mod replacement;
+pub mod retry;
 pub mod snapshot;
 
 pub use bearer::{BearerClass, BearerSelector, CoverageMap};
-pub use snapshot::PlatformSnapshot;
-pub use bus::{Bus, BusMessage, Topic};
+pub use bus::{
+    Bus, BusMessage, DeadLetter, DeadLetterReason, Envelope, OverflowPolicy, QueuePolicy, Topic,
+};
 pub use dashboard::Dashboard;
-pub use engine::{Engine, EngineConfig, EngineEvent};
+pub use engine::{Engine, EngineConfig, EngineError, EngineEvent};
+pub use fault::{ChaosRng, FaultProfile, FaultyTransport, PerfectTransport, Transport, WireStats};
+pub use health::{HealthState, UserHealth};
 pub use injection::{InjectionQueue, PendingInjection};
-pub use netcost::{DeliveryPlanKind, NetworkCostModel, TrafficReport};
-pub use player::{Player, PlayerEvent, PlaybackMode};
+pub use netcost::{DeliveryPlanKind, FetchOutcome, NetworkCostModel, TrafficReport, UnicastLink};
+pub use player::{PlaybackMode, Player, PlayerEvent};
 pub use replacement::{ReplacementPlanner, ReplacementTimeline, TimelineEntry};
+pub use retry::{BackoffPolicy, DeliveryTracker};
+pub use snapshot::PlatformSnapshot;

@@ -17,6 +17,7 @@
 //!   over the Internet (the model of app-only streaming radio).
 //! * **Hybrid (PPHCR)** — linear audio over broadcast, clips over IP.
 
+use crate::fault::ChaosRng;
 use pphcr_audio::Bitrate;
 use pphcr_geo::TimeSpan;
 use serde::{Deserialize, Serialize};
@@ -116,8 +117,8 @@ impl NetworkCostModel {
         personalized_fraction: f64,
     ) -> TrafficReport {
         let p = personalized_fraction.clamp(0.0, 1.0);
-        let live_bytes_once =
-            (self.live_bitrate.bytes_for(listen) as f64 * self.broadcast_overhead_equivalent) as u64;
+        let live_bytes_once = (self.live_bitrate.bytes_for(listen) as f64
+            * self.broadcast_overhead_equivalent) as u64;
         let per_listener_all_ip = self.live_bitrate.bytes_for(listen);
         let clip_seconds = (listen.as_seconds() as f64 * p).round() as u64;
         let per_listener_clips = self.clip_bitrate.bytes_for(TimeSpan::seconds(clip_seconds));
@@ -178,6 +179,101 @@ impl NetworkCostModel {
             }
         }
         Some(hi)
+    }
+}
+
+/// Outcome of one timeout-guarded unicast clip fetch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchOutcome {
+    /// The clip arrived within the timeout.
+    Fetched {
+        /// Observed round-trip latency.
+        latency: TimeSpan,
+    },
+    /// The link answered too slowly; the fetch was abandoned at the
+    /// timeout.
+    TimedOut,
+    /// The link failed outright (connection refused, mid-transfer
+    /// drop).
+    Failed,
+}
+
+impl FetchOutcome {
+    /// True for [`FetchOutcome::Fetched`].
+    #[must_use]
+    pub fn is_ok(self) -> bool {
+        matches!(self, FetchOutcome::Fetched { .. })
+    }
+}
+
+/// The per-listener unicast clip-fetch link, timeout-guarded and
+/// deterministic.
+///
+/// The player's personalized slots arrive over the mobile Internet; in
+/// the field that path fails and stalls. This model decides each
+/// fetch's fate from a seeded [`ChaosRng`]: it fails outright with
+/// `failure_rate`, otherwise draws a latency in
+/// `[mean_latency/2, 2×mean_latency]` and times out when the draw
+/// exceeds `timeout`. [`UnicastLink::perfect`] (the default) always
+/// succeeds instantly, preserving pre-chaos behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnicastLink {
+    /// Probability a fetch fails outright.
+    pub failure_rate: f64,
+    /// Fetch abandonment deadline.
+    pub timeout: TimeSpan,
+    /// Mean fetch latency of the modelled link.
+    pub mean_latency: TimeSpan,
+    rng: ChaosRng,
+}
+
+impl UnicastLink {
+    /// A link that never fails and answers instantly (the default).
+    #[must_use]
+    pub fn perfect() -> Self {
+        UnicastLink {
+            failure_rate: 0.0,
+            timeout: TimeSpan::seconds(10),
+            mean_latency: TimeSpan::ZERO,
+            rng: ChaosRng::new(0),
+        }
+    }
+
+    /// A flaky link: `failure_rate` outright failures, latencies
+    /// around `mean_latency`, guarded by `timeout`.
+    #[must_use]
+    pub fn flaky(failure_rate: f64, mean_latency: TimeSpan, timeout: TimeSpan, seed: u64) -> Self {
+        UnicastLink { failure_rate, timeout, mean_latency, rng: ChaosRng::new(seed) }
+    }
+
+    /// True when the link can never fail or stall.
+    #[must_use]
+    pub fn is_perfect(&self) -> bool {
+        self.failure_rate <= 0.0 && self.mean_latency.as_seconds() <= self.timeout.as_seconds()
+    }
+
+    /// Attempts one clip fetch.
+    pub fn fetch(&mut self) -> FetchOutcome {
+        if self.rng.chance(self.failure_rate) {
+            return FetchOutcome::Failed;
+        }
+        if self.mean_latency.is_zero() {
+            return FetchOutcome::Fetched { latency: TimeSpan::ZERO };
+        }
+        let mean = self.mean_latency.as_seconds();
+        let lo = (mean / 2).max(1);
+        let latency = TimeSpan::seconds(lo + self.rng.below(2 * mean - lo + 1));
+        if latency > self.timeout {
+            FetchOutcome::TimedOut
+        } else {
+            FetchOutcome::Fetched { latency }
+        }
+    }
+}
+
+impl Default for UnicastLink {
+    fn default() -> Self {
+        UnicastLink::perfect()
     }
 }
 
@@ -269,5 +365,35 @@ mod tests {
         assert_eq!(DeliveryPlanKind::Hybrid.to_string(), "hybrid");
         assert_eq!(DeliveryPlanKind::AllIp.to_string(), "all-ip");
         assert_eq!(DeliveryPlanKind::AllBroadcast.to_string(), "all-broadcast");
+    }
+
+    #[test]
+    fn perfect_link_always_fetches_instantly() {
+        let mut link = UnicastLink::perfect();
+        for _ in 0..100 {
+            assert_eq!(link.fetch(), FetchOutcome::Fetched { latency: TimeSpan::ZERO });
+        }
+    }
+
+    #[test]
+    fn flaky_link_mixes_outcomes_deterministically() {
+        let run = |seed| {
+            let mut link =
+                UnicastLink::flaky(0.3, TimeSpan::seconds(8), TimeSpan::seconds(10), seed);
+            (0..200).map(|_| link.fetch()).collect::<Vec<_>>()
+        };
+        let a = run(7);
+        assert_eq!(a, run(7), "same seed, same fates");
+        let failed = a.iter().filter(|o| **o == FetchOutcome::Failed).count();
+        let timed_out = a.iter().filter(|o| **o == FetchOutcome::TimedOut).count();
+        let ok = a.iter().filter(|o| o.is_ok()).count();
+        assert!(failed > 20, "outright failures occur: {failed}");
+        assert!(timed_out > 10, "slow fetches hit the timeout guard: {timed_out}");
+        assert!(ok > 50, "most fetches still succeed: {ok}");
+        for o in &a {
+            if let FetchOutcome::Fetched { latency } = o {
+                assert!(*latency <= TimeSpan::seconds(10), "guard enforced");
+            }
+        }
     }
 }

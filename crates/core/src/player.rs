@@ -255,6 +255,16 @@ impl Player {
         }))
     }
 
+    /// Graceful-degradation fallback: personalization is suspended, so
+    /// drop the queue and pin to the real-time live stream of the
+    /// *current* service. Unlike [`Player::change_service`] this is not
+    /// a listener action — no surf is counted.
+    pub fn fallback_live(&mut self) {
+        self.mode = PlaybackMode::Live;
+        self.displacement = TimeSpan::ZERO;
+        self.queue.clear();
+    }
+
     /// Channel surf: tune to another service, dropping queue, shift and
     /// buffered audio (the paper's behaviour PPHCR tries to prevent).
     pub fn change_service(&mut self, service: ServiceIndex) -> PlayerEvent {
@@ -312,9 +322,9 @@ mod tests {
         // Past the end: finished + listened-through + shifted resume.
         let ev = p.tick(t0.advance(TimeSpan::minutes(10)), &epg);
         assert!(ev.contains(&PlayerEvent::ClipFinished(ClipId(1))));
-        assert!(ev
-            .iter()
-            .any(|e| matches!(e, PlayerEvent::Feedback(f) if f.kind == FeedbackKind::ListenedThrough)));
+        assert!(ev.iter().any(
+            |e| matches!(e, PlayerEvent::Feedback(f) if f.kind == FeedbackKind::ListenedThrough)
+        ));
         assert!(ev.contains(&PlayerEvent::ResumedLive { shifted: TimeSpan::minutes(10) }));
         assert_eq!(p.mode(), PlaybackMode::Shifted);
         assert_eq!(p.displacement(), TimeSpan::minutes(10));

@@ -10,9 +10,9 @@
 //! app can still smoothly present it"), and the EPG annotates which
 //! programme the listener is hearing at every instant.
 
-use pphcr_audio::{ClipId, ClipStore, SampleClock, SplicePlan, SpliceError};
 use pphcr_audio::source::LiveSource;
 use pphcr_audio::splice::{PlannedSegment, SegmentSource};
+use pphcr_audio::{ClipId, ClipStore, SampleClock, SpliceError, SplicePlan};
 use pphcr_catalog::{ProgrammeId, Schedule, ServiceIndex};
 use pphcr_geo::time::TimeInterval;
 use pphcr_geo::{TimePoint, TimeSpan};
@@ -192,11 +192,8 @@ impl ReplacementPlanner {
         delay: TimeSpan,
         spans: &mut Vec<TimelineSpan>,
     ) {
-        let entry = if delay.is_zero() {
-            TimelineEntry::Live
-        } else {
-            TimelineEntry::Shifted { delay }
-        };
+        let entry =
+            if delay.is_zero() { TimelineEntry::Live } else { TimelineEntry::Shifted { delay } };
         let mut cursor = from;
         while cursor < to {
             let stream_t = cursor.rewind(delay);
@@ -286,7 +283,9 @@ mod tests {
         );
         // After the clip: P2 resumes time-shifted where it was cut.
         let shifted = entries[3];
-        assert!(matches!(shifted.entry, TimelineEntry::Shifted { delay } if delay == TimeSpan::minutes(15)));
+        assert!(
+            matches!(shifted.entry, TimelineEntry::Shifted { delay } if delay == TimeSpan::minutes(15))
+        );
         assert_eq!(shifted.programme, Some(ProgrammeId(2)));
         assert_eq!(shifted.interval.start, TimePoint::at(0, 11, 15, 0));
         // P2's live end 11:10 maps to listener 11:25 — Fig. 4's bottom row.
@@ -342,11 +341,8 @@ mod tests {
             )
             .unwrap();
         assert_eq!(timeline.displacement, TimeSpan::minutes(15));
-        let clip_spans: Vec<&TimelineSpan> = timeline
-            .spans
-            .iter()
-            .filter(|s| matches!(s.entry, TimelineEntry::Clip(_)))
-            .collect();
+        let clip_spans: Vec<&TimelineSpan> =
+            timeline.spans.iter().filter(|s| matches!(s.entry, TimelineEntry::Clip(_))).collect();
         assert_eq!(clip_spans.len(), 2);
         assert_eq!(clip_spans[0].interval.end, clip_spans[1].interval.start);
     }

@@ -3,11 +3,13 @@
 //!
 //! The original deployment exposed its health through the control
 //! website; here a [`PlatformSnapshot`] carries the same numbers as a
-//! serializable value (JSON via serde), so an operator — or a test —
-//! can diff two snapshots and see what a scenario did to the platform.
+//! serializable value (JSON via the in-tree [`crate::json`] codec), so
+//! an operator — or a test — can diff two snapshots and see what a
+//! scenario did to the platform.
 
-use crate::engine::Engine;
 use crate::bus::Topic;
+use crate::engine::Engine;
+use crate::json::{self, JsonError, JsonValue, JsonWriter};
 use pphcr_geo::TimePoint;
 use serde::{Deserialize, Serialize};
 
@@ -42,6 +44,22 @@ pub struct PlatformSnapshot {
     pub sessions_closed: usize,
     /// Proactive decisions made.
     pub decisions: usize,
+    /// Messages in the bus's dead-letter store.
+    pub dead_letters: usize,
+    /// Messages evicted from bounded queues (drop-oldest policy).
+    pub bus_overflowed: u64,
+    /// Publishes refused by bounded queues (reject policy).
+    pub bus_rejected: u64,
+    /// Messages lost on the wire.
+    pub wire_dropped: u64,
+    /// Extra copies created on the wire.
+    pub wire_duplicated: u64,
+    /// Delivery retries performed.
+    pub delivery_retries: u64,
+    /// Wire duplicates filtered before application.
+    pub duplicates_filtered: u64,
+    /// Listeners per ladder rung: (healthy, degraded, broadcast-only).
+    pub health: (u64, u64, u64),
 }
 
 impl PlatformSnapshot {
@@ -63,24 +81,100 @@ impl PlatformSnapshot {
             injections: engine.injections.counters(),
             sessions_closed: engine.sessions.closed_count(),
             decisions: engine.decisions().len(),
+            dead_letters: engine.bus.dead_letters().len(),
+            bus_overflowed: engine.bus.overflowed(),
+            bus_rejected: engine.bus.rejected(),
+            wire_dropped: engine.bus.wire_stats().dropped,
+            wire_duplicated: engine.bus.wire_stats().duplicated,
+            delivery_retries: engine.delivery.retries(),
+            duplicates_filtered: engine.delivery.duplicates_filtered(),
+            health: engine.health_counts(),
         }
     }
 
     /// Serializes to pretty JSON (the dashboard's export format).
-    ///
-    /// # Panics
-    /// Never: the snapshot contains only serializable scalars.
     #[must_use]
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("snapshot is plain data")
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_u64("at", self.at.seconds());
+        w.field_u64("users", self.users as u64);
+        w.field_u64("clips", self.clips as u64);
+        w.field_u64("programmes", self.programmes as u64);
+        w.field_u64("services", self.services as u64);
+        w.field_u64("fixes", self.fixes as u64);
+        w.field_u64("fixes_dropped", self.fixes_dropped);
+        w.field_u64("classifier_docs", self.classifier_docs);
+        w.field_u64("bus_published", self.bus_published);
+        w.field_u64("bus_delivered", self.bus_delivered);
+        w.field_u64("pending_recommendations", self.pending_recommendations as u64);
+        w.begin_named_array("injections");
+        w.item_u64(self.injections.0).item_u64(self.injections.1);
+        w.end_array();
+        w.field_u64("sessions_closed", self.sessions_closed as u64);
+        w.field_u64("decisions", self.decisions as u64);
+        w.field_u64("dead_letters", self.dead_letters as u64);
+        w.field_u64("bus_overflowed", self.bus_overflowed);
+        w.field_u64("bus_rejected", self.bus_rejected);
+        w.field_u64("wire_dropped", self.wire_dropped);
+        w.field_u64("wire_duplicated", self.wire_duplicated);
+        w.field_u64("delivery_retries", self.delivery_retries);
+        w.field_u64("duplicates_filtered", self.duplicates_filtered);
+        w.begin_named_array("health");
+        w.item_u64(self.health.0).item_u64(self.health.1).item_u64(self.health.2);
+        w.end_array();
+        w.end_object();
+        w.finish()
     }
 
     /// Parses a snapshot back from JSON.
     ///
     /// # Errors
-    /// Propagates the serde error on malformed input.
-    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(s)
+    /// Returns a [`JsonError`] on malformed input or a missing field.
+    pub fn from_json(s: &str) -> Result<Self, JsonError> {
+        let v = json::parse(s)?;
+        let missing = |field: &str| JsonError {
+            message: format!("missing or mistyped field '{field}'"),
+            offset: 0,
+        };
+        let u =
+            |field: &str| v.get(field).and_then(JsonValue::as_u64).ok_or_else(|| missing(field));
+        let pair = v
+            .get("injections")
+            .and_then(JsonValue::as_arr)
+            .filter(|items| items.len() == 2)
+            .and_then(|items| Some((items[0].as_u64()?, items[1].as_u64()?)))
+            .ok_or_else(|| missing("injections"))?;
+        let health = v
+            .get("health")
+            .and_then(JsonValue::as_arr)
+            .filter(|items| items.len() == 3)
+            .and_then(|items| Some((items[0].as_u64()?, items[1].as_u64()?, items[2].as_u64()?)))
+            .ok_or_else(|| missing("health"))?;
+        Ok(PlatformSnapshot {
+            at: TimePoint(u("at")?),
+            users: u("users")? as usize,
+            clips: u("clips")? as usize,
+            programmes: u("programmes")? as usize,
+            services: u("services")? as usize,
+            fixes: u("fixes")? as usize,
+            fixes_dropped: u("fixes_dropped")?,
+            classifier_docs: u("classifier_docs")?,
+            bus_published: u("bus_published")?,
+            bus_delivered: u("bus_delivered")?,
+            pending_recommendations: u("pending_recommendations")? as usize,
+            injections: pair,
+            sessions_closed: u("sessions_closed")? as usize,
+            decisions: u("decisions")? as usize,
+            dead_letters: u("dead_letters")? as usize,
+            bus_overflowed: u("bus_overflowed")?,
+            bus_rejected: u("bus_rejected")?,
+            wire_dropped: u("wire_dropped")?,
+            wire_duplicated: u("wire_duplicated")?,
+            delivery_retries: u("delivery_retries")?,
+            duplicates_filtered: u("duplicates_filtered")?,
+            health,
+        })
     }
 }
 
@@ -127,6 +221,9 @@ mod tests {
         assert_eq!(snap.services, 10);
         assert!(snap.bus_published >= 4, "tune + 3 ingests: {}", snap.bus_published);
         assert_eq!(snap.decisions, 0);
+        assert_eq!(snap.health, (1, 0, 0), "one healthy listener");
+        assert_eq!(snap.dead_letters, 0);
+        assert_eq!(snap.wire_dropped, 0);
     }
 
     #[test]

@@ -98,11 +98,7 @@ mod tests {
 
     #[test]
     fn from_points_covers_all() {
-        let pts = [
-            GeoPoint::new(45.0, 7.0),
-            GeoPoint::new(45.2, 7.5),
-            GeoPoint::new(44.9, 7.3),
-        ];
+        let pts = [GeoPoint::new(45.0, 7.0), GeoPoint::new(45.2, 7.5), GeoPoint::new(44.9, 7.3)];
         let b = BoundingBox::from_points(&pts).unwrap();
         for p in pts {
             assert!(b.contains(p));
@@ -118,8 +114,8 @@ mod tests {
 
     #[test]
     fn contains_is_boundary_inclusive() {
-        let b = BoundingBox::from_points(&[GeoPoint::new(0.0, 0.0), GeoPoint::new(1.0, 1.0)])
-            .unwrap();
+        let b =
+            BoundingBox::from_points(&[GeoPoint::new(0.0, 0.0), GeoPoint::new(1.0, 1.0)]).unwrap();
         assert!(b.contains(GeoPoint::new(0.0, 0.0)));
         assert!(b.contains(GeoPoint::new(1.0, 1.0)));
         assert!(!b.contains(GeoPoint::new(1.0001, 0.5)));
@@ -127,12 +123,12 @@ mod tests {
 
     #[test]
     fn intersects_detects_overlap_and_disjoint() {
-        let a = BoundingBox::from_points(&[GeoPoint::new(0.0, 0.0), GeoPoint::new(2.0, 2.0)])
-            .unwrap();
-        let b = BoundingBox::from_points(&[GeoPoint::new(1.0, 1.0), GeoPoint::new(3.0, 3.0)])
-            .unwrap();
-        let c = BoundingBox::from_points(&[GeoPoint::new(5.0, 5.0), GeoPoint::new(6.0, 6.0)])
-            .unwrap();
+        let a =
+            BoundingBox::from_points(&[GeoPoint::new(0.0, 0.0), GeoPoint::new(2.0, 2.0)]).unwrap();
+        let b =
+            BoundingBox::from_points(&[GeoPoint::new(1.0, 1.0), GeoPoint::new(3.0, 3.0)]).unwrap();
+        let c =
+            BoundingBox::from_points(&[GeoPoint::new(5.0, 5.0), GeoPoint::new(6.0, 6.0)]).unwrap();
         assert!(a.intersects(&b));
         assert!(b.intersects(&a));
         assert!(!a.intersects(&c));

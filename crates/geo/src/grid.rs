@@ -82,11 +82,7 @@ impl<T: Clone> GridIndex<T> {
 
     /// Clamps a candidate cell window to the occupied bounds; `None`
     /// when the index is empty or the window misses every occupied cell.
-    fn clamp_window(
-        &self,
-        lo: (i64, i64),
-        hi: (i64, i64),
-    ) -> Option<((i64, i64), (i64, i64))> {
+    fn clamp_window(&self, lo: (i64, i64), hi: (i64, i64)) -> Option<((i64, i64), (i64, i64))> {
         let ((ox0, oy0), (ox1, oy1)) = self.occupied?;
         let x0 = lo.0.max(ox0);
         let y0 = lo.1.max(oy0);
@@ -144,16 +140,13 @@ impl<T: Clone> GridIndex<T> {
     /// Collects every entry inside the axis-aligned rectangle
     /// `[min, max]` (inclusive).
     #[must_use]
-    pub fn query_rect(
-        &self,
-        min: ProjectedPoint,
-        max: ProjectedPoint,
-    ) -> Vec<(ProjectedPoint, T)> {
+    pub fn query_rect(&self, min: ProjectedPoint, max: ProjectedPoint) -> Vec<(ProjectedPoint, T)> {
         let mut out = Vec::new();
         if min.x > max.x || min.y > max.y {
             return out;
         }
-        let Some(((cx0, cy0), (cx1, cy1))) = self.clamp_window(self.cell_of(min), self.cell_of(max))
+        let Some(((cx0, cy0), (cx1, cy1))) =
+            self.clamp_window(self.cell_of(min), self.cell_of(max))
         else {
             return out;
         };
@@ -178,13 +171,7 @@ mod tests {
 
     fn sample_index() -> GridIndex<usize> {
         let mut g = GridIndex::new(100.0);
-        let pts = [
-            (0.0, 0.0),
-            (50.0, 50.0),
-            (150.0, 0.0),
-            (-120.0, -30.0),
-            (1_000.0, 1_000.0),
-        ];
+        let pts = [(0.0, 0.0), (50.0, 50.0), (150.0, 0.0), (-120.0, -30.0), (1_000.0, 1_000.0)];
         for (i, (x, y)) in pts.iter().enumerate() {
             g.insert(ProjectedPoint::new(*x, *y), i);
         }
@@ -274,8 +261,7 @@ mod tests {
     fn huge_radius_clamps_to_occupied_cells() {
         let g = sample_index();
         assert_eq!(g.count_in_radius(ProjectedPoint::new(0.0, 0.0), 1e12), 5);
-        let hits =
-            g.query_rect(ProjectedPoint::new(-1e12, -1e12), ProjectedPoint::new(1e12, 1e12));
+        let hits = g.query_rect(ProjectedPoint::new(-1e12, -1e12), ProjectedPoint::new(1e12, 1e12));
         assert_eq!(hits.len(), 5);
     }
 

@@ -32,6 +32,6 @@ pub mod time;
 pub use bbox::BoundingBox;
 pub use point::{GeoPoint, LocalProjection, ProjectedPoint, EARTH_RADIUS_M};
 pub use polyline::Polyline;
-pub use roadnet::{EdgeId, NodeId, NodeKind, RoadEdge, RoadNetwork, RoadNode, Route};
 pub use roadnet::DistractionZone;
+pub use roadnet::{EdgeId, NodeId, NodeKind, RoadEdge, RoadNetwork, RoadNode, Route};
 pub use time::{TimeInterval, TimePoint, TimeSpan};

@@ -29,6 +29,15 @@ impl GeoPoint {
         GeoPoint { lat, lon }
     }
 
+    /// Creates a point only when both coordinates are finite and within
+    /// WGS-84 bounds; `None` otherwise (cold-start receivers emit NaN
+    /// and off-ellipsoid coordinates).
+    #[must_use]
+    pub fn try_new(lat: f64, lon: f64) -> Option<Self> {
+        let p = GeoPoint { lat, lon };
+        p.is_valid().then_some(p)
+    }
+
     /// True when both coordinates are finite and within WGS-84 bounds.
     #[must_use]
     pub fn is_valid(self) -> bool {
@@ -71,10 +80,7 @@ impl GeoPoint {
         let lat2 = (lat1.sin() * delta.cos() + lat1.cos() * delta.sin() * theta.cos()).asin();
         let lon2 = lon1
             + (theta.sin() * delta.sin() * lat1.cos()).atan2(delta.cos() - lat1.sin() * lat2.sin());
-        GeoPoint {
-            lat: lat2.to_degrees(),
-            lon: ((lon2.to_degrees() + 540.0) % 360.0) - 180.0,
-        }
+        GeoPoint { lat: lat2.to_degrees(), lon: ((lon2.to_degrees() + 540.0) % 360.0) - 180.0 }
     }
 
     /// Midpoint along the great circle between `self` and `other`.

@@ -220,7 +220,12 @@ impl RoadNetwork {
             return None;
         }
         if from == to {
-            return Some(Route { nodes: vec![from], edges: vec![], length_m: 0.0, travel_time_s: 0.0 });
+            return Some(Route {
+                nodes: vec![from],
+                edges: vec![],
+                length_m: 0.0,
+                travel_time_s: 0.0,
+            });
         }
         let mut dist = vec![f64::INFINITY; n];
         let mut prev_edge: Vec<Option<EdgeId>> = vec![None; n];
@@ -423,10 +428,15 @@ mod tests {
 
     #[test]
     fn kind_radii_and_weights_are_ordered() {
-        assert!(NodeKind::Roundabout.distraction_radius_m() > NodeKind::Intersection.distraction_radius_m());
+        assert!(
+            NodeKind::Roundabout.distraction_radius_m()
+                > NodeKind::Intersection.distraction_radius_m()
+        );
         assert!(NodeKind::Intersection.distraction_radius_m() > 0.0);
         assert_eq!(NodeKind::Plain.distraction_radius_m(), 0.0);
-        assert!(NodeKind::Roundabout.distraction_weight() > NodeKind::Intersection.distraction_weight());
+        assert!(
+            NodeKind::Roundabout.distraction_weight() > NodeKind::Intersection.distraction_weight()
+        );
     }
 
     #[test]

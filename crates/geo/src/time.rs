@@ -22,7 +22,9 @@ pub const HOUR: u64 = 3_600;
 pub const DAY: u64 = 86_400;
 
 /// An instant on the simulation clock, in whole seconds since the epoch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct TimePoint(pub u64);
 
 impl TimePoint {
@@ -100,7 +102,9 @@ impl std::fmt::Display for TimePoint {
 }
 
 /// A non-negative duration on the simulation clock, in whole seconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct TimeSpan(pub u64);
 
 impl TimeSpan {

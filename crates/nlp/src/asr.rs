@@ -149,14 +149,12 @@ mod tests {
     #[test]
     fn measured_wer_tracks_configured_wer() {
         for target in [0.05, 0.15, 0.35] {
-            let mut asr = SimulatedAsr::new(AsrConfig { wer: target, seed: 42, ..Default::default() });
+            let mut asr =
+                SimulatedAsr::new(AsrConfig { wer: target, seed: 42, ..Default::default() });
             let s = script(5_000);
             let h = asr.transcribe(&s, &pool());
             let measured = word_error_rate(&s, &h);
-            assert!(
-                (measured - target).abs() < 0.03,
-                "target {target}, measured {measured}"
-            );
+            assert!((measured - target).abs() < 0.03, "target {target}, measured {measured}");
         }
     }
 

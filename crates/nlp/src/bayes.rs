@@ -108,10 +108,7 @@ impl NaiveBayes {
             .ln();
             let denom = self.category_tokens[c] as f64 + self.alpha * v.max(1.0);
             for &t in token_ids {
-                let count = self
-                    .token_counts
-                    .get(t as usize)
-                    .map_or(0, |row| row[c]);
+                let count = self.token_counts.get(t as usize).map_or(0, |row| row[c]);
                 *score += ((count as f64 + self.alpha) / denom).ln();
             }
         }
@@ -236,9 +233,8 @@ mod tests {
     fn repeated_tokens_strengthen_evidence() {
         let (nb, vocab) = trained();
         let once = nb.predict_tokens(&vocab, &tokenize("calcio mercati")).unwrap();
-        let stressed = nb
-            .predict_tokens(&vocab, &tokenize("calcio calcio calcio calcio mercati"))
-            .unwrap();
+        let stressed =
+            nb.predict_tokens(&vocab, &tokenize("calcio calcio calcio calcio mercati")).unwrap();
         assert_eq!(stressed.category, 0);
         assert!(stressed.posterior[0] > once.posterior[0]);
     }

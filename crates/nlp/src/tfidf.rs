@@ -58,8 +58,7 @@ impl TfIdf {
         for &t in token_ids {
             *tf.entry(t).or_insert(0.0) += 1.0;
         }
-        let mut v: SparseVector =
-            tf.into_iter().map(|(t, f)| (t, f * self.idf(t))).collect();
+        let mut v: SparseVector = tf.into_iter().map(|(t, f)| (t, f * self.idf(t))).collect();
         let norm: f64 = v.values().map(|w| w * w).sum::<f64>().sqrt();
         if norm > 0.0 {
             for w in v.values_mut() {

@@ -10,13 +10,12 @@
 /// Function words excluded from classification features.
 const STOPWORDS: &[&str] = &[
     // Italian.
-    "il", "lo", "la", "le", "gli", "un", "una", "uno", "di", "da", "in", "su", "per", "con",
-    "tra", "fra", "che", "chi", "cui", "non", "come", "dove", "quando", "ma", "anche", "più",
-    "del", "della", "dei", "delle", "nel", "nella", "al", "alla", "ai", "alle", "è", "sono",
-    "ha", "hanno", "questo", "questa", "essere", "si", "ci", "se",
-    // English.
-    "the", "a", "an", "of", "to", "and", "or", "in", "on", "at", "is", "are", "was", "were",
-    "be", "been", "it", "its", "this", "that", "with", "as", "by", "for", "from", "but", "not",
+    "il", "lo", "la", "le", "gli", "un", "una", "uno", "di", "da", "in", "su", "per", "con", "tra",
+    "fra", "che", "chi", "cui", "non", "come", "dove", "quando", "ma", "anche", "più", "del",
+    "della", "dei", "delle", "nel", "nella", "al", "alla", "ai", "alle", "è", "sono", "ha",
+    "hanno", "questo", "questa", "essere", "si", "ci", "se", // English.
+    "the", "a", "an", "of", "to", "and", "or", "in", "on", "at", "is", "are", "was", "were", "be",
+    "been", "it", "its", "this", "that", "with", "as", "by", "for", "from", "but", "not",
 ];
 
 /// True when `word` is a stopword.

@@ -1,6 +1,8 @@
 //! Property-based tests for the text pipeline.
 
-use pphcr_nlp::{tokenize, word_error_rate, AsrConfig, NaiveBayes, SimulatedAsr, TfIdf, Vocabulary};
+use pphcr_nlp::{
+    tokenize, word_error_rate, AsrConfig, NaiveBayes, SimulatedAsr, TfIdf, Vocabulary,
+};
 use proptest::prelude::*;
 
 fn arb_words(max: usize) -> impl Strategy<Value = Vec<String>> {

@@ -16,10 +16,7 @@ use std::collections::HashMap;
 /// Ranks all repository clips by global like/listen counts — what a
 /// non-personalized "most popular" rail would play.
 #[must_use]
-pub fn popularity_ranking(
-    repo: &ContentRepository,
-    feedback: &FeedbackStore,
-) -> Vec<ScoredClip> {
+pub fn popularity_ranking(repo: &ContentRepository, feedback: &FeedbackStore) -> Vec<ScoredClip> {
     // Count positive events per clip over the whole population.
     let mut counts: HashMap<ClipId, f64> = HashMap::new();
     let mut max_count = 0.0f64;
@@ -208,8 +205,7 @@ mod tests {
             });
         }
         let ctx = ListenerContext::stationary(t);
-        let ranking =
-            content_only_ranking(&r, &fb, UserId(1), &ctx, &ScoringWeights::default());
+        let ranking = content_only_ranking(&r, &fb, UserId(1), &ctx, &ScoringWeights::default());
         let top_meta = r.get(ranking[0].clip).unwrap();
         assert_eq!(top_meta.category, CategoryId::new(8));
     }

@@ -91,9 +91,7 @@ impl CandidateFilter {
         let mut geo_hits: std::collections::HashMap<ClipId, (f64, f64)> =
             std::collections::HashMap::new();
         if let Some(drive) = ctx.drive.as_ref() {
-            for (meta, along) in
-                repo.geo_along_route(&drive.route_ahead, self.route_corridor_m)
-            {
+            for (meta, along) in repo.geo_along_route(&drive.route_ahead, self.route_corridor_m) {
                 let dist = drive
                     .route_ahead
                     .distance_to(repo.projection().project(meta.geo.expect("geo hit").point))
@@ -249,8 +247,12 @@ mod tests {
         let mut late_ctx = ctx();
         late_ctx.now = TimePoint::at(10, 9, 0, 0); // ten days later
         let filter = CandidateFilter::default();
-        let cands =
-            filter.candidates(&r, &PreferenceVector::neutral(), &late_ctx, &ScoringWeights::default());
+        let cands = filter.candidates(
+            &r,
+            &PreferenceVector::neutral(),
+            &late_ctx,
+            &ScoringWeights::default(),
+        );
         assert!(cands.iter().all(|c| c.clip != ClipId(9)));
     }
 
@@ -259,13 +261,8 @@ mod tests {
         let filter = CandidateFilter::default();
         let p = PreferenceVector::neutral();
         let exclude: HashSet<ClipId> = [ClipId(1)].into_iter().collect();
-        let cands = filter.candidates_excluding(
-            &repo(),
-            &p,
-            &ctx(),
-            &ScoringWeights::default(),
-            &exclude,
-        );
+        let cands =
+            filter.candidates_excluding(&repo(), &p, &ctx(), &ScoringWeights::default(), &exclude);
         assert!(cands.iter().all(|c| c.clip != ClipId(1)));
         assert_eq!(cands.len(), 2);
     }
@@ -318,12 +315,8 @@ mod tests {
             ambient: Default::default(),
         };
         let p = prefs(1, &[], &[5]);
-        let cands = CandidateFilter::default().candidates(
-            &r,
-            &p,
-            &drive_ctx,
-            &ScoringWeights::default(),
-        );
+        let cands =
+            CandidateFilter::default().candidates(&r, &p, &drive_ctx, &ScoringWeights::default());
         let hit = cands.iter().find(|c| c.clip == ClipId(42));
         let hit = hit.expect("geo-pinned clip must remain a candidate");
         assert!(hit.along_route_m.is_some());

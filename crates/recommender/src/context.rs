@@ -55,7 +55,12 @@ impl DriveContext {
         let mut out: Vec<(u64, u64)> = self
             .zones
             .iter()
-            .map(|z| (self.eta_seconds(z.start_m), self.eta_seconds(z.end_m).max(self.eta_seconds(z.start_m) + 1)))
+            .map(|z| {
+                (
+                    self.eta_seconds(z.start_m),
+                    self.eta_seconds(z.end_m).max(self.eta_seconds(z.start_m) + 1),
+                )
+            })
             .collect();
         out.sort_unstable();
         out
@@ -181,10 +186,7 @@ mod tests {
             confidence: 0.8,
             total_duration: TimeSpan::seconds(remaining_s + 60),
             remaining: TimeSpan::seconds(remaining_s),
-            route_ahead: vec![
-                ProjectedPoint::new(0.0, 0.0),
-                ProjectedPoint::new(route_len_m, 0.0),
-            ],
+            route_ahead: vec![ProjectedPoint::new(0.0, 0.0), ProjectedPoint::new(route_len_m, 0.0)],
             complexity: 1.0,
             posterior: vec![(1, 0.8), (2, 0.2)],
         }

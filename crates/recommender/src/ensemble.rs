@@ -163,10 +163,8 @@ mod tests {
         // The best wine clip still leads: relevance is not discarded.
         assert_eq!(out[0].clip, ClipId(0));
         // But not all five wines make the list.
-        let wines = out
-            .iter()
-            .filter(|c| repo.get(c.clip).unwrap().category == CategoryId::new(8))
-            .count();
+        let wines =
+            out.iter().filter(|c| repo.get(c.clip).unwrap().category == CategoryId::new(8)).count();
         assert!(wines < 5, "{wines}");
     }
 

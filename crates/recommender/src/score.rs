@@ -99,9 +99,7 @@ impl ScoringWeights {
         let commute = matches!(hour, 7..=9 | 17..=19);
         let evening = matches!(hour, 19..=23);
         match category.name() {
-            "local-news" | "national-news" | "world-news" | "traffic" | "weather" if commute => {
-                1.0
-            }
+            "local-news" | "national-news" | "world-news" | "traffic" | "weather" if commute => 1.0,
             "local-news" | "national-news" | "world-news" | "traffic" | "weather" => 0.5,
             "comedy" | "entertainment" | "music" if evening => 1.0,
             "comedy" | "entertainment" | "music" => 0.6,
@@ -132,8 +130,7 @@ impl ScoringWeights {
         let complexity = drive.prediction.complexity.max(0.0);
         // Normalized pressure: 0 on straight routes, →1 on very twisty,
         // scaled up when the weather is bad.
-        let pressure =
-            (complexity / 6.0 * ctx.ambient.weather.distraction_multiplier()).min(1.0);
+        let pressure = (complexity / 6.0 * ctx.ambient.weather.distraction_multiplier()).min(1.0);
         let minutes = meta.duration.as_minutes_f64();
         // A 3-minute clip is always fine; a 30-minute talk scores ~0.2
         // under full pressure.
@@ -338,20 +335,18 @@ mod tests {
         let mut rainy = driving_ctx(4.0);
         rainy.ambient.weather = crate::context::Weather::Snow;
         let clear = driving_ctx(4.0);
-        let traffic = meta(
-            CategoryId::from_name("traffic").unwrap().0,
-            ClipKind::NewsBulletin,
-            2,
+        let traffic = meta(CategoryId::from_name("traffic").unwrap().0, ClipKind::NewsBulletin, 2);
+        assert!(
+            w.weather_affinity(traffic.category, &rainy)
+                > w.weather_affinity(traffic.category, &clear)
         );
-        assert!(w.weather_affinity(traffic.category, &rainy) > w.weather_affinity(traffic.category, &clear));
         // Long clips get harder to justify in snow.
         let long = meta(1, ClipKind::Podcast, 30);
         assert!(w.complexity_fit(&long, &rainy) < w.complexity_fit(&long, &clear));
         // And the overall context relevance of the traffic bulletin rises.
         let prefs = PreferenceVector::neutral();
         assert!(
-            w.compound(&prefs, &traffic, &rainy, None)
-                > w.compound(&prefs, &traffic, &clear, None)
+            w.compound(&prefs, &traffic, &rainy, None) > w.compound(&prefs, &traffic, &clear, None)
         );
     }
 
@@ -373,8 +368,7 @@ mod tests {
         let prefs = PreferenceVector::neutral();
         let ctx = driving_ctx(1.0);
         let mut tagged = meta(13, ClipKind::NewsBulletin, 4);
-        tagged.geo =
-            Some(GeoTag { point: GeoPoint::new(45.1, 7.7), radius_m: 1_000.0 });
+        tagged.geo = Some(GeoTag { point: GeoPoint::new(45.1, 7.7), radius_m: 1_000.0 });
         let near = w.compound(&prefs, &tagged, &ctx, Some(200.0));
         let far = w.compound(&prefs, &tagged, &ctx, Some(30_000.0));
         let unknown = w.compound(&prefs, &tagged, &ctx, None);

@@ -1,0 +1,110 @@
+//! Chaos profiles for the simulated platform.
+//!
+//! The chaos suite and experiment E12 run the same scenarios as the
+//! clean experiments, but over a deliberately hostile network. A
+//! [`ChaosProfile`] bundles everything that can go wrong end to end:
+//! the bus wire (drop/duplicate/reorder/delay, per-topic bandwidth
+//! caps) and the unicast clip-fetch link (failures, latency, timeout).
+//! Applying a profile to an [`Engine`] is one call, and every fault is
+//! drawn from seeded generators, so a chaos run is exactly as
+//! reproducible as a calm one.
+
+use pphcr_core::{Engine, FaultProfile, FaultyTransport, UnicastLink};
+use pphcr_geo::TimeSpan;
+
+/// An end-to-end fault configuration: wire faults plus unicast-link
+/// behaviour.
+#[derive(Debug, Clone)]
+pub struct ChaosProfile {
+    /// Human-readable name, printed in experiment tables.
+    pub name: &'static str,
+    /// Faults applied to the bus wire.
+    pub wire: FaultProfile,
+    /// Unicast fetch failure probability.
+    pub fetch_failure_rate: f64,
+    /// Mean unicast fetch latency.
+    pub fetch_latency: TimeSpan,
+    /// Unicast fetch timeout.
+    pub fetch_timeout: TimeSpan,
+}
+
+impl ChaosProfile {
+    /// No faults anywhere: the calm baseline. An engine with this
+    /// profile applied behaves byte-identically to an untouched one.
+    #[must_use]
+    pub fn calm() -> Self {
+        ChaosProfile {
+            name: "calm",
+            wire: FaultProfile::none(),
+            fetch_failure_rate: 0.0,
+            fetch_latency: TimeSpan::ZERO,
+            fetch_timeout: TimeSpan::seconds(10),
+        }
+    }
+
+    /// The reference hostile profile: a lossy cellular link (20 % loss,
+    /// 10 % duplication, heavy reordering and delay) plus an unreliable
+    /// unicast fetch path.
+    #[must_use]
+    pub fn lossy_mobile() -> Self {
+        ChaosProfile {
+            name: "lossy-mobile",
+            wire: FaultProfile::lossy_mobile(),
+            fetch_failure_rate: 0.25,
+            fetch_latency: TimeSpan::seconds(4),
+            fetch_timeout: TimeSpan::seconds(10),
+        }
+    }
+
+    /// True when no fault of any kind is enabled.
+    #[must_use]
+    pub fn is_calm(&self) -> bool {
+        self.wire.is_perfect() && self.fetch_failure_rate <= 0.0 && self.fetch_latency.is_zero()
+    }
+
+    /// Wires an engine for this profile: swaps the bus wire for a
+    /// seeded [`FaultyTransport`] and the clip-fetch link for a flaky
+    /// [`UnicastLink`]. A calm profile leaves the engine on the perfect
+    /// transport so behaviour stays bit-identical to the default.
+    pub fn apply(&self, engine: &mut Engine, seed: u64) {
+        if self.is_calm() {
+            return;
+        }
+        engine.bus.set_transport(Box::new(FaultyTransport::new(self.wire.clone(), seed)));
+        if self.fetch_failure_rate > 0.0 || !self.fetch_latency.is_zero() {
+            engine.unicast = UnicastLink::flaky(
+                self.fetch_failure_rate,
+                self.fetch_latency,
+                self.fetch_timeout,
+                seed ^ 0x00C0_FFEE,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pphcr_core::EngineConfig;
+
+    #[test]
+    fn calm_profile_is_calm() {
+        assert!(ChaosProfile::calm().is_calm());
+        assert!(!ChaosProfile::lossy_mobile().is_calm());
+    }
+
+    #[test]
+    fn apply_calm_keeps_perfect_links() {
+        let mut e = Engine::new(EngineConfig::default());
+        ChaosProfile::calm().apply(&mut e, 1);
+        assert!(e.unicast.is_perfect());
+        assert_eq!(e.bus.wire_stats(), pphcr_core::WireStats::default());
+    }
+
+    #[test]
+    fn apply_lossy_swaps_links() {
+        let mut e = Engine::new(EngineConfig::default());
+        ChaosProfile::lossy_mobile().apply(&mut e, 1);
+        assert!(!e.unicast.is_perfect());
+    }
+}

@@ -86,7 +86,8 @@ impl CorpusGenerator {
     /// Generates one document of `len` tokens for `category`.
     #[must_use]
     pub fn document(&self, category: CategoryId, len: usize, doc_seed: u64) -> GeneratedDoc {
-        let mut rng = StdRng::seed_from_u64(self.seed ^ doc_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ doc_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let mut tokens = Vec::with_capacity(len);
         for _ in 0..len {
             let u = rng.gen::<f64>();

@@ -9,8 +9,9 @@ use crate::corpus::CorpusGenerator;
 use crate::listener::{ListenerModel, SessionMetrics};
 use crate::population::{Commuter, GpsNoise, Population};
 use crate::world::SyntheticCity;
-use pphcr_audio::splice::{PlannedSegment, SegmentSource, SplicePlan};
 use pphcr_audio::source::{ClipSource, LiveSource};
+use pphcr_audio::splice::{PlannedSegment, SegmentSource, SplicePlan};
+use pphcr_catalog::ServiceIndex;
 use pphcr_catalog::{CategoryId, ClipKind, ContentRepository, CATEGORY_COUNT};
 use pphcr_core::{DeliveryPlanKind, Engine, EngineConfig, EngineEvent, NetworkCostModel};
 use pphcr_geo::{TimePoint, TimeSpan};
@@ -22,7 +23,6 @@ use pphcr_recommender::{
 use pphcr_trajectory::model::ModelConfig;
 use pphcr_trajectory::{rdp_indices, MobilityModel, Trace};
 use pphcr_userdata::{AgeBand, FeedbackEvent, FeedbackKind, FeedbackStore, UserId, UserProfile};
-use pphcr_catalog::ServiceIndex;
 use std::fmt;
 
 // ---------------------------------------------------------------------
@@ -89,7 +89,12 @@ pub fn e1_seam_quality(rate_hz: u32, clip_lengths_s: &[u64]) -> Vec<E1Row> {
             let hard = e1_replacement_plan(rate_hz, clip_s, 0);
             let (_, fs) = faded.render(0, faded.end());
             let (_, hs) = hard.render(0, hard.end());
-            E1Row { clip_s, samples: fs.samples, faded_jump: fs.max_seam_jump, hard_jump: hs.max_seam_jump }
+            E1Row {
+                clip_s,
+                samples: fs.samples,
+                faded_jump: fs.max_seam_jump,
+                hard_jump: hs.max_seam_jump,
+            }
         })
         .collect()
 }
@@ -119,7 +124,11 @@ impl fmt::Display for E2Row {
         write!(
             f,
             "{:<16} taste={:+.3} fill={:.2} geo_items/trip={:.2} pin_coverage={:.2}",
-            self.strategy, self.mean_taste, self.fill_ratio, self.geo_items_per_trip, self.geo_hit_rate
+            self.strategy,
+            self.mean_taste,
+            self.fill_ratio,
+            self.geo_items_per_trip,
+            self.geo_hit_rate
         )
     }
 }
@@ -260,21 +269,15 @@ fn run_trip_strategy(
     for commuter in &world.population.commuters {
         let Some(ctx) = morning_drive_context(world, commuter) else { continue };
         let ranked = match override_ranking {
-            Some(Ranking::Popularity) => baselines::popularity_ranking(&world.repo, &world.feedback),
+            Some(Ranking::Popularity) => {
+                baselines::popularity_ranking(&world.repo, &world.feedback)
+            }
             Some(Ranking::Random) => baselines::random_ranking(&world.repo, commuter.index),
-            None => recommender.rank(
-                &world.repo,
-                &world.feedback,
-                UserId(commuter.index),
-                &ctx,
-            ),
+            None => recommender.rank(&world.repo, &world.feedback, UserId(commuter.index), &ctx),
         };
         // Clips whose geo tag lies near this route (route-relevant).
-        let geo_near: std::collections::HashSet<_> = ranked
-            .iter()
-            .filter(|c| c.along_route_m.is_some())
-            .map(|c| c.clip)
-            .collect();
+        let geo_near: std::collections::HashSet<_> =
+            ranked.iter().filter(|c| c.along_route_m.is_some()).map(|c| c.clip).collect();
         let drive = ctx.drive.as_ref().expect("driving context");
         let schedule = recommender.scheduler.pack(&ranked, drive, world.now);
         trips += 1;
@@ -411,8 +414,7 @@ pub fn e3_pipeline(podcasts_per_day: usize, users: usize, seed: u64) -> Vec<E3Ro
     let mut produced = 0u64;
     for commuter in &population.commuters {
         let ctx = ListenerContext::stationary(now);
-        let ranked =
-            recommender.rank(&engine.repo, &engine.feedback, UserId(commuter.index), &ctx);
+        let ranked = recommender.rank(&engine.repo, &engine.feedback, UserId(commuter.index), &ctx);
         produced += ranked.len() as u64;
     }
     let dt = t.elapsed().as_secs_f64();
@@ -460,7 +462,12 @@ impl fmt::Display for E4Row {
 /// recorded only after a warm-up of `mornings / 3` mornings — the paper
 /// compares the *steady state* experience, not the cold start.
 #[must_use]
-pub fn e4_skip_propensity(n: usize, mornings: u32, items_per_morning: u32, seed: u64) -> Vec<E4Row> {
+pub fn e4_skip_propensity(
+    n: usize,
+    mornings: u32,
+    items_per_morning: u32,
+    seed: u64,
+) -> Vec<E4Row> {
     let world = trip_world(n, 400, seed);
     let warmup = mornings / 3;
     let mut linear = SessionMetrics::default();
@@ -621,10 +628,8 @@ pub fn e5_trajectory(days: u64, epsilons: &[f64], seed: u64) -> (Vec<E5Row>, E5S
             let kept: Vec<pphcr_geo::ProjectedPoint> =
                 kept_idx.iter().map(|&i| driving[i]).collect();
             let pl = pphcr_geo::Polyline::new(kept.clone());
-            let max_error_m = driving
-                .iter()
-                .map(|p| pl.distance_to(*p).unwrap_or(0.0))
-                .fold(0.0f64, f64::max);
+            let max_error_m =
+                driving.iter().map(|p| pl.distance_to(*p).unwrap_or(0.0)).fold(0.0f64, f64::max);
             E5Row {
                 epsilon_m: eps,
                 raw_points: driving.len(),
@@ -716,15 +721,14 @@ pub fn e6_injection(seed: u64) -> E6Report {
         &[],
         Some(CategoryId::new(2)),
     );
-    engine.inject(UserId(1), injected, t0, "demo injection");
+    let _ = engine.inject(UserId(1), injected, t0, "demo injection");
     let mut hops = 0;
     let mut ticks = 0;
     for i in 1..=5u32 {
         let now = t0.advance(TimeSpan::seconds(u64::from(i) * 10));
         let events = engine.tick(UserId(1), now);
-        if let Some(EngineEvent::InjectionDelivered { hops: h, .. }) = events
-            .iter()
-            .find(|e| matches!(e, EngineEvent::InjectionDelivered { .. }))
+        if let Some(EngineEvent::InjectionDelivered { hops: h, .. }) =
+            events.iter().find(|e| matches!(e, EngineEvent::InjectionDelivered { .. }))
         {
             hops = *h;
             ticks = i;
@@ -735,9 +739,9 @@ pub fn e6_injection(seed: u64) -> E6Report {
     let epg = engine.epg.clone();
     let now = t0.advance(TimeSpan::minutes(2));
     let events = engine.player_mut(UserId(1)).unwrap().tick(now, &epg);
-    let played_first = events.iter().any(|e| {
-        matches!(e, pphcr_core::PlayerEvent::ClipStarted(c) if *c == injected)
-    });
+    let played_first = events
+        .iter()
+        .any(|e| matches!(e, pphcr_core::PlayerEvent::ClipStarted(c) if *c == injected));
     E6Report { hops, ticks_to_delivery: ticks, played_first }
 }
 
@@ -855,7 +859,8 @@ pub fn e8_classifier(
             nb.train(u32::from(doc.category.0), &ids);
         }
         for &wer in wers {
-            let mut asr = SimulatedAsr::new(AsrConfig { wer, seed: seed ^ 77, ..Default::default() });
+            let mut asr =
+                SimulatedAsr::new(AsrConfig { wer, seed: seed ^ 77, ..Default::default() });
             let mut correct = 0u32;
             let mut total = 0u32;
             for c in CategoryId::all() {
@@ -1067,10 +1072,8 @@ pub fn e11_ensemble(world: &TripWorld, lambdas: &[f64], k: usize) -> Vec<E11Row>
             }
             score_sum += list.iter().map(|c| c.score).sum::<f64>() / list.len() as f64;
             entropy_sum += category_entropy(&list, &world.repo);
-            let distinct: std::collections::HashSet<u16> = list
-                .iter()
-                .filter_map(|c| world.repo.get(c.clip).map(|m| m.category.0))
-                .collect();
+            let distinct: std::collections::HashSet<u16> =
+                list.iter().filter_map(|c| world.repo.get(c.clip).map(|m| m.category.0)).collect();
             distinct_sum += distinct.len() as f64;
             lists += 1;
         }
@@ -1080,6 +1083,137 @@ pub fn e11_ensemble(world: &TripWorld, lambdas: &[f64], k: usize) -> Vec<E11Row>
             mean_score: score_sum / n,
             entropy_bits: entropy_sum / n,
             distinct_categories: distinct_sum / n,
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// E12 — chaos resilience: delivery under a hostile network.
+// ---------------------------------------------------------------------
+
+/// One row of E12: end-to-end delivery outcomes for one chaos profile.
+#[derive(Debug, Clone)]
+pub struct E12Row {
+    /// The chaos profile name.
+    pub profile: String,
+    /// Editorial injections submitted.
+    pub submitted: u64,
+    /// Injections that reached a player queue.
+    pub delivered: u64,
+    /// Injections abandoned to the dead-letter store.
+    pub dead_lettered: u64,
+    /// Delivery retries performed.
+    pub retries: u64,
+    /// Wire duplicates filtered before application.
+    pub duplicates_filtered: u64,
+    /// Messages lost on the wire.
+    pub wire_dropped: u64,
+    /// Final listener count per ladder rung:
+    /// (healthy, degraded, broadcast-only).
+    pub health: (u64, u64, u64),
+}
+
+impl fmt::Display for E12Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<14} submitted={:>3} delivered={:>3} dead={:>3} retries={:>4} dups={:>3} \
+             dropped={:>4} health=({}/{}/{})",
+            self.profile,
+            self.submitted,
+            self.delivered,
+            self.dead_lettered,
+            self.retries,
+            self.duplicates_filtered,
+            self.wire_dropped,
+            self.health.0,
+            self.health.1,
+            self.health.2,
+        )
+    }
+}
+
+/// E12: submits a stream of editorial injections to a small listener
+/// population under each chaos profile and measures what the
+/// resilience layer does about it: retries, duplicate filtering,
+/// dead-lettering and the final degradation-ladder mix. Every delivery
+/// is accounted for — applied exactly once or dead-lettered, never
+/// lost silently.
+#[must_use]
+pub fn e12_resilience(users: u64, injections_per_user: u64, seed: u64) -> Vec<E12Row> {
+    let profiles = [crate::chaos::ChaosProfile::calm(), crate::chaos::ChaosProfile::lossy_mobile()];
+    let mut rows = Vec::new();
+    for profile in &profiles {
+        let mut engine = Engine::new(EngineConfig::default());
+        profile.apply(&mut engine, seed);
+        let t0 = TimePoint::at(0, 9, 0, 0);
+        for u in 1..=users {
+            engine.register_user(
+                UserProfile {
+                    id: UserId(u),
+                    name: format!("listener {u}"),
+                    age_band: AgeBand::Adult,
+                    favourite_service: ServiceIndex(0),
+                },
+                t0,
+            );
+        }
+        let mut clips = Vec::new();
+        for i in 0..(users * injections_per_user) {
+            let (clip, _) = engine.ingest_clip(
+                format!("push {i}"),
+                ClipKind::Podcast,
+                TimeSpan::minutes(3),
+                t0,
+                None,
+                &[],
+                Some(CategoryId::new((i % 30) as u16)),
+            );
+            clips.push(clip);
+        }
+        let mut submitted = 0u64;
+        let mut delivered = 0u64;
+        let mut clip_iter = clips.into_iter();
+        // Interleave submissions with ticks over a long horizon so
+        // retries and backoff timers get to fire.
+        for step in 0..240u64 {
+            let now = t0.advance(TimeSpan::seconds(step * 30));
+            if step % 8 == 0 {
+                for u in 1..=users {
+                    if let Some(clip) = clip_iter.next() {
+                        if engine.inject(UserId(u), clip, now, "e12").is_ok() {
+                            submitted += 1;
+                        }
+                    }
+                }
+            }
+            for u in 1..=users {
+                let events = engine.tick(UserId(u), now);
+                delivered += events
+                    .iter()
+                    .filter(|e| matches!(e, EngineEvent::InjectionDelivered { .. }))
+                    .count() as u64;
+            }
+        }
+        let dead_lettered = engine
+            .bus
+            .dead_letters()
+            .iter()
+            .filter(|d| {
+                d.reason == pphcr_core::DeadLetterReason::RetryBudgetExhausted
+                    && matches!(d.envelope.message, pphcr_core::BusMessage::Inject { .. })
+            })
+            .count() as u64;
+        rows.push(E12Row {
+            profile: profile.name.to_string(),
+            submitted,
+            delivered,
+            dead_lettered,
+            retries: engine.delivery.retries(),
+            duplicates_filtered: engine.delivery.duplicates_filtered(),
+            wire_dropped: engine.bus.wire_stats().dropped,
+            health: engine.health_counts(),
         });
     }
     rows
@@ -1224,5 +1358,33 @@ mod tests {
         for r in &rows {
             assert!(r.rate > 0.0, "{r}");
         }
+    }
+
+    #[test]
+    fn e12_calm_delivers_everything_without_resilience_machinery() {
+        let rows = e12_resilience(3, 4, 7);
+        let calm = &rows[0];
+        assert_eq!(calm.profile, "calm");
+        assert_eq!(calm.delivered, calm.submitted, "{calm}");
+        assert_eq!(calm.retries, 0, "{calm}");
+        assert_eq!(calm.dead_lettered, 0, "{calm}");
+        assert_eq!(calm.wire_dropped, 0, "{calm}");
+        assert_eq!(calm.health, (3, 0, 0), "{calm}");
+    }
+
+    #[test]
+    fn e12_lossy_engages_retries_and_accounts_for_every_delivery() {
+        let rows = e12_resilience(3, 4, 7);
+        let lossy = &rows[1];
+        assert_eq!(lossy.profile, "lossy-mobile");
+        assert!(lossy.retries > 0, "{lossy}");
+        assert!(lossy.wire_dropped > 0, "{lossy}");
+        assert!(lossy.delivered > 0, "some injections survive the chaos: {lossy}");
+        assert!(
+            lossy.delivered + lossy.dead_lettered <= lossy.submitted,
+            "nothing applied twice: {lossy}"
+        );
+        let (h, d, b) = lossy.health;
+        assert_eq!(h + d + b, 3, "every listener has an explicit health state: {lossy}");
     }
 }

@@ -16,17 +16,21 @@
 //!   channel-surf),
 //! * [`experiments`] — the harness the benches call: each function
 //!   reproduces one experiment of `DESIGN.md` and returns printable
-//!   rows.
+//!   rows,
+//! * [`chaos`] — seeded end-to-end fault profiles (lossy wire, flaky
+//!   unicast) for the chaos suite and experiment E12.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod chaos;
 pub mod corpus;
 pub mod experiments;
 pub mod listener;
 pub mod population;
 pub mod world;
 
+pub use chaos::ChaosProfile;
 pub use corpus::CorpusGenerator;
 pub use listener::{ListenerModel, ListeningOutcome};
 pub use population::{Commuter, Population};

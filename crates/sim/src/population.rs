@@ -42,12 +42,7 @@ impl Commuter {
     /// Categories this commuter genuinely likes (taste > 0.5).
     #[must_use]
     pub fn liked_categories(&self) -> Vec<u16> {
-        self.tastes
-            .iter()
-            .enumerate()
-            .filter(|(_, &t)| t > 0.5)
-            .map(|(i, _)| i as u16)
-            .collect()
+        self.tastes.iter().enumerate().filter(|(_, &t)| t > 0.5).map(|(i, _)| i as u16).collect()
     }
 }
 
@@ -127,8 +122,9 @@ impl Population {
         day: u64,
         noise: GpsNoise,
     ) -> Vec<GpsFix> {
-        let mut rng =
-            StdRng::seed_from_u64(self.seed ^ commuter.index.wrapping_mul(31) ^ day.wrapping_mul(0x5DEECE66D));
+        let mut rng = StdRng::seed_from_u64(
+            self.seed ^ commuter.index.wrapping_mul(31) ^ day.wrapping_mul(0x5DEECE66D),
+        );
         let jitter = rng.gen_range(0..600) as i64 - 300;
         let dep_out = (commuter.departure_out_s as i64 + jitter).max(0) as u64;
         let dep_back = (commuter.departure_back_s as i64 + jitter).max(0) as u64;
@@ -151,7 +147,15 @@ impl Population {
         // Work dwell until return departure.
         let back_at = day0.advance(TimeSpan::seconds(dep_back));
         if back_at > out_end {
-            self.dwell(&mut fixes, city, work_pos, out_end, back_at.since(out_end), &mut rng, noise);
+            self.dwell(
+                &mut fixes,
+                city,
+                work_pos,
+                out_end,
+                back_at.since(out_end),
+                &mut rng,
+                noise,
+            );
         }
         // Return drive.
         let back_end =
@@ -277,8 +281,8 @@ impl Population {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pphcr_trajectory::{MobilityModel, Trace};
     use pphcr_trajectory::model::ModelConfig;
+    use pphcr_trajectory::{MobilityModel, Trace};
 
     fn setup() -> (SyntheticCity, Population) {
         let city = SyntheticCity::generate(10, 400.0, 11);
@@ -345,7 +349,10 @@ mod tests {
         // Same day regenerates identically (determinism).
         let a2 = pop.day_trace(&city, c, 0, GpsNoise::default());
         assert_eq!(a.len(), a2.len());
-        assert_eq!(a.first().map(|f| f.point.lat.to_bits()), a2.first().map(|f| f.point.lat.to_bits()));
+        assert_eq!(
+            a.first().map(|f| f.point.lat.to_bits()),
+            a2.first().map(|f| f.point.lat.to_bits())
+        );
     }
 
     #[test]

@@ -220,10 +220,8 @@ pub fn stay_points(
         .filter(|a| a.count > 0)
         .map(|a| StayPoint {
             id: 0,
-            center: proj.unproject(ProjectedPoint::new(
-                a.sum_x / a.count as f64,
-                a.sum_y / a.count as f64,
-            )),
+            center: proj
+                .unproject(ProjectedPoint::new(a.sum_x / a.count as f64, a.sum_y / a.count as f64)),
             fix_count: a.count,
             total_dwell: TimeSpan::seconds(a.total_dwell),
             visit_count: a.visit_count,

@@ -9,6 +9,33 @@
 use pphcr_geo::{GeoPoint, LocalProjection, Polyline, TimePoint, TimeSpan};
 use serde::{Deserialize, Serialize};
 
+/// Why a GPS fix failed validation.
+///
+/// GPS receivers on cold start emit coordinates off the ellipsoid and
+/// speeds that are NaN, infinite, or negative; the paper's pipeline
+/// must tolerate and name them rather than silently crunching garbage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvalidFix {
+    /// Latitude/longitude non-finite or outside WGS-84 bounds.
+    BadCoordinates,
+    /// Reported speed is NaN or infinite.
+    NonFiniteSpeed,
+    /// Reported speed is negative.
+    NegativeSpeed,
+}
+
+impl std::fmt::Display for InvalidFix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            InvalidFix::BadCoordinates => "coordinates non-finite or out of WGS-84 bounds",
+            InvalidFix::NonFiniteSpeed => "speed is not finite",
+            InvalidFix::NegativeSpeed => "speed is negative",
+        })
+    }
+}
+
+impl std::error::Error for InvalidFix {}
+
 /// One GPS fix from a listener's device.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct GpsFix {
@@ -21,10 +48,39 @@ pub struct GpsFix {
 }
 
 impl GpsFix {
-    /// Creates a fix.
+    /// Creates a fix. Lenient: garbage values are accepted here and
+    /// named by [`GpsFix::validate`] (receivers really do emit them, so
+    /// construction must not panic).
     #[must_use]
     pub fn new(point: GeoPoint, time: TimePoint, speed_mps: f64) -> Self {
         GpsFix { point, time, speed_mps }
+    }
+
+    /// Creates a fix, rejecting invalid coordinates or speed.
+    ///
+    /// # Errors
+    /// The specific [`InvalidFix`] reason.
+    pub fn try_new(point: GeoPoint, time: TimePoint, speed_mps: f64) -> Result<Self, InvalidFix> {
+        let fix = GpsFix { point, time, speed_mps };
+        fix.validate()?;
+        Ok(fix)
+    }
+
+    /// Checks coordinates and speed, naming the first problem found.
+    ///
+    /// # Errors
+    /// The specific [`InvalidFix`] reason.
+    pub fn validate(&self) -> Result<(), InvalidFix> {
+        if !self.point.is_valid() {
+            return Err(InvalidFix::BadCoordinates);
+        }
+        if !self.speed_mps.is_finite() {
+            return Err(InvalidFix::NonFiniteSpeed);
+        }
+        if self.speed_mps < 0.0 {
+            return Err(InvalidFix::NegativeSpeed);
+        }
+        Ok(())
     }
 }
 
@@ -113,7 +169,7 @@ impl Trace {
     /// cold start; the paper's pipeline must tolerate them.
     pub fn sanitize(&mut self) -> usize {
         let before = self.fixes.len();
-        self.fixes.retain(|f| f.point.is_valid() && f.speed_mps.is_finite() && f.speed_mps >= 0.0);
+        self.fixes.retain(|f| f.validate().is_ok());
         before - self.fixes.len()
     }
 }

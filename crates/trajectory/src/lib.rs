@@ -31,7 +31,7 @@ pub mod rdp;
 pub mod smoothing;
 
 pub use dbscan::{dbscan, stay_points, ClusterLabel, DbscanParams, StayPoint};
-pub use fix::{GpsFix, Trace, TripSegmenter};
+pub use fix::{GpsFix, InvalidFix, Trace, TripSegmenter};
 pub use model::{MobilityModel, RouteProfile, TripSummary};
 pub use predict::{MarkovRoutePredictor, TripPrediction, TripPredictor};
 pub use rdp::{rdp_indices, simplify, trajectory_complexity};

@@ -230,8 +230,7 @@ fn aggregate_profiles(trips: &[TripSummary]) -> HashMap<(u32, u32), RouteProfile
         .into_iter()
         .map(|((o, d), ts)| {
             let n = ts.len() as f64;
-            let durations: Vec<f64> =
-                ts.iter().map(|t| t.duration().as_seconds() as f64).collect();
+            let durations: Vec<f64> = ts.iter().map(|t| t.duration().as_seconds() as f64).collect();
             let mean = durations.iter().sum::<f64>() / n;
             let var = durations.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
             let mut hour_histogram = [0u32; 24];
@@ -276,11 +275,7 @@ pub(crate) mod tests {
             // Home 00:00–07:25, every 5 min (total home dwell per day
             // must exceed the office dwell so home ranks first).
             for i in 0..90u64 {
-                fixes.push(GpsFix::new(
-                    home,
-                    d0.advance(TimeSpan::minutes(i * 5)),
-                    0.1,
-                ));
+                fixes.push(GpsFix::new(home, d0.advance(TimeSpan::minutes(i * 5)), 0.1));
             }
             // Commute out 08:00, 20 min, fix every 30 s.
             for i in 0..40u64 {
@@ -293,11 +288,7 @@ pub(crate) mod tests {
             }
             // Work 08:30–17:55, every 10 min.
             for i in 0..57u64 {
-                fixes.push(GpsFix::new(
-                    work,
-                    d0.advance(TimeSpan::minutes(510 + i * 10)),
-                    0.2,
-                ));
+                fixes.push(GpsFix::new(work, d0.advance(TimeSpan::minutes(510 + i * 10)), 0.2));
             }
             // Commute home 18:00.
             for i in 0..40u64 {
@@ -310,11 +301,7 @@ pub(crate) mod tests {
             }
             // Evening at home 18:25–23:55.
             for i in 0..66u64 {
-                fixes.push(GpsFix::new(
-                    home,
-                    d0.advance(TimeSpan::minutes(1105 + i * 5)),
-                    0.1,
-                ));
+                fixes.push(GpsFix::new(home, d0.advance(TimeSpan::minutes(1105 + i * 5)), 0.1));
             }
         }
         (Trace::from_fixes(fixes), proj, home, work)

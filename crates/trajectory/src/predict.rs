@@ -129,17 +129,19 @@ impl TripPredictor {
             return 1.0;
         }
         let pl = Polyline::new(profile.representative.clone());
-        let mean_d = prefix
-            .iter()
-            .map(|p| pl.distance_to(*p).unwrap_or(f64::INFINITY))
-            .sum::<f64>()
-            / prefix.len() as f64;
+        let mean_d =
+            prefix.iter().map(|p| pl.distance_to(*p).unwrap_or(f64::INFINITY)).sum::<f64>()
+                / prefix.len() as f64;
         (-mean_d / self.geometry_scale_m).exp()
     }
 
     /// The part of the representative route still ahead of the driver:
     /// from the projection of the last prefix point onwards.
-    fn route_ahead(&self, prefix: &[ProjectedPoint], profile: &RouteProfile) -> Vec<ProjectedPoint> {
+    fn route_ahead(
+        &self,
+        prefix: &[ProjectedPoint],
+        profile: &RouteProfile,
+    ) -> Vec<ProjectedPoint> {
         let rep = &profile.representative;
         if rep.len() < 2 {
             return rep.clone();
@@ -213,12 +215,7 @@ impl MarkovRoutePredictor {
     pub fn train(&mut self, path: &[ProjectedPoint]) {
         let cells = self.dedup_cells(path);
         for w in cells.windows(3) {
-            *self
-                .transitions
-                .entry((w[0], w[1]))
-                .or_default()
-                .entry(w[2])
-                .or_insert(0) += 1;
+            *self.transitions.entry((w[0], w[1])).or_default().entry(w[2]).or_insert(0) += 1;
             self.observations += 1;
         }
     }
@@ -255,9 +252,8 @@ impl MarkovRoutePredictor {
         let mut b = self.cell_of(cur);
         for _ in 0..steps {
             let Some(counts) = self.transitions.get(&(a, b)) else { break };
-            let Some((&next, _)) = counts
-                .iter()
-                .max_by(|(c1, n1), (c2, n2)| n1.cmp(n2).then_with(|| c2.cmp(c1)))
+            let Some((&next, _)) =
+                counts.iter().max_by(|(c1, n1), (c2, n2)| n1.cmp(n2).then_with(|| c2.cmp(c1)))
             else {
                 break;
             };
@@ -419,11 +415,8 @@ mod tests {
     fn markov_predict_path_follows_training() {
         let mut m = MarkovRoutePredictor::new(100.0);
         m.train(&l_path());
-        let path = m.predict_path(
-            ProjectedPoint::new(150.0, 50.0),
-            ProjectedPoint::new(250.0, 50.0),
-            5,
-        );
+        let path =
+            m.predict_path(ProjectedPoint::new(150.0, 50.0), ProjectedPoint::new(250.0, 50.0), 5);
         assert_eq!(path.len(), 5);
         // All predicted cells continue east along y-cell 0.
         for (i, p) in path.iter().enumerate() {

@@ -71,8 +71,7 @@ pub fn trajectory_complexity(points: &[ProjectedPoint], epsilon_m: f64) -> f64 {
     if simplified.len() < 3 {
         return 0.0;
     }
-    let length_m: f64 =
-        simplified.windows(2).map(|w| w[0].distance_m(w[1])).sum();
+    let length_m: f64 = simplified.windows(2).map(|w| w[0].distance_m(w[1])).sum();
     if length_m < 100.0 {
         return 0.0;
     }
@@ -113,9 +112,8 @@ mod tests {
 
     #[test]
     fn jitter_below_epsilon_is_removed() {
-        let pts: Vec<ProjectedPoint> = (0..50)
-            .map(|i| p(i as f64 * 10.0, if i % 2 == 0 { 0.4 } else { -0.4 }))
-            .collect();
+        let pts: Vec<ProjectedPoint> =
+            (0..50).map(|i| p(i as f64 * 10.0, if i % 2 == 0 { 0.4 } else { -0.4 })).collect();
         let kept = rdp_indices(&pts, 1.0);
         assert_eq!(kept, vec![0, 49]);
     }

@@ -133,13 +133,14 @@ mod tests {
         let trace = Trace::from_fixes(fixes);
         let smoothed = smooth(&trace, &proj, 0.3);
         let wobble = |t: &Trace| -> f64 {
-            t.fixes()
-                .iter()
-                .map(|f| proj.project(f.point).y.abs())
-                .sum::<f64>()
-                / t.len() as f64
+            t.fixes().iter().map(|f| proj.project(f.point).y.abs()).sum::<f64>() / t.len() as f64
         };
-        assert!(wobble(&smoothed) < wobble(&trace) * 0.6, "{} vs {}", wobble(&smoothed), wobble(&trace));
+        assert!(
+            wobble(&smoothed) < wobble(&trace) * 0.6,
+            "{} vs {}",
+            wobble(&smoothed),
+            wobble(&trace)
+        );
         // Length, times, speeds preserved.
         assert_eq!(smoothed.len(), trace.len());
         assert_eq!(smoothed.fixes()[5].time, trace.fixes()[5].time);

@@ -96,9 +96,8 @@ impl PreferenceVector {
     /// Categories sorted by descending preference.
     #[must_use]
     pub fn ranked(&self) -> Vec<(CategoryId, f64)> {
-        let mut out: Vec<(CategoryId, f64)> = (0..CATEGORY_COUNT)
-            .map(|c| (CategoryId(c), self.scores[c as usize]))
-            .collect();
+        let mut out: Vec<(CategoryId, f64)> =
+            (0..CATEGORY_COUNT).map(|c| (CategoryId(c), self.scores[c as usize])).collect();
         out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         out
     }
@@ -185,10 +184,8 @@ impl FeedbackStore {
         let Some(sums) = self.sums.get(&user) else {
             return PreferenceVector::neutral();
         };
-        let scores = sums
-            .iter()
-            .map(|s| (s.value * self.decay_factor(s.last, now)).tanh())
-            .collect();
+        let scores =
+            sums.iter().map(|s| (s.value * self.decay_factor(s.last, now)).tanh()).collect();
         PreferenceVector { scores }
     }
 
@@ -237,8 +234,7 @@ mod tests {
         store.record(ev(1, WINE, FeedbackKind::Like, t0));
         let fresh = store.preferences(UserId(1), t0).score(WINE);
         let later = store.preferences(UserId(1), t0.advance(TimeSpan::hours(24))).score(WINE);
-        let much_later =
-            store.preferences(UserId(1), t0.advance(TimeSpan::hours(240))).score(WINE);
+        let much_later = store.preferences(UserId(1), t0.advance(TimeSpan::hours(240))).score(WINE);
         assert!(fresh > later && later > much_later);
         assert!(much_later > 0.0 && much_later < 0.01);
     }

@@ -150,8 +150,7 @@ impl SessionStore {
         if hist.is_empty() {
             return 0.0;
         }
-        let surfed =
-            hist.iter().filter(|s| matches!(s.end, SessionEnd::Surfed { .. })).count();
+        let surfed = hist.iter().filter(|s| matches!(s.end, SessionEnd::Surfed { .. })).count();
         surfed as f64 / hist.len() as f64
     }
 }

@@ -53,10 +53,11 @@ fn main() {
     let mut gazetteer = Gazetteer::new();
     gazetteer.add_place("fairground", center.destination(45.0, 4_000.0), 1_200.0);
     engine.set_gazetteer(gazetteer);
-    let tokens: Vec<String> = "storia della città vista dal fairground il fairground compie cento anni"
-        .split_whitespace()
-        .map(str::to_string)
-        .collect();
+    let tokens: Vec<String> =
+        "storia della città vista dal fairground il fairground compie cento anni"
+            .split_whitespace()
+            .map(str::to_string)
+            .collect();
     let (geo_clip, cat) = engine.ingest_clip(
         "One hundred years of the fairground",
         ClipKind::Podcast,
@@ -90,21 +91,17 @@ fn main() {
 
     // --- Fig. 6: manual injection ------------------------------------
     println!("editor injects \"One hundred years of the fairground\" to {listener}…");
-    engine.inject(listener, geo_clip, now, "trial: test geo clip on this listener");
-    println!(
-        "pending injections now: {}",
-        engine.injections.pending(listener).len()
-    );
+    engine
+        .inject(listener, geo_clip, now, "trial: test geo clip on this listener")
+        .expect("valid injection target");
+    println!("pending injections now: {}", engine.injections.pending(listener).len());
     let events = engine.tick(listener, now.advance(TimeSpan::seconds(30)));
     for e in &events {
         println!("engine: {e:?}");
     }
     // The injected clip plays next, ahead of anything organic.
     let epg = engine.epg.clone();
-    engine
-        .player_mut(listener)
-        .unwrap()
-        .tick(now.advance(TimeSpan::minutes(1)), &epg);
+    engine.player_mut(listener).unwrap().tick(now.advance(TimeSpan::minutes(1)), &epg);
     match engine.player(listener).unwrap().mode() {
         PlaybackMode::Clip { clip, .. } => {
             println!(
@@ -115,5 +112,8 @@ fn main() {
         }
         other => println!("unexpected mode: {other:?}"),
     }
-    println!("\n{}", Dashboard::render_text(&mut engine, listener, now.advance(TimeSpan::minutes(2))));
+    println!(
+        "\n{}",
+        Dashboard::render_text(&mut engine, listener, now.advance(TimeSpan::minutes(2)))
+    );
 }

@@ -46,7 +46,10 @@ fn main() {
             );
         }
         for i in 0..57 {
-            engine.record_fix(lilly, GpsFix::new(work, d0.advance(TimeSpan::minutes(510 + i * 10)), 0.2));
+            engine.record_fix(
+                lilly,
+                GpsFix::new(work, d0.advance(TimeSpan::minutes(510 + i * 10)), 0.2),
+            );
         }
         for i in 0..40u64 {
             let frac = i as f64 / 39.0;
@@ -60,7 +63,10 @@ fn main() {
             );
         }
         for i in 0..66 {
-            engine.record_fix(lilly, GpsFix::new(home, d0.advance(TimeSpan::minutes(1105 + i * 5)), 0.1));
+            engine.record_fix(
+                lilly,
+                GpsFix::new(home, d0.advance(TimeSpan::minutes(1105 + i * 5)), 0.1),
+            );
         }
     }
 
@@ -168,18 +174,22 @@ fn main() {
             pphcr::core::TimelineEntry::Clip(c) => format!("CLIP {c}"),
             pphcr::core::TimelineEntry::Shifted { delay } => format!("SHIFT -{delay}"),
         };
-        let programme = span
-            .programme
-            .and_then(|id| epg.get(id))
-            .map_or("-", |p| p.title.as_str());
+        let programme = span.programme.and_then(|id| epg.get(id)).map_or("-", |p| p.title.as_str());
         println!("  {} {:<12} {}", span.interval, what, programme);
     }
     println!(
         "  displacement after clips: {} (buffer needed: {})",
         timeline.displacement, timeline.required_buffer
     );
-    println!("  splice plan: {} segments, seams faded over {} samples", plan.segments().len(), plan.fade_samples());
+    println!(
+        "  splice plan: {} segments, seams faded over {} samples",
+        plan.segments().len(),
+        plan.fade_samples()
+    );
 
     // --- Dashboard -------------------------------------------------------
-    println!("\n{}", Dashboard::render_text(&mut engine, lilly, depart.advance(TimeSpan::minutes(10))));
+    println!(
+        "\n{}",
+        Dashboard::render_text(&mut engine, lilly, depart.advance(TimeSpan::minutes(10)))
+    );
 }

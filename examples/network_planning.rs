@@ -46,7 +46,9 @@ fn main() {
     for p in [0.05, 0.1, 0.2, 0.3, 0.5, 0.8, 1.0] {
         match model.hybrid_crossover(listen, p, 1_000_000) {
             Some(n) => println!("  personalized fraction {p:>4.2} → {n} listeners"),
-            None => println!("  personalized fraction {p:>4.2} → never (clips equal the full stream)"),
+            None => {
+                println!("  personalized fraction {p:>4.2} → never (clips equal the full stream)")
+            }
         }
     }
     println!(

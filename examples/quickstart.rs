@@ -68,10 +68,7 @@ fn main() {
     match player.mode() {
         PlaybackMode::Clip { clip, .. } => {
             let meta = engine.repo.get(clip.clip).unwrap();
-            println!(
-                "now playing: \"{}\" [{}] ({})",
-                meta.title, meta.category, meta.duration
-            );
+            println!("now playing: \"{}\" [{}] ({})", meta.title, meta.category, meta.duration);
             assert_ne!(meta.category, CategoryId::from_name("football").unwrap());
         }
         other => println!("player mode: {other:?}"),

@@ -3,8 +3,8 @@
 //! garbage, cold-start users, clip underflow, schedule drift, and
 //! time-shift buffers that are too small for the displacement.
 
-use pphcr::audio::{ClipId, ClipStore, SampleClock, TimeShiftBuffer};
 use pphcr::audio::source::{AudioSource, LiveSource};
+use pphcr::audio::{ClipId, ClipStore, SampleClock, TimeShiftBuffer};
 use pphcr::catalog::{CategoryId, ClipKind, Schedule, ServiceIndex};
 use pphcr::core::{Engine, EngineConfig, PlaybackMode, ReplacementPlanner};
 use pphcr::geo::{GeoPoint, TimePoint, TimeSpan};
@@ -99,7 +99,7 @@ fn queue_underflow_resumes_live() {
         &[],
         Some(CategoryId::new(1)),
     );
-    engine.inject(user, clip, now, "seed the queue");
+    engine.inject(user, clip, now, "seed the queue").unwrap();
     engine.tick(user, now.advance(TimeSpan::seconds(10)));
     let epg = engine.epg.clone();
     let player = engine.player_mut(user).unwrap();
@@ -107,9 +107,7 @@ fn queue_underflow_resumes_live() {
     assert!(matches!(player.mode(), PlaybackMode::Clip { .. }));
     // The clip ends; nothing else queued.
     let events = player.tick(now.advance(TimeSpan::minutes(10)), &epg);
-    assert!(events
-        .iter()
-        .any(|e| matches!(e, pphcr::core::PlayerEvent::ResumedLive { .. })));
+    assert!(events.iter().any(|e| matches!(e, pphcr::core::PlayerEvent::ResumedLive { .. })));
     assert_eq!(player.mode(), PlaybackMode::Shifted);
     assert_eq!(player.displacement(), TimeSpan::minutes(4));
 }
@@ -196,4 +194,61 @@ fn erratic_movement_never_triggers() {
         }
     }
     assert_eq!(events_seen, 0, "no profile, no proactive recommendation");
+}
+
+/// Every user-keyed entry point is total for an unregistered listener:
+/// a typed error where the caller must know, an empty result or a no-op
+/// everywhere else — never a panic.
+#[test]
+fn unregistered_user_is_total_at_every_entry_point() {
+    use pphcr::core::EngineError;
+    use pphcr::userdata::{FeedbackEvent, FeedbackKind};
+
+    let mut engine = Engine::new(EngineConfig::default());
+    let registered = register(&mut engine, 1);
+    let now = TimePoint::at(0, 9, 0, 0);
+    let (clip, _) = engine.ingest_clip(
+        "real clip",
+        ClipKind::Podcast,
+        TimeSpan::minutes(3),
+        now,
+        None,
+        &[],
+        Some(CategoryId::new(1)),
+    );
+    let ghost = UserId(404);
+
+    // Typed errors where silently dropping the request would hide a bug.
+    assert_eq!(
+        engine.change_service(ghost, ServiceIndex(1), now),
+        Err(EngineError::UnknownUser(ghost))
+    );
+    assert_eq!(engine.inject(ghost, clip, now, "push"), Err(EngineError::UnknownUser(ghost)));
+    assert_eq!(
+        engine.inject(registered, ClipId(9_999), now, "push"),
+        Err(EngineError::UnknownClip(ClipId(9_999)))
+    );
+
+    // Empty results / no-ops everywhere else.
+    assert!(engine.tick(ghost, now).is_empty());
+    assert!(engine.skip(ghost, now).is_empty());
+    assert!(engine.heard(ghost).is_empty());
+    assert!(engine.player(ghost).is_none());
+    assert!(engine.player_mut(ghost).is_none());
+    assert!(engine.bearer_for(ghost).is_none());
+    assert!(engine.health_of(ghost).is_none());
+    assert!(engine.user_health(ghost).is_none());
+    engine.record_fix(ghost, GpsFix::new(GeoPoint::new(45.07, 7.69), now, 1.0));
+    engine.record_feedback(FeedbackEvent {
+        user: ghost,
+        clip: Some(clip),
+        category: CategoryId::new(1),
+        kind: FeedbackKind::Like,
+        time: now,
+    });
+    engine.apply_player_events(ghost, &[]);
+
+    // Nothing above disturbed the registered listener.
+    assert!(engine.player(registered).is_some());
+    assert_eq!(engine.health_counts(), (1, 0, 0));
 }

@@ -10,11 +10,11 @@
 use pphcr::audio::source::{ClipSource, LiveSource};
 use pphcr::audio::splice::{PlannedSegment, SegmentSource, SplicePlan};
 use pphcr::audio::{AudioSource, TimeShiftBuffer};
+use pphcr::catalog::CategoryId;
 use pphcr::geo::grid::GridIndex;
 use pphcr::geo::{Polyline, ProjectedPoint, TimePoint, TimeSpan};
 use pphcr::trajectory::{dbscan, rdp_indices, simplify, ClusterLabel, DbscanParams};
 use pphcr::userdata::{FeedbackEvent, FeedbackKind, FeedbackStore, UserId};
-use pphcr::catalog::CategoryId;
 use proptest::prelude::*;
 
 fn arb_points(max_len: usize) -> impl Strategy<Value = Vec<ProjectedPoint>> {
@@ -434,6 +434,143 @@ mod timeline_props {
             }
             prop_assert_eq!(plan.start(), planner.clock.sample_at(start));
             prop_assert_eq!(plan.end(), planner.clock.sample_at(horizon));
+        }
+    }
+}
+
+// ---------------- Resilience: backoff & exactly-once ----------------
+
+mod resilience {
+    use super::*;
+    use pphcr::catalog::ServiceIndex;
+    use pphcr::core::{
+        BackoffPolicy, Bus, BusMessage, ChaosRng, DeliveryTracker, Envelope, FaultProfile,
+        FaultyTransport, Topic,
+    };
+
+    proptest! {
+        /// Without jitter the retry delay never shrinks between
+        /// attempts and never exceeds the configured ceiling.
+        #[test]
+        fn backoff_delay_monotone_without_jitter(
+            base_s in 1u64..60,
+            factor in 1.0f64..4.0,
+            max_s in 60u64..600,
+            seed in 0u64..1_000,
+        ) {
+            let policy = BackoffPolicy {
+                base: TimeSpan::seconds(base_s),
+                factor,
+                max_delay: TimeSpan::seconds(max_s),
+                jitter_frac: 0.0,
+                budget: 4,
+            };
+            let mut rng = ChaosRng::new(seed);
+            let mut prev = TimeSpan::ZERO;
+            for attempt in 1..=12u32 {
+                let d = policy.delay_for(attempt, &mut rng);
+                prop_assert!(d >= prev, "delay shrank at attempt {}: {:?} < {:?}", attempt, d, prev);
+                prop_assert!(d <= policy.max_delay, "delay {:?} above ceiling", d);
+                prev = d;
+            }
+        }
+
+        /// Jitter only ever shortens the delay: the jittered value stays
+        /// within `[(1 - jitter) * capped, capped]` up to rounding, with
+        /// a one-second floor.
+        #[test]
+        fn backoff_jitter_bounded(
+            attempt in 1u32..10,
+            jitter in 0.0f64..1.0,
+            seed in 0u64..1_000,
+        ) {
+            let policy = BackoffPolicy { jitter_frac: jitter, ..BackoffPolicy::default() };
+            let mut rng = ChaosRng::new(seed);
+            let capped = (policy.base.as_seconds() as f64
+                * policy.factor.powi(attempt.saturating_sub(1).min(63) as i32))
+                .min(policy.max_delay.as_seconds() as f64);
+            let d = policy.delay_for(attempt, &mut rng).as_seconds() as f64;
+            prop_assert!(d >= 1.0, "one-second floor violated: {}", d);
+            prop_assert!(d <= capped + 0.5, "jitter lengthened the delay: {} > {}", d, capped);
+            prop_assert!(
+                d + 0.5 >= (1.0 - jitter) * capped,
+                "jitter cut too deep: {} < {}", d, (1.0 - jitter) * capped
+            );
+        }
+
+        /// A delivery that is never acknowledged is retried exactly
+        /// `budget` times, then dead-lettered exactly once, leaving the
+        /// ledger empty — the budget is never exceeded.
+        #[test]
+        fn retry_budget_never_exceeded(budget in 0u32..8, seed in 0u64..1_000) {
+            let policy = BackoffPolicy { budget, ..BackoffPolicy::default() };
+            let mut rng = ChaosRng::new(seed);
+            let mut tracker = DeliveryTracker::new();
+            let t0 = TimePoint::at(0, 9, 0, 0);
+            let envelope = Envelope {
+                message: BusMessage::Tuned { user: UserId(1), service: ServiceIndex(0) },
+                published_at: t0,
+                hops: 0,
+                seq: 1,
+            };
+            tracker.register(UserId(1), envelope, t0, &policy, &mut rng);
+            let mut now = t0;
+            let (mut retries, mut dead) = (0u64, 0u64);
+            for _ in 0..64 {
+                // Stride past max_delay so every armed timer has fired.
+                now = now.advance(TimeSpan::minutes(5));
+                let (due, exhausted) = tracker.due_retries(now, &policy, &mut rng);
+                retries += due.len() as u64;
+                dead += exhausted.len() as u64;
+            }
+            prop_assert_eq!(retries, u64::from(budget));
+            prop_assert_eq!(dead, 1);
+            prop_assert_eq!(tracker.outstanding_count(), 0);
+            prop_assert_eq!(tracker.retries(), u64::from(budget));
+            prop_assert_eq!(tracker.exhausted(), 1);
+        }
+
+        /// Duplication and reordering on the wire never defeat the
+        /// seq-based duplicate filter: with no loss, every published
+        /// message is applied exactly once and every wire duplicate is
+        /// filtered.
+        #[test]
+        fn bus_exactly_once_under_reorder_and_duplication(
+            n in 1u64..40,
+            dup in 0.0f64..0.9,
+            reorder in 0.0f64..0.9,
+            seed in 0u64..10_000,
+        ) {
+            let profile = FaultProfile {
+                duplicate_rate: dup,
+                reorder_rate: reorder,
+                ..FaultProfile::none()
+            };
+            let mut bus = Bus::with_transport(Box::new(FaultyTransport::new(profile, seed)));
+            let mut tracker = DeliveryTracker::new();
+            let t0 = TimePoint::at(0, 9, 0, 0);
+            for u in 0..n {
+                bus.publish(
+                    Topic::Recommendation,
+                    BusMessage::Tuned { user: UserId(u), service: ServiceIndex(0) },
+                    t0.advance(TimeSpan::seconds(u)),
+                );
+            }
+            let mut applied = std::collections::HashSet::new();
+            for round in 0..4u64 {
+                bus.advance_clock(t0.advance(TimeSpan::minutes(1 + round)));
+                for env in bus.drain(Topic::Recommendation) {
+                    if tracker.accept(env.seq) {
+                        prop_assert!(applied.insert(env.seq), "seq {} applied twice", env.seq);
+                    }
+                }
+            }
+            prop_assert_eq!(applied.len() as u64, n, "a message was lost without a drop fault");
+            prop_assert_eq!(bus.pending(Topic::Recommendation), 0);
+            prop_assert_eq!(
+                tracker.duplicates_filtered(), bus.wire_stats().duplicated,
+                "every wire duplicate is filtered, nothing else is"
+            );
         }
     }
 }

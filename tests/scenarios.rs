@@ -52,11 +52,8 @@ fn greg_manual_program_change() {
         });
     }
     let mut clips = Vec::new();
-    for (title, cat) in [
-        ("tech one", "technology"),
-        ("tech two", "technology"),
-        ("cucina", "food"),
-    ] {
+    for (title, cat) in [("tech one", "technology"), ("tech two", "technology"), ("cucina", "food")]
+    {
         let (id, _) = engine.ingest_clip(
             title,
             ClipKind::Podcast,
@@ -114,8 +111,10 @@ fn lilly_proactive_morning() {
             );
         }
         for i in 0..57 {
-            engine
-                .record_fix(lilly, GpsFix::new(work, d0.advance(TimeSpan::minutes(510 + i * 10)), 0.2));
+            engine.record_fix(
+                lilly,
+                GpsFix::new(work, d0.advance(TimeSpan::minutes(510 + i * 10)), 0.2),
+            );
         }
         for i in 0..40u64 {
             let frac = i as f64 / 39.0;
@@ -129,8 +128,10 @@ fn lilly_proactive_morning() {
             );
         }
         for i in 0..66 {
-            engine
-                .record_fix(lilly, GpsFix::new(home, d0.advance(TimeSpan::minutes(1105 + i * 5)), 0.1));
+            engine.record_fix(
+                lilly,
+                GpsFix::new(home, d0.advance(TimeSpan::minutes(1105 + i * 5)), 0.1),
+            );
         }
     }
     let warm = TimePoint::at(6, 20, 0, 0);
@@ -257,10 +258,7 @@ fn ingest_pipeline_classifies_and_recommends() {
         PlaybackMode::Clip { clip, .. } => clip.clip,
         other => panic!("expected clip, got {other:?}"),
     };
-    assert_eq!(
-        engine.repo.get(playing).unwrap().category,
-        CategoryId::from_name("wine").unwrap()
-    );
+    assert_eq!(engine.repo.get(playing).unwrap().category, CategoryId::from_name("wine").unwrap());
 }
 
 /// Editorial injection (Fig. 6) outranks organic recommendations and
@@ -300,7 +298,7 @@ fn editorial_injection_preempts_organic() {
         &[],
         Some(CategoryId::new(21)), // a category the user never liked
     );
-    engine.inject(user, pushed, now, "from the dashboard");
+    engine.inject(user, pushed, now, "from the dashboard").unwrap();
     engine.tick(user, now.advance(TimeSpan::seconds(10)));
     // The injected clip plays before any organic one.
     let epg = engine.epg.clone();

@@ -1,0 +1,214 @@
+//! Offline mini-criterion.
+//!
+//! A small wall-clock timing harness exposing the subset of the
+//! criterion 0.5 API the bench crate uses: `Criterion::default()
+//! .sample_size(n)`, `bench_function`, `benchmark_group` with
+//! `throughput` / `bench_with_input` / `finish`, `BenchmarkId`,
+//! `Throughput`, and both `criterion_group!` forms plus
+//! `criterion_main!`. It reports mean time per iteration (and
+//! throughput when configured) on stdout; there are no plots,
+//! statistics, or baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, self.sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// Unit of work used to report throughput.
+#[derive(Debug, Clone)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterized benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Builds an id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+/// A group of related benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used to report rates for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().0);
+        let per_iter = run_one(&label, self.sample_size, &mut f);
+        self.report_throughput(per_iter);
+        self
+    }
+
+    /// Runs a benchmark that borrows an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into().0);
+        let per_iter = run_one(&label, self.sample_size, &mut |b: &mut Bencher| f(b, input));
+        self.report_throughput(per_iter);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+
+    fn report_throughput(&self, per_iter: Duration) {
+        if let Some(tp) = &self.throughput {
+            let secs = per_iter.as_secs_f64().max(1e-12);
+            match tp {
+                Throughput::Elements(n) => {
+                    println!("    thrpt: {:.0} elem/s", *n as f64 / secs);
+                }
+                Throughput::Bytes(n) => {
+                    println!("    thrpt: {:.0} B/s", *n as f64 / secs);
+                }
+            }
+        }
+    }
+}
+
+/// Label newtype so both `&str` and [`BenchmarkId`] are accepted.
+pub struct BenchId(String);
+
+impl From<&str> for BenchId {
+    fn from(s: &str) -> Self {
+        BenchId(s.to_string())
+    }
+}
+
+impl From<String> for BenchId {
+    fn from(s: String) -> Self {
+        BenchId(s)
+    }
+}
+
+impl From<BenchmarkId> for BenchId {
+    fn from(id: BenchmarkId) -> Self {
+        BenchId(id.label)
+    }
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one(label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) -> Duration {
+    // One warm-up call, then a timed run of `sample_size` iterations.
+    let mut warmup = Bencher { iters: 1, elapsed: Duration::ZERO };
+    f(&mut warmup);
+    let mut bencher = Bencher { iters: sample_size as u64, elapsed: Duration::ZERO };
+    f(&mut bencher);
+    let per_iter = bencher.elapsed.checked_div(bencher.iters as u32).unwrap_or(Duration::ZERO);
+    println!("{label}: {per_iter:?}/iter ({} iters)", bencher.iters);
+    per_iter
+}
+
+/// Declares a benchmark group function, in either the simple or the
+/// `name = ...; config = ...; targets = ...` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

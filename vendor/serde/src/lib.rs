@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! The real serde cannot be fetched in this build environment. The
+//! workspace only uses `#[derive(Serialize, Deserialize)]` as an
+//! annotation (actual serialization goes through the hand-rolled JSON
+//! codec in `pphcr-core`), so this crate re-exports no-op derive macros
+//! plus empty marker traits under the same names. `use
+//! serde::{Deserialize, Serialize}` resolves both the macro and the
+//! trait namespace, exactly like the real crate.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no-op here).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no-op here).
+pub trait Deserialize<'de> {}

@@ -1,0 +1,23 @@
+//! No-op derive macros standing in for `serde_derive`.
+//!
+//! This workspace builds in a fully offline environment, so the real
+//! serde cannot be fetched. The codebase only *annotates* types with
+//! `#[derive(Serialize, Deserialize)]`; the single place that actually
+//! serialized values (`pphcr-core::snapshot`) uses a hand-rolled JSON
+//! codec instead. These derives therefore accept the syntax (including
+//! `#[serde(...)]` helper attributes) and expand to nothing, keeping
+//! every annotated type compiling unchanged.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
