@@ -1,0 +1,96 @@
+//! E13 — writes `BENCH_e13.json`: scan-vs-index retrieval throughput
+//! over a months-deep archive plus batch-tick worker scaling, then
+//! gates on the index actually beating the linear scan at the largest
+//! archive point (the CI perf-smoke job fails on a regression).
+//!
+//! Environment overrides (all optional):
+//! * `E13_GRID` — comma-separated `CLIPSxUSERS` retrieval points,
+//!   default `1000x1000,10000x1000`.
+//! * `E13_TICK_USERS` — commuters for the tick-scaling half, default 24.
+//! * `E13_WORKERS` — comma-separated worker counts, default `1,2,8`.
+//! * `E13_MIN_SPEEDUP` — gate on the largest grid point, default 1.0.
+//! * `E13_OUT` — output path, default `BENCH_e13.json`.
+
+use pphcr_core::json::JsonWriter;
+use pphcr_sim::experiments::{e13_retrieval, e13_tick_scaling};
+use std::process::ExitCode;
+
+fn env_or(key: &str, default: &str) -> String {
+    std::env::var(key).unwrap_or_else(|_| default.to_string())
+}
+
+fn parse_grid(spec: &str) -> Vec<(usize, usize)> {
+    spec.split(',')
+        .filter(|s| !s.trim().is_empty())
+        .map(|s| {
+            let (c, u) = s.trim().split_once('x').expect("grid point must be CLIPSxUSERS");
+            (c.parse().expect("clips"), u.parse().expect("users"))
+        })
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let grid = parse_grid(&env_or("E13_GRID", "1000x1000,10000x1000"));
+    let tick_users: u64 = env_or("E13_TICK_USERS", "24").parse().expect("E13_TICK_USERS");
+    let workers: Vec<usize> = env_or("E13_WORKERS", "1,2,8")
+        .split(',')
+        .map(|w| w.trim().parse().expect("E13_WORKERS"))
+        .collect();
+    let min_speedup: f64 = env_or("E13_MIN_SPEEDUP", "1.0").parse().expect("E13_MIN_SPEEDUP");
+    let out_path = env_or("E13_OUT", "BENCH_e13.json");
+
+    println!("=== E13: retrieval index + sharded batch ticks ===");
+    let retrieval = e13_retrieval(&grid, 42);
+    for row in &retrieval {
+        println!("{row}");
+    }
+    let ticks = e13_tick_scaling(tick_users, &workers);
+    for row in &ticks {
+        println!("{row}");
+    }
+
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("experiment", "e13");
+    w.begin_named_array("retrieval");
+    for r in &retrieval {
+        w.begin_object();
+        w.field_u64("clips", r.clips as u64)
+            .field_u64("users", r.users as u64)
+            .field_f64("scan_s", r.scan_s)
+            .field_f64("indexed_s", r.indexed_s)
+            .field_f64("speedup", r.speedup)
+            .field_u64("candidates", r.candidates);
+        w.end_object();
+    }
+    w.end_array();
+    w.begin_named_array("tick_scaling");
+    for r in &ticks {
+        w.begin_object();
+        w.field_u64("users", r.users)
+            .field_u64("workers", r.workers as u64)
+            .field_f64("seconds", r.seconds)
+            .field_f64("user_ticks_per_s", r.user_ticks_per_s)
+            .field_u64("events", r.events);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    let mut doc = w.finish();
+    doc.push('\n');
+    std::fs::write(&out_path, doc).expect("write BENCH_e13.json");
+    println!("wrote {out_path}");
+
+    // The gate: at the largest archive the index must not lose to the
+    // scan (CI runs with the default 1.0; the committed artifact is
+    // generated at full scale where the margin is much wider).
+    let largest = retrieval.iter().max_by_key(|r| r.clips).expect("non-empty grid");
+    if largest.speedup < min_speedup {
+        eprintln!(
+            "FAIL: indexed retrieval speedup {:.2}x at {} clips is below the {:.2}x gate",
+            largest.speedup, largest.clips, min_speedup
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -85,6 +85,14 @@ fn main() {
         println!("{row}");
     }
 
+    println!("\n=== E13: retrieval index + sharded batch ticks ===");
+    for row in exp::e13_retrieval(&[(1_000, 200), (10_000, 200)], 42) {
+        println!("{row}");
+    }
+    for row in exp::e13_tick_scaling(12, &[1, 2, 8]) {
+        println!("{row}");
+    }
+
     println!("\n{:=<78}", "");
     println!("done.");
 }

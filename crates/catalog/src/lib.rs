@@ -16,6 +16,7 @@
 //! * [`schedule`] — the EPG: programmes on a timeline per service,
 //! * [`clipmeta`] — per-clip editorial metadata (category, geo tag,
 //!   transcript),
+//! * [`index`] — the incremental query index (posting lists + geo grid),
 //! * [`repository`] — the queryable content repository.
 
 #![warn(missing_docs)]
@@ -24,6 +25,7 @@
 pub mod category;
 pub mod clipmeta;
 pub mod gazetteer;
+pub mod index;
 pub mod repository;
 pub mod schedule;
 pub mod service;
@@ -31,6 +33,7 @@ pub mod service;
 pub use category::{CategoryId, CATEGORY_COUNT};
 pub use clipmeta::{ClipKind, ClipMetadata, GeoTag};
 pub use gazetteer::{Gazetteer, Place};
+pub use index::RepositoryIndex;
 pub use repository::ContentRepository;
 pub use schedule::{Programme, ProgrammeId, Schedule, ScheduleError};
 pub use service::{Bearer, Service, ServiceIndex};

@@ -3,13 +3,16 @@
 //! Ingests the day's clips (paper: "more than 100 podcasts created
 //! every day") and answers the recommender's candidate queries: by
 //! category, by freshness, by duration window, and by geographic
-//! relevance to a point or a projected route. Geo-tagged clips are
-//! indexed in a uniform grid so route queries do not scan the archive.
+//! relevance to a point or a projected route. All index structures
+//! live in [`RepositoryIndex`] and are maintained incrementally on
+//! ingest: per-category posting lists ordered by publication time
+//! (freshness cutoffs are binary searches) and a uniform grid over
+//! geo-tagged clips (route queries do not scan the archive).
 
 use crate::category::CategoryId;
 use crate::clipmeta::ClipMetadata;
+use crate::index::RepositoryIndex;
 use pphcr_audio::ClipId;
-use pphcr_geo::grid::GridIndex;
 use pphcr_geo::{LocalProjection, Polyline, TimePoint, TimeSpan};
 use std::collections::HashMap;
 
@@ -17,12 +20,7 @@ use std::collections::HashMap;
 #[derive(Debug)]
 pub struct ContentRepository {
     clips: HashMap<ClipId, ClipMetadata>,
-    by_category: HashMap<CategoryId, Vec<ClipId>>,
-    /// Geo-tagged clips indexed by projected tag position.
-    geo_index: GridIndex<ClipId>,
-    /// Largest tag radius ingested; route queries pad their candidate
-    /// window by it so wide-coverage tags are never missed.
-    max_tag_radius_m: f64,
+    index: RepositoryIndex,
     projection: LocalProjection,
 }
 
@@ -32,9 +30,7 @@ impl ContentRepository {
     pub fn new(projection: LocalProjection) -> Self {
         ContentRepository {
             clips: HashMap::new(),
-            by_category: HashMap::new(),
-            geo_index: GridIndex::new(2_000.0),
-            max_tag_radius_m: 0.0,
+            index: RepositoryIndex::new(2_000.0),
             projection,
         }
     }
@@ -45,36 +41,25 @@ impl ContentRepository {
         &self.projection
     }
 
+    /// The index epoch: bumped on every ingest, so caches derived from
+    /// repository contents can detect staleness cheaply.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.index.epoch()
+    }
+
     /// Ingests one clip. Re-ingesting an id replaces the metadata but
     /// keeps index entries consistent.
     pub fn ingest(&mut self, meta: ClipMetadata) {
         if let Some(old) = self.clips.remove(&meta.id) {
-            if let Some(ids) = self.by_category.get_mut(&old.category) {
-                ids.retain(|&c| c != meta.id);
-            }
+            self.index.remove(&old);
             // Grid entries are append-only; rebuild lazily on replace.
             if old.geo.is_some() {
-                self.rebuild_geo_index_except(meta.id);
+                self.index.rebuild_geo(self.clips.values(), meta.id, &self.projection);
             }
         }
-        self.by_category.entry(meta.category).or_default().push(meta.id);
-        if let Some(tag) = meta.geo {
-            self.geo_index.insert(self.projection.project(tag.point), meta.id);
-            self.max_tag_radius_m = self.max_tag_radius_m.max(tag.radius_m);
-        }
+        self.index.insert(&meta, &self.projection);
         self.clips.insert(meta.id, meta);
-    }
-
-    fn rebuild_geo_index_except(&mut self, skip: ClipId) {
-        self.geo_index.clear();
-        for m in self.clips.values() {
-            if m.id == skip {
-                continue;
-            }
-            if let Some(tag) = m.geo {
-                self.geo_index.insert(self.projection.project(tag.point), m.id);
-            }
-        }
     }
 
     /// Looks a clip up.
@@ -95,13 +80,26 @@ impl ContentRepository {
         self.clips.is_empty()
     }
 
-    /// All clips of one category.
+    /// All clips of one category, oldest first.
     #[must_use]
     pub fn by_category(&self, category: CategoryId) -> Vec<&ClipMetadata> {
-        self.by_category
-            .get(&category)
-            .map(|ids| ids.iter().filter_map(|id| self.clips.get(id)).collect())
-            .unwrap_or_default()
+        self.index.postings(category).iter().filter_map(|&(_, id)| self.clips.get(&id)).collect()
+    }
+
+    /// All categories that currently hold at least one clip
+    /// (unspecified order).
+    pub fn indexed_categories(&self) -> impl Iterator<Item = CategoryId> + '_ {
+        self.index.categories()
+    }
+
+    /// Clips of `category` published at or after `since`, oldest first.
+    /// Binary search over the category's posting list: O(log n + hits).
+    pub fn fresh_in_category(
+        &self,
+        category: CategoryId,
+        since: TimePoint,
+    ) -> impl Iterator<Item = &ClipMetadata> {
+        self.index.postings_since(category, since).iter().filter_map(|&(_, id)| self.clips.get(&id))
     }
 
     /// Clips published at or after `since`, newest first.
@@ -123,7 +121,8 @@ impl ContentRepository {
     /// (projected frame).
     #[must_use]
     pub fn geo_near(&self, point: pphcr_geo::ProjectedPoint, radius_m: f64) -> Vec<&ClipMetadata> {
-        self.geo_index
+        self.index
+            .geo()
             .query_radius(point, radius_m)
             .into_iter()
             .filter_map(|(_, id)| self.clips.get(&id))
@@ -151,8 +150,8 @@ impl ContentRepository {
             max_x = max_x.max(p.x);
             max_y = max_y.max(p.y);
         }
-        let pad = corridor_m.max(self.max_tag_radius_m);
-        let candidates = self.geo_index.query_rect(
+        let pad = corridor_m.max(self.index.max_tag_radius_m());
+        let candidates = self.index.geo_in_rect(
             pphcr_geo::ProjectedPoint::new(min_x - pad, min_y - pad),
             pphcr_geo::ProjectedPoint::new(max_x + pad, max_y + pad),
         );
@@ -211,6 +210,27 @@ mod tests {
         let wine = r.by_category(CategoryId::new(8));
         assert_eq!(wine.len(), 2);
         assert!(r.by_category(CategoryId::new(9)).is_empty());
+    }
+
+    #[test]
+    fn fresh_in_category_uses_the_posting_cut() {
+        let r = repo();
+        let fresh: Vec<u64> = r
+            .fresh_in_category(CategoryId::new(8), TimePoint::at(0, 7, 0, 0))
+            .map(|m| m.id.0)
+            .collect();
+        assert_eq!(fresh, vec![2]);
+        let all: Vec<u64> =
+            r.fresh_in_category(CategoryId::new(8), TimePoint::EPOCH).map(|m| m.id.0).collect();
+        assert_eq!(all, vec![1, 2], "oldest first");
+    }
+
+    #[test]
+    fn epoch_advances_with_ingest() {
+        let mut r = repo();
+        let before = r.epoch();
+        r.ingest(meta(4, 5, TimePoint::at(0, 11, 0, 0), 7));
+        assert!(r.epoch() > before);
     }
 
     #[test]

@@ -25,7 +25,7 @@ use pphcr_geo::{
 };
 use pphcr_nlp::{NaiveBayes, Vocabulary};
 use pphcr_recommender::{
-    DriveContext, ListenerContext, ProactivityModel, Recommender, SlotSchedule, Trigger,
+    DriveContext, ListenerContext, ProactivityModel, Recommender, ScoredClip, SlotSchedule, Trigger,
 };
 use pphcr_trajectory::{GpsFix, TripPredictor};
 use pphcr_userdata::{
@@ -55,6 +55,9 @@ pub struct EngineConfig {
     /// A fix older than this at prediction time counts as a stale
     /// mobility input (lossy Tracking topic).
     pub stale_fix_after: TimeSpan,
+    /// Worker threads for [`Engine::tick_batch`]'s speculative
+    /// candidate-scoring phase. `1` disables threading.
+    pub worker_threads: usize,
 }
 
 impl Default for EngineConfig {
@@ -68,6 +71,7 @@ impl Default for EngineConfig {
             backoff: BackoffPolicy::default(),
             chaos_seed: 0x5EED,
             stale_fix_after: TimeSpan::minutes(2),
+            worker_threads: std::thread::available_parallelism().map_or(1, |n| n.get().min(8)),
         }
     }
 }
@@ -164,6 +168,49 @@ struct TripTracker {
     path: Vec<ProjectedPoint>,
 }
 
+/// Cache key for a user's ranked candidate list. Every input that can
+/// change the list is represented by a monotonic revision counter (or
+/// the instant itself), so equal keys guarantee an identical result:
+///
+/// * `epoch` — repository index epoch, bumped on every ingest;
+/// * `feedback_events` — the user's feedback log length (preferences
+///   are a function of the log and `now`);
+/// * `heard_len` — the user's heard-set size (the set only grows, so
+///   its size doubles as a revision);
+/// * `fixes` — the user's stored GPS fix count (trip state and the
+///   mobility model are deterministic functions of the fix sequence);
+/// * `now` — the evaluation instant (freshness window, preference
+///   decay, context).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CandidateCacheKey {
+    epoch: u64,
+    feedback_events: usize,
+    heard_len: usize,
+    fixes: usize,
+    now: TimePoint,
+}
+
+/// A memoized ranked candidate list plus the key it was computed under.
+#[derive(Debug, Clone)]
+struct CachedCandidates {
+    key: CandidateCacheKey,
+    ranked: Vec<ScoredClip>,
+}
+
+/// Number of logical user shards; shard → worker assignment is
+/// `shard % worker_count`, so any worker count divides the same stable
+/// shard space and per-user placement never depends on batch order.
+const USER_SHARDS: u64 = 64;
+
+/// SplitMix64 finalizer — a cheap, well-mixed hash from `UserId` to a
+/// shard, stable across runs and platforms.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
 /// The engine.
 pub struct Engine {
     /// Service line-up.
@@ -210,6 +257,7 @@ pub struct Engine {
     last_acked: HashMap<UserId, SlotSchedule>,
     coverage: Option<CoverageMap>,
     bearers: HashMap<UserId, BearerSelector>,
+    candidate_cache: HashMap<UserId, CachedCandidates>,
 }
 
 impl Engine {
@@ -246,6 +294,7 @@ impl Engine {
             last_acked: HashMap::new(),
             coverage: None,
             bearers: HashMap::new(),
+            candidate_cache: HashMap::new(),
             config,
         }
     }
@@ -663,15 +712,7 @@ impl Engine {
         }
         let trigger = self.proactivity.entry(user).or_default().observe(&ctx);
         if let Some(trigger) = trigger {
-            let heard = self.heard.get(&user).cloned().unwrap_or_default();
-            let prefs = self.feedback.preferences(user, now);
-            let ranked = self.recommender.filter.candidates_excluding(
-                &self.repo,
-                &prefs,
-                &ctx,
-                &self.recommender.weights,
-                &heard,
-            );
+            let ranked = self.ranked_candidates(user, &ctx, now);
             if let Some(drive) = ctx.drive.as_ref() {
                 let schedule = self.recommender.scheduler.pack(&ranked, drive, now);
                 if !schedule.items.is_empty() {
@@ -701,6 +742,161 @@ impl Engine {
         // backoff timer fired; dead-letter the ones out of budget.
         self.sweep_retries(now);
         out
+    }
+
+    /// One engine step for a whole population, sharing the telemetry
+    /// pump and warming the per-user candidate cache with a sharded
+    /// worker pool before the (authoritative) sequential user loop.
+    ///
+    /// The event stream is bit-identical to calling [`Self::tick`] for
+    /// each user in order: the parallel phase only *memoizes* — it
+    /// computes ranked candidate lists for users whose proactivity
+    /// model is about to fire and stores them under an exact cache key;
+    /// the sequential loop recomputes anything the key cannot vouch
+    /// for. Worker count therefore cannot change observable behavior,
+    /// only wall-clock time.
+    pub fn tick_batch(&mut self, users: &[UserId], now: TimePoint) -> Vec<EngineEvent> {
+        self.tick_batch_with(users, now, self.config.worker_threads)
+    }
+
+    /// [`Self::tick_batch`] with an explicit worker count (`1` runs the
+    /// warm phase inline without spawning).
+    pub fn tick_batch_with(
+        &mut self,
+        users: &[UserId],
+        now: TimePoint,
+        workers: usize,
+    ) -> Vec<EngineEvent> {
+        // Drain telemetry once for the whole batch — exactly what the
+        // first sequential tick would do, so contexts are stable from
+        // here through the user loop.
+        self.bus.advance_clock(now);
+        self.pump_tracking();
+        self.pump_feedback();
+        self.warm_candidate_cache(users, now, workers.max(1));
+        let mut out = Vec::new();
+        for &user in users {
+            out.extend(self.tick(user, now));
+        }
+        out
+    }
+
+    /// The cache key for `user`'s ranked candidates at `now`.
+    fn candidate_cache_key(&self, user: UserId, now: TimePoint) -> CandidateCacheKey {
+        CandidateCacheKey {
+            epoch: self.repo.epoch(),
+            feedback_events: self.feedback.event_count(user),
+            heard_len: self.heard.get(&user).map_or(0, HashSet::len),
+            fixes: self.tracking.fix_count(user),
+            now,
+        }
+    }
+
+    /// The user's ranked candidate list: served from the per-user cache
+    /// when every input revision matches, recomputed (and re-cached)
+    /// otherwise. Uses the index-backed retrieval path, which is
+    /// differentially tested to be bit-identical to the linear scan.
+    fn ranked_candidates(
+        &mut self,
+        user: UserId,
+        ctx: &ListenerContext,
+        now: TimePoint,
+    ) -> Vec<ScoredClip> {
+        let key = self.candidate_cache_key(user, now);
+        if let Some(entry) = self.candidate_cache.get(&user) {
+            if entry.key == key {
+                return entry.ranked.clone();
+            }
+        }
+        let heard = self.heard.get(&user).cloned().unwrap_or_default();
+        let prefs = self.feedback.preferences(user, now);
+        let ranked = self.recommender.filter.candidates_indexed_excluding(
+            &self.repo,
+            &prefs,
+            ctx,
+            &self.recommender.weights,
+            &heard,
+        );
+        self.candidate_cache.insert(user, CachedCandidates { key, ranked: ranked.clone() });
+        ranked
+    }
+
+    /// Speculatively fills the candidate cache for every user whose
+    /// proactivity model would fire at `now`, scoring in parallel.
+    ///
+    /// Contexts are built sequentially first (context building memoizes
+    /// trip origins and mobility models behind `&mut self`), then the
+    /// pure retrieval+scoring work fans out over `workers` threads.
+    /// Users are assigned to one of [`USER_SHARDS`] logical shards by a
+    /// `UserId` hash and each worker owns the shards congruent to its
+    /// slot, so the user→worker placement is deterministic and
+    /// independent of batch composition. Results are merged back in
+    /// user order.
+    fn warm_candidate_cache(&mut self, users: &[UserId], now: TimePoint, workers: usize) {
+        type WorkItem = (usize, UserId, ListenerContext, CandidateCacheKey, HashSet<ClipId>);
+        let mut work: Vec<WorkItem> = Vec::new();
+        for (idx, &user) in users.iter().enumerate() {
+            if !self.players.contains_key(&user) {
+                continue;
+            }
+            let ctx = self.context_for(user, now);
+            let fires = match self.proactivity.get(&user) {
+                Some(model) => model.would_trigger(&ctx),
+                None => ProactivityModel::default().would_trigger(&ctx),
+            };
+            if !fires {
+                continue;
+            }
+            let key = self.candidate_cache_key(user, now);
+            if self.candidate_cache.get(&user).is_some_and(|e| e.key == key) {
+                continue;
+            }
+            let heard = self.heard.get(&user).cloned().unwrap_or_default();
+            work.push((idx, user, ctx, key, heard));
+        }
+        if work.is_empty() {
+            return;
+        }
+        let repo = &self.repo;
+        let feedback = &self.feedback;
+        let weights = self.recommender.weights;
+        let filter = self.recommender.filter;
+        let score_item = |(idx, user, ctx, key, heard): &WorkItem| {
+            let prefs = feedback.preferences(*user, now);
+            let ranked = filter.candidates_indexed_excluding(repo, &prefs, ctx, &weights, heard);
+            (*idx, *user, *key, ranked)
+        };
+        let mut results: Vec<(usize, UserId, CandidateCacheKey, Vec<ScoredClip>)> = if workers <= 1
+        {
+            work.iter().map(score_item).collect()
+        } else {
+            std::thread::scope(|s| {
+                let work = &work;
+                let score_item = &score_item;
+                let handles: Vec<_> = (0..workers)
+                    .map(|slot| {
+                        s.spawn(move || {
+                            work.iter()
+                                .filter(|(_, user, ..)| {
+                                    let shard = splitmix64(user.0) % USER_SHARDS;
+                                    shard % workers as u64 == slot as u64
+                                })
+                                .map(score_item)
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                let mut all = Vec::new();
+                for h in handles {
+                    all.extend(h.join().expect("candidate worker panicked"));
+                }
+                all
+            })
+        };
+        results.sort_by_key(|&(idx, ..)| idx);
+        for (_, user, key, ranked) in results {
+            self.candidate_cache.insert(user, CachedCandidates { key, ranked });
+        }
     }
 
     /// Publishes a message on the Recommendation topic and registers it
@@ -900,15 +1096,7 @@ impl Engine {
         let needs_refill = self.players.get(&user).is_some_and(|p| p.queue_len() == 0);
         if needs_refill {
             let ctx = self.context_for(user, now);
-            let heard = self.heard.get(&user).cloned().unwrap_or_default();
-            let prefs = self.feedback.preferences(user, now);
-            let ranked = self.recommender.filter.candidates_excluding(
-                &self.repo,
-                &prefs,
-                &ctx,
-                &self.recommender.weights,
-                &heard,
-            );
+            let ranked = self.ranked_candidates(user, &ctx, now);
             for cand in ranked.iter().take(3) {
                 if let Some(meta) = self.repo.get(cand.clip) {
                     if let Some(player) = self.players.get_mut(&user) {
@@ -1182,6 +1370,68 @@ mod tests {
         assert!(ctx.position.is_none());
         assert!(ctx.drive.is_none());
         assert_eq!(ctx.speed_mps, 0.0);
+    }
+
+    #[test]
+    fn candidate_cache_hits_then_invalidates_on_each_revision() {
+        let mut e = engine();
+        let t = TimePoint::at(0, 9, 0, 0);
+        e.register_user(profile(1), t);
+        for i in 0..5u64 {
+            e.ingest_clip(
+                format!("clip {i}"),
+                ClipKind::Podcast,
+                TimeSpan::minutes(5),
+                t,
+                None,
+                &[],
+                Some(CategoryId::new(9)),
+            );
+        }
+        let ctx = e.context_for(UserId(1), t);
+        let first = e.ranked_candidates(UserId(1), &ctx, t);
+        assert_eq!(first.len(), 5);
+        let cached_key = e.candidate_cache.get(&UserId(1)).unwrap().key;
+        assert_eq!(e.ranked_candidates(UserId(1), &ctx, t), first, "cache hit");
+        assert_eq!(e.candidate_cache.get(&UserId(1)).unwrap().key, cached_key);
+        // Ingest bumps the repo epoch: the new clip must appear.
+        e.ingest_clip(
+            "new clip",
+            ClipKind::Podcast,
+            TimeSpan::minutes(5),
+            t,
+            None,
+            &[],
+            Some(CategoryId::new(9)),
+        );
+        assert_eq!(e.ranked_candidates(UserId(1), &ctx, t).len(), 6, "epoch invalidates");
+        // A feedback write changes the user's event count.
+        let key_before = e.candidate_cache.get(&UserId(1)).unwrap().key;
+        e.record_feedback(FeedbackEvent {
+            user: UserId(1),
+            clip: None,
+            category: CategoryId::new(9),
+            kind: FeedbackKind::Like,
+            time: t,
+        });
+        let _ = e.ranked_candidates(UserId(1), &ctx, t);
+        assert_ne!(e.candidate_cache.get(&UserId(1)).unwrap().key, key_before, "feedback");
+        // A new GPS fix changes the user's fix count.
+        let key_before = e.candidate_cache.get(&UserId(1)).unwrap().key;
+        e.record_fix(UserId(1), GpsFix::new(torino(), t, 0.1));
+        let _ = e.ranked_candidates(UserId(1), &ctx, t);
+        assert_ne!(e.candidate_cache.get(&UserId(1)).unwrap().key, key_before, "fix");
+        // A different `now` is a different key.
+        let key_before = e.candidate_cache.get(&UserId(1)).unwrap().key;
+        let _ = e.ranked_candidates(UserId(1), &ctx, t.advance(TimeSpan::seconds(30)));
+        assert_ne!(e.candidate_cache.get(&UserId(1)).unwrap().key, key_before, "now");
+    }
+
+    #[test]
+    fn tick_batch_ignores_unregistered_users() {
+        let mut e = engine();
+        let events = e.tick_batch(&[UserId(1), UserId(2)], TimePoint::at(0, 9, 0, 0));
+        assert!(events.is_empty());
     }
 
     /// End-to-end proactive flow: a commuter with history starts the

@@ -1,0 +1,155 @@
+//! Batch-tick equivalence: `Engine::tick_batch` must emit a
+//! bit-identical event stream to ticking each user sequentially, for
+//! any worker count. The parallel phase is pure memoization, so this
+//! holds by construction — these tests pin the construction down.
+
+use pphcr_catalog::{CategoryId, ClipKind};
+use pphcr_core::{Engine, EngineConfig, EngineEvent};
+use pphcr_geo::{GeoPoint, TimePoint, TimeSpan};
+use pphcr_trajectory::GpsFix;
+use pphcr_userdata::{AgeBand, UserId, UserProfile};
+
+const TORINO: GeoPoint = GeoPoint { lat: 45.0703, lon: 7.6869 };
+
+fn profile(id: u64) -> UserProfile {
+    UserProfile {
+        id: UserId(id),
+        name: format!("user {id}"),
+        age_band: AgeBand::Adult,
+        favourite_service: pphcr_catalog::ServiceIndex(0),
+    }
+}
+
+/// Builds an engine with `n_users` commuters, each with seven days of
+/// home→work→home history on their own bearing, plus fresh content.
+/// Deterministic: two calls produce identical engines.
+fn commuter_engine(n_users: u64) -> Engine {
+    let mut e = Engine::new(EngineConfig::default());
+    let t0 = TimePoint::at(0, 0, 0, 0);
+    for u in 1..=n_users {
+        e.register_user(profile(u), t0);
+    }
+    for u in 1..=n_users {
+        let home = TORINO.destination(30.0 * u as f64, 1_500.0 * u as f64);
+        let bearing = 80.0 + 15.0 * u as f64;
+        for day in 0..7u64 {
+            let d0 = TimePoint::at(day, 0, 0, 0);
+            for i in 0..90u64 {
+                e.record_fix(
+                    UserId(u),
+                    GpsFix::new(home, d0.advance(TimeSpan::minutes(i * 5)), 0.1),
+                );
+            }
+            for i in 0..40u64 {
+                let frac = i as f64 / 39.0;
+                e.record_fix(
+                    UserId(u),
+                    GpsFix::new(
+                        home.destination(bearing, frac * 9_000.0),
+                        d0.advance(TimeSpan::hours(8)).advance(TimeSpan::seconds(i * 30)),
+                        7.5,
+                    ),
+                );
+            }
+            let work = home.destination(bearing, 9_000.0);
+            for i in 0..57u64 {
+                e.record_fix(
+                    UserId(u),
+                    GpsFix::new(work, d0.advance(TimeSpan::minutes(510 + i * 10)), 0.2),
+                );
+            }
+            for i in 0..40u64 {
+                let frac = i as f64 / 39.0;
+                e.record_fix(
+                    UserId(u),
+                    GpsFix::new(
+                        work.destination(bearing + 180.0, frac * 9_000.0),
+                        d0.advance(TimeSpan::hours(18)).advance(TimeSpan::seconds(i * 30)),
+                        7.5,
+                    ),
+                );
+            }
+            for i in 0..66u64 {
+                e.record_fix(
+                    UserId(u),
+                    GpsFix::new(home, d0.advance(TimeSpan::minutes(1105 + i * 5)), 0.1),
+                );
+            }
+        }
+    }
+    for i in 0..20u64 {
+        e.ingest_clip(
+            format!("morning clip {i}"),
+            ClipKind::Podcast,
+            TimeSpan::minutes(4),
+            TimePoint::at(7, 5, 0, 0),
+            None,
+            &[],
+            Some(CategoryId::new((i % 7) as u16)),
+        );
+    }
+    e
+}
+
+/// Drives day-8 commutes through `step`, collecting every event.
+fn run_day8<F>(e: &mut Engine, n_users: u64, mut step: F) -> Vec<EngineEvent>
+where
+    F: FnMut(&mut Engine, &[UserId], TimePoint) -> Vec<EngineEvent>,
+{
+    let users: Vec<UserId> = (1..=n_users).map(UserId).collect();
+    let d8 = TimePoint::at(7, 8, 0, 0);
+    let mut out = Vec::new();
+    for i in 0..12u64 {
+        let now = d8.advance(TimeSpan::seconds(i * 30));
+        for &u in &users {
+            let home = TORINO.destination(30.0 * u.0 as f64, 1_500.0 * u.0 as f64);
+            let bearing = 80.0 + 15.0 * u.0 as f64;
+            let frac = i as f64 / 39.0;
+            e.record_fix(u, GpsFix::new(home.destination(bearing, frac * 9_000.0), now, 7.5));
+        }
+        out.extend(step(e, &users, now));
+    }
+    out
+}
+
+#[test]
+fn tick_batch_matches_sequential_ticks_across_worker_counts() {
+    let n = 3;
+    let mut sequential = commuter_engine(n);
+    let reference = run_day8(&mut sequential, n, |e, users, now| {
+        let mut evs = Vec::new();
+        for &u in users {
+            evs.extend(e.tick(u, now));
+        }
+        evs
+    });
+    assert!(
+        reference.iter().any(|ev| matches!(ev, EngineEvent::Recommended { .. })),
+        "scenario must exercise the proactive path"
+    );
+    for workers in [1usize, 2, 8] {
+        let mut batched = commuter_engine(n);
+        let events =
+            run_day8(&mut batched, n, |e, users, now| e.tick_batch_with(users, now, workers));
+        assert_eq!(
+            events, reference,
+            "tick_batch with {workers} workers diverged from sequential ticks"
+        );
+    }
+}
+
+#[test]
+fn tick_batch_default_workers_matches_sequential() {
+    let n = 2;
+    let mut sequential = commuter_engine(n);
+    let reference = run_day8(&mut sequential, n, |e, users, now| {
+        let mut evs = Vec::new();
+        for &u in users {
+            evs.extend(e.tick(u, now));
+        }
+        evs
+    });
+    let mut batched = commuter_engine(n);
+    let events = run_day8(&mut batched, n, |e, users, now| e.tick_batch(users, now));
+    assert_eq!(events, reference);
+}

@@ -7,6 +7,20 @@
 //! not dislike, clips fitting the available time, plus every geo-tagged
 //! clip near the route ahead (those may win on context alone — Fig. 2's
 //! item B).
+//!
+//! Two retrieval paths produce the same shortlist:
+//!
+//! * [`CandidateFilter::candidates_excluding`] — the reference linear
+//!   scan over every clip in the repository;
+//! * [`CandidateFilter::candidates_indexed_excluding`] — index-backed
+//!   retrieval over the repository's per-category posting lists
+//!   (freshness cutoff by binary search) unioned with grid-bucketed
+//!   route geo hits, then scoring only that set.
+//!
+//! The two are differentially tested to be bit-identical: both apply
+//! the same inclusion predicate, the same [`score_one`] arithmetic and
+//! the same total-order sort, so the only difference is how the
+//! candidate set is *found*.
 
 use crate::context::ListenerContext;
 use crate::score::ScoringWeights;
@@ -15,7 +29,21 @@ use pphcr_catalog::{ClipMetadata, ContentRepository};
 use pphcr_geo::{TimePoint, TimeSpan};
 use pphcr_userdata::PreferenceVector;
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+
+/// Maps a raw compound score into the ranking domain: NaN collapses to
+/// zero, everything else clamps into `[0, 1]`. Ranking runs on
+/// `total_cmp`, and a NaN entering it would sort *above* every real
+/// score (positive NaN is `total_cmp`'s maximum), silently promoting a
+/// broken candidate to the top — so reject it at the boundary instead.
+#[must_use]
+pub fn sanitize_score(score: f64) -> f64 {
+    if score.is_nan() {
+        0.0
+    } else {
+        score.clamp(0.0, 1.0)
+    }
+}
 
 /// A candidate clip with its relevance breakdown.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -36,6 +64,34 @@ pub struct ScoredClip {
     /// Along-route position of the tag (meters from the current
     /// position), for geo-pinned scheduling.
     pub along_route_m: Option<f64>,
+}
+
+impl ScoredClip {
+    /// Builds a scored candidate, guarding the ranking invariant at the
+    /// constructor: the compound score must not be NaN (debug builds
+    /// assert; release builds sanitize into `[0, 1]`).
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        clip: ClipId,
+        duration: TimeSpan,
+        score: f64,
+        content_score: f64,
+        context_score: f64,
+        geo_distance_m: Option<f64>,
+        along_route_m: Option<f64>,
+    ) -> Self {
+        debug_assert!(!score.is_nan(), "NaN compound score for {clip:?}");
+        ScoredClip {
+            clip,
+            duration,
+            score: sanitize_score(score),
+            content_score,
+            context_score,
+            geo_distance_m,
+            along_route_m,
+        }
+    }
 }
 
 /// Candidate filtering parameters.
@@ -77,6 +133,8 @@ impl CandidateFilter {
     }
 
     /// Like [`Self::candidates`], excluding already-played clips.
+    /// Reference linear scan: every clip in the repository is tested
+    /// against the inclusion predicate.
     #[must_use]
     pub fn candidates_excluding(
         &self,
@@ -87,18 +145,7 @@ impl CandidateFilter {
         exclude: &HashSet<ClipId>,
     ) -> Vec<ScoredClip> {
         let cutoff = ctx.now.rewind(self.max_age);
-        // Geo matches along the route ahead (id → (distance, along)).
-        let mut geo_hits: std::collections::HashMap<ClipId, (f64, f64)> =
-            std::collections::HashMap::new();
-        if let Some(drive) = ctx.drive.as_ref() {
-            for (meta, along) in repo.geo_along_route(&drive.route_ahead, self.route_corridor_m) {
-                let dist = drive
-                    .route_ahead
-                    .distance_to(repo.projection().project(meta.geo.expect("geo hit").point))
-                    .unwrap_or(f64::INFINITY);
-                geo_hits.insert(meta.id, (dist, along));
-            }
-        }
+        let geo_hits = self.geo_hits_for(repo, ctx);
         let mut out: Vec<ScoredClip> = Vec::new();
         for meta in repo.iter() {
             if exclude.contains(&meta.id) {
@@ -113,17 +160,110 @@ impl CandidateFilter {
             }
             out.push(self.score_one(meta, prefs, ctx, weights, &geo_hits));
         }
-        out.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.clip.cmp(&b.clip)));
-        // Truncate by score, but never drop route geo matches: Fig. 2's
-        // item B must reach the scheduler even when its compound score
-        // is mid-pack — the *scheduler* decides whether it fits.
+        self.finalize(out)
+    }
+
+    /// Index-backed retrieval: the same shortlist as
+    /// [`Self::candidates_excluding`], found without scanning the
+    /// repository. Candidates are the union of (a) posting-list
+    /// suffixes (binary-searched freshness cutoff) of every category
+    /// whose preference clears the threshold, and (b) grid-bucketed
+    /// geo hits along the route ahead. Only that set is scored.
+    #[must_use]
+    pub fn candidates_indexed(
+        &self,
+        repo: &ContentRepository,
+        prefs: &PreferenceVector,
+        ctx: &ListenerContext,
+        weights: &ScoringWeights,
+    ) -> Vec<ScoredClip> {
+        self.candidates_indexed_excluding(repo, prefs, ctx, weights, &HashSet::new())
+    }
+
+    /// Like [`Self::candidates_indexed`], excluding already-played
+    /// clips.
+    #[must_use]
+    pub fn candidates_indexed_excluding(
+        &self,
+        repo: &ContentRepository,
+        prefs: &PreferenceVector,
+        ctx: &ListenerContext,
+        weights: &ScoringWeights,
+        exclude: &HashSet<ClipId>,
+    ) -> Vec<ScoredClip> {
+        let cutoff = ctx.now.rewind(self.max_age);
+        let geo_hits = self.geo_hits_for(repo, ctx);
+        let mut out: Vec<ScoredClip> = Vec::new();
+        let mut seen: HashSet<ClipId> = HashSet::new();
+        for category in repo.indexed_categories().collect::<Vec<_>>() {
+            if prefs.score(category) < self.min_category_pref {
+                continue;
+            }
+            for meta in repo.fresh_in_category(category, cutoff) {
+                if exclude.contains(&meta.id) {
+                    continue;
+                }
+                seen.insert(meta.id);
+                out.push(self.score_one(meta, prefs, ctx, weights, &geo_hits));
+            }
+        }
+        // Geo hits ride along regardless of freshness or preference;
+        // skip the ones the category pass already scored.
+        for &id in geo_hits.keys() {
+            if seen.contains(&id) || exclude.contains(&id) {
+                continue;
+            }
+            let Some(meta) = repo.get(id) else { continue };
+            out.push(self.score_one(meta, prefs, ctx, weights, &geo_hits));
+        }
+        self.finalize(out)
+    }
+
+    /// Route geo matches for the drive ahead (id → (distance, along)).
+    /// A tag whose projection onto the route is missing or non-finite
+    /// cannot be placed on the drive, so it is *not* a geo hit — the
+    /// clip falls back to the ordinary freshness/preference predicate
+    /// instead of carrying an infinite distance into scoring.
+    fn geo_hits_for(
+        &self,
+        repo: &ContentRepository,
+        ctx: &ListenerContext,
+    ) -> HashMap<ClipId, (f64, f64)> {
+        let mut geo_hits = HashMap::new();
+        let Some(drive) = ctx.drive.as_ref() else { return geo_hits };
+        for (meta, along) in repo.geo_along_route(&drive.route_ahead, self.route_corridor_m) {
+            let tag = meta.geo.expect("geo hit has a tag");
+            match drive.route_ahead.distance_to(repo.projection().project(tag.point)) {
+                Some(dist) if dist.is_finite() && along.is_finite() => {
+                    geo_hits.insert(meta.id, (dist, along));
+                }
+                _ => {}
+            }
+        }
+        geo_hits
+    }
+
+    /// Sorts best-first, truncates to `max_candidates`, then re-merges
+    /// geo hits spared from truncation back into descending-score
+    /// order. Route geo matches are never dropped (Fig. 2's item B must
+    /// reach the scheduler even when its compound score is mid-pack —
+    /// the *scheduler* decides whether it fits), but they must not
+    /// break the "best first" contract either: callers such as the
+    /// engine's skip path take a prefix of this list directly.
+    fn finalize(&self, mut out: Vec<ScoredClip>) -> Vec<ScoredClip> {
+        let by_score_desc =
+            |a: &ScoredClip, b: &ScoredClip| b.score.total_cmp(&a.score).then(a.clip.cmp(&b.clip));
+        out.sort_by(by_score_desc);
         if out.len() > self.max_candidates {
             let spared: Vec<ScoredClip> = out
                 .split_off(self.max_candidates)
                 .into_iter()
                 .filter(|c| c.along_route_m.is_some())
                 .collect();
-            out.extend(spared);
+            if !spared.is_empty() {
+                out.extend(spared);
+                out.sort_by(by_score_desc);
+            }
         }
         out
     }
@@ -134,7 +274,7 @@ impl CandidateFilter {
         prefs: &PreferenceVector,
         ctx: &ListenerContext,
         weights: &ScoringWeights,
-        geo_hits: &std::collections::HashMap<ClipId, (f64, f64)>,
+        geo_hits: &HashMap<ClipId, (f64, f64)>,
     ) -> ScoredClip {
         let hit = geo_hits.get(&meta.id).copied();
         let geo_distance_m = hit.map(|(d, _)| d);
@@ -142,15 +282,15 @@ impl CandidateFilter {
         let content_score = weights.content_relevance(prefs, meta);
         let context_score = weights.context_relevance(meta, ctx, geo_distance_m);
         let score = weights.compound(prefs, meta, ctx, geo_distance_m);
-        ScoredClip {
-            clip: meta.id,
-            duration: meta.duration,
+        ScoredClip::new(
+            meta.id,
+            meta.duration,
             score,
             content_score,
             context_score,
             geo_distance_m,
             along_route_m,
-        }
+        )
     }
 }
 
@@ -227,6 +367,25 @@ mod tests {
         ListenerContext::stationary(TimePoint::at(0, 9, 0, 0))
     }
 
+    fn driving_ctx(now: TimePoint) -> ListenerContext {
+        let prediction = TripPrediction {
+            destination: 1,
+            confidence: 0.9,
+            total_duration: TimeSpan::minutes(20),
+            remaining: TimeSpan::minutes(18),
+            route_ahead: vec![ProjectedPoint::new(0.0, 0.0), ProjectedPoint::new(10_000.0, 0.0)],
+            complexity: 0.5,
+            posterior: vec![(1, 1.0)],
+        };
+        ListenerContext {
+            now,
+            position: Some(ProjectedPoint::new(0.0, 0.0)),
+            speed_mps: 10.0,
+            drive: Some(DriveContext::new(prediction, vec![])),
+            ambient: Default::default(),
+        }
+    }
+
     #[test]
     fn liked_category_ranks_first_disliked_is_dropped() {
         let filter = CandidateFilter::default();
@@ -298,22 +457,7 @@ mod tests {
             radius_m: 800.0,
         });
         r.ingest(pinned);
-        let prediction = TripPrediction {
-            destination: 1,
-            confidence: 0.9,
-            total_duration: TimeSpan::minutes(20),
-            remaining: TimeSpan::minutes(18),
-            route_ahead: vec![ProjectedPoint::new(0.0, 0.0), ProjectedPoint::new(10_000.0, 0.0)],
-            complexity: 0.5,
-            posterior: vec![(1, 1.0)],
-        };
-        let drive_ctx = ListenerContext {
-            now: TimePoint::at(10, 8, 0, 0), // clip is 10 days old
-            position: Some(ProjectedPoint::new(0.0, 0.0)),
-            speed_mps: 10.0,
-            drive: Some(DriveContext::new(prediction, vec![])),
-            ambient: Default::default(),
-        };
+        let drive_ctx = driving_ctx(TimePoint::at(10, 8, 0, 0)); // clip is 10 days old
         let p = prefs(1, &[], &[5]);
         let cands =
             CandidateFilter::default().candidates(&r, &p, &drive_ctx, &ScoringWeights::default());
@@ -322,5 +466,100 @@ mod tests {
         assert!(hit.along_route_m.is_some());
         assert!((hit.along_route_m.unwrap() - 5_000.0).abs() < 10.0);
         assert!(hit.geo_distance_m.unwrap() < 10.0);
+    }
+
+    #[test]
+    fn spared_geo_hits_stay_in_score_order() {
+        // Regression: geo hits spared from truncation must be merged
+        // back in descending-score order, not tacked on however they
+        // came — callers take a prefix of this list directly.
+        let mut r = ContentRepository::new(LocalProjection::new(TORINO));
+        let proj = *r.projection();
+        let drive_ctx = driving_ctx(TimePoint::at(10, 8, 0, 0));
+        for i in 0..40 {
+            // Fresh clips in liked categories: these fill the cut.
+            r.ingest(meta(i, (i % 4) as u16, drive_ctx.now.rewind(TimeSpan::hours(2)), 5));
+        }
+        // Two stale, disliked, far-off-corridor geo-pinned clips:
+        // below the cut on score, spared for being near the route.
+        for (id, along) in [(100u64, 3_000.0), (101u64, 7_000.0)] {
+            let mut pinned = meta(id, 5, TimePoint::EPOCH, 4);
+            pinned.geo = Some(GeoTag {
+                point: proj.unproject(ProjectedPoint::new(along, 1_900.0)),
+                radius_m: 500.0,
+            });
+            r.ingest(pinned);
+        }
+        let filter = CandidateFilter { max_candidates: 10, ..Default::default() };
+        let p = prefs(1, &[0, 1, 2, 3], &[5]);
+        let cands = filter.candidates(&r, &p, &drive_ctx, &ScoringWeights::default());
+        assert!(cands.len() > filter.max_candidates, "geo hits spared");
+        for id in [100u64, 101] {
+            assert!(cands.iter().any(|c| c.clip == ClipId(id)), "spared {id}");
+        }
+        assert!(
+            cands.windows(2).all(|w| w[0].score >= w[1].score),
+            "best-first broken: {:?}",
+            cands.iter().map(|c| (c.clip, c.score)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn tag_past_route_end_scores_finite() {
+        // Regression: a tag beyond the end of the route projects onto
+        // the final vertex; its distance must stay finite and must not
+        // poison the compound score with infinities.
+        let mut r = ContentRepository::new(LocalProjection::new(TORINO));
+        let proj = *r.projection();
+        let mut past_end = meta(7, 5, TimePoint::EPOCH, 4);
+        past_end.geo = Some(GeoTag {
+            point: proj.unproject(ProjectedPoint::new(10_400.0, 0.0)),
+            radius_m: 800.0,
+        });
+        r.ingest(past_end);
+        let drive_ctx = driving_ctx(TimePoint::at(10, 8, 0, 0));
+        let cands = CandidateFilter::default().candidates(
+            &r,
+            &PreferenceVector::neutral(),
+            &drive_ctx,
+            &ScoringWeights::default(),
+        );
+        let hit = cands.iter().find(|c| c.clip == ClipId(7)).expect("tag in corridor");
+        let dist = hit.geo_distance_m.expect("still a geo hit");
+        assert!(dist.is_finite(), "distance must be finite, got {dist}");
+        assert!((dist - 400.0).abs() < 10.0, "clamped to route end");
+        assert!((hit.along_route_m.unwrap() - 10_000.0).abs() < 10.0);
+        assert!(hit.score.is_finite() && (0.0..=1.0).contains(&hit.score));
+    }
+
+    #[test]
+    fn sanitize_score_rejects_nan_and_clamps() {
+        assert_eq!(sanitize_score(f64::NAN), 0.0);
+        assert_eq!(sanitize_score(f64::INFINITY), 1.0);
+        assert_eq!(sanitize_score(f64::NEG_INFINITY), 0.0);
+        assert_eq!(sanitize_score(-0.25), 0.0);
+        assert_eq!(sanitize_score(1.75), 1.0);
+        assert_eq!(sanitize_score(0.42), 0.42);
+    }
+
+    #[test]
+    fn indexed_retrieval_matches_scan_on_fixture() {
+        let mut r = repo();
+        let proj = *r.projection();
+        let mut pinned = meta(42, 5, TimePoint::EPOCH, 4);
+        pinned.geo = Some(GeoTag {
+            point: proj.unproject(ProjectedPoint::new(5_000.0, 0.0)),
+            radius_m: 800.0,
+        });
+        r.ingest(pinned);
+        let filter = CandidateFilter::default();
+        let weights = ScoringWeights::default();
+        let p = prefs(1, &[8], &[5]);
+        let exclude: HashSet<ClipId> = [ClipId(3)].into_iter().collect();
+        for c in [ctx(), driving_ctx(TimePoint::at(10, 8, 0, 0))] {
+            let scan = filter.candidates_excluding(&r, &p, &c, &weights, &exclude);
+            let indexed = filter.candidates_indexed_excluding(&r, &p, &c, &weights, &exclude);
+            assert_eq!(scan, indexed);
+        }
     }
 }

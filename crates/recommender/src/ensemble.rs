@@ -47,7 +47,10 @@ pub fn diversify(
     k: usize,
 ) -> Vec<ScoredClip> {
     let lambda = lambda.clamp(0.0, 1.0);
-    let mut remaining: Vec<&ScoredClip> = ranked.iter().collect();
+    // The MMR objective feeds `total_cmp`; a NaN relevance would win
+    // every comparison. `ScoredClip::new` sanitizes scores into [0, 1],
+    // so filter defensively rather than trusting every caller.
+    let mut remaining: Vec<&ScoredClip> = ranked.iter().filter(|c| c.score.is_finite()).collect();
     let mut selected: Vec<ScoredClip> = Vec::with_capacity(k.min(ranked.len()));
     while selected.len() < k && !remaining.is_empty() {
         let (best_idx, _) = remaining

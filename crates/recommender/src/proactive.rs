@@ -89,6 +89,43 @@ impl ProactivityModel {
         Some(Trigger::TripStarted)
     }
 
+    /// Non-mutating peek: would [`Self::observe`] fire for `ctx`?
+    /// Replicates the same gate sequence without touching the driving
+    /// clock or the cooldown state, so batch pipelines can decide
+    /// whether candidate generation is worth speculating for a user
+    /// before the authoritative sequential `observe` call.
+    #[must_use]
+    pub fn would_trigger(&self, ctx: &ListenerContext) -> bool {
+        let driving_since = if ctx.is_driving() {
+            match self.driving_since {
+                Some(t) => Some(t),
+                None => Some(ctx.now),
+            }
+        } else {
+            None
+        };
+        let Some(driving_since) = driving_since else { return false };
+        if ctx.now.since(driving_since) < self.min_driving {
+            return false;
+        }
+        let Some(drive) = ctx.drive.as_ref() else { return false };
+        if drive.prediction.confidence < self.min_confidence {
+            return false;
+        }
+        if drive.delta_t() < self.min_delta_t {
+            return false;
+        }
+        if drive.zone_windows().iter().any(|&(a, _)| a == 0) {
+            return false;
+        }
+        if let Some(last) = self.last_delivery {
+            if ctx.now.since(last) < self.cooldown {
+                return false;
+            }
+        }
+        true
+    }
+
     /// Resets the driving state (trip ended, app restarted).
     pub fn reset(&mut self) {
         self.driving_since = None;
@@ -208,6 +245,32 @@ mod tests {
         let mut later = ListenerContext::stationary(t0.advance(TimeSpan::minutes(3)));
         later.speed_mps = 10.0;
         assert_eq!(model.observe(&later), None);
+    }
+
+    #[test]
+    fn would_trigger_peek_matches_observe_without_mutating() {
+        let mut model = ProactivityModel::default();
+        let t0 = TimePoint::at(0, 8, 0, 0);
+        // Peek repeatedly before any observe: must not start the
+        // driving clock.
+        for _ in 0..3 {
+            assert!(!model.would_trigger(&driving_ctx(t0, 0.8, 20)));
+        }
+        assert_eq!(model.observe(&driving_ctx(t0, 0.8, 20)), None);
+        let steps = [
+            (1u64, 0.8, 20u64),
+            (2, 0.8, 19),
+            (3, 0.2, 18), // confidence dip
+            (4, 0.8, 17),
+            (5, 0.8, 16), // inside cooldown after the minute-2 fire
+            (13, 0.8, 8),
+        ];
+        for (min, conf, rem) in steps {
+            let ctx = driving_ctx(t0.advance(TimeSpan::minutes(min)), conf, rem);
+            let predicted = model.would_trigger(&ctx);
+            let fired = model.observe(&ctx).is_some();
+            assert_eq!(predicted, fired, "peek disagrees with observe at minute {min}");
+        }
     }
 
     #[test]

@@ -144,9 +144,17 @@ impl SchedulerConfig {
             return schedule; // too short a trip to interrupt at all
         }
         // Phase 1: selection.
+        // Non-finite scores would corrupt the knapsack value function
+        // and the `total_cmp` orderings below; the constructor-level
+        // sanitizer makes them impossible for well-formed candidates,
+        // so drop any stragglers defensively.
         let usable: Vec<&ScoredClip> = ranked
             .iter()
-            .filter(|c| c.duration.as_seconds() > 0 && c.duration.as_seconds() <= budget_s)
+            .filter(|c| {
+                c.score.is_finite()
+                    && c.duration.as_seconds() > 0
+                    && c.duration.as_seconds() <= budget_s
+            })
             .collect();
         let selected = match self.selection {
             Selection::ExactDp => knapsack_dp(&usable, budget_s, self.max_items),

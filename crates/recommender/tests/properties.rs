@@ -2,15 +2,16 @@
 //! invariants.
 
 use pphcr_audio::ClipId;
-use pphcr_catalog::{CategoryId, ClipKind, ClipMetadata, ContentRepository};
+use pphcr_catalog::{CategoryId, ClipKind, ClipMetadata, ContentRepository, GeoTag};
 use pphcr_geo::{GeoPoint, LocalProjection, ProjectedPoint, TimePoint, TimeSpan};
 use pphcr_recommender::{
-    category_entropy, diversify, DriveContext, ListenerContext, SchedulerConfig, ScoredClip,
-    ScoringWeights,
+    category_entropy, diversify, sanitize_score, CandidateFilter, DriveContext, ListenerContext,
+    SchedulerConfig, ScoredClip, ScoringWeights,
 };
 use pphcr_trajectory::TripPrediction;
 use pphcr_userdata::{FeedbackEvent, FeedbackKind, FeedbackStore, UserId};
 use proptest::prelude::*;
+use std::collections::HashSet;
 
 fn meta(id: u64, cat: u16, minutes: u64, confidence: f64) -> ClipMetadata {
     ClipMetadata {
@@ -146,5 +147,91 @@ proptest! {
         // Entropy is bounded by log2 of the list length.
         let h = category_entropy(&out, &repo);
         prop_assert!(h <= (out.len().max(1) as f64).log2() + 1e-9);
+    }
+
+    /// Differential: index-backed retrieval is bit-identical to the
+    /// reference linear scan over random repositories, preferences,
+    /// routes and exclusion sets.
+    #[test]
+    fn indexed_retrieval_equals_linear_scan(
+        clip_specs in prop::collection::vec((0u16..30, 0u64..400, 1u64..30), 1..60),
+        geo_specs in prop::collection::vec(
+            (0usize..60, -3_000.0f64..3_000.0, 0.0f64..12_000.0),
+            0..10,
+        ),
+        likes in prop::collection::vec(0u16..30, 0..5),
+        dislikes in prop::collection::vec(0u16..30, 0..5),
+        exclude_sel in prop::collection::vec(0usize..60, 0..10),
+        with_drive in 0u32..2,
+        max_candidates in 1usize..30,
+    ) {
+        let now = TimePoint::at(20, 8, 0, 0);
+        let mut repo = ContentRepository::new(LocalProjection::new(GeoPoint::new(45.07, 7.69)));
+        let proj = *repo.projection();
+        for (i, (cat, age_h, dur)) in clip_specs.iter().enumerate() {
+            let mut m = meta(i as u64, *cat, *dur, 1.0);
+            m.published = now.rewind(TimeSpan::hours(*age_h));
+            if let Some((_, dy, dx)) =
+                geo_specs.iter().find(|(idx, _, _)| *idx == i)
+            {
+                m.geo = Some(GeoTag {
+                    point: proj.unproject(ProjectedPoint::new(*dx, *dy)),
+                    radius_m: 500.0,
+                });
+            }
+            repo.ingest(m);
+        }
+        let mut fb = FeedbackStore::default();
+        for &c in &likes {
+            for _ in 0..3 {
+                fb.record(FeedbackEvent { user: UserId(1), clip: None, category: CategoryId::new(c), kind: FeedbackKind::Like, time: now });
+            }
+        }
+        for &c in &dislikes {
+            for _ in 0..3 {
+                fb.record(FeedbackEvent { user: UserId(1), clip: None, category: CategoryId::new(c), kind: FeedbackKind::Dislike, time: now });
+            }
+        }
+        let prefs = fb.preferences(UserId(1), now);
+        let ctx = if with_drive == 1 {
+            ListenerContext {
+                now,
+                position: Some(ProjectedPoint::new(0.0, 0.0)),
+                speed_mps: 10.0,
+                drive: Some(drive(18)),
+                ambient: Default::default(),
+            }
+        } else {
+            ListenerContext::stationary(now)
+        };
+        let exclude: HashSet<ClipId> =
+            exclude_sel.iter().map(|&i| ClipId(i as u64)).collect();
+        let filter = CandidateFilter { max_candidates, ..Default::default() };
+        let weights = ScoringWeights::default();
+        let scan = filter.candidates_excluding(&repo, &prefs, &ctx, &weights, &exclude);
+        let indexed = filter.candidates_indexed_excluding(&repo, &prefs, &ctx, &weights, &exclude);
+        prop_assert_eq!(scan, indexed);
+    }
+
+    /// `sanitize_score` always lands in [0, 1] and never passes a NaN
+    /// through, including for the IEEE specials.
+    #[test]
+    fn sanitize_score_is_total(sel in 0u32..6, v in -100.0f64..100.0) {
+        let input = match sel {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            2 => f64::NEG_INFINITY,
+            3 => -0.0,
+            4 => f64::MIN_POSITIVE,
+            _ => v,
+        };
+        let s = sanitize_score(input);
+        prop_assert!(!s.is_nan());
+        prop_assert!((0.0..=1.0).contains(&s), "{} -> {}", input, s);
+        // Idempotent and order-preserving on the valid range.
+        prop_assert_eq!(sanitize_score(s), s);
+        if (0.0..=1.0).contains(&input) {
+            prop_assert_eq!(s, input);
+        }
     }
 }

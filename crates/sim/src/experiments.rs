@@ -14,14 +14,14 @@ use pphcr_audio::splice::{PlannedSegment, SegmentSource, SplicePlan};
 use pphcr_catalog::ServiceIndex;
 use pphcr_catalog::{CategoryId, ClipKind, ContentRepository, CATEGORY_COUNT};
 use pphcr_core::{DeliveryPlanKind, Engine, EngineConfig, EngineEvent, NetworkCostModel};
-use pphcr_geo::{TimePoint, TimeSpan};
+use pphcr_geo::{GeoPoint, ProjectedPoint, TimePoint, TimeSpan};
 use pphcr_nlp::{AsrConfig, NaiveBayes, SimulatedAsr, Vocabulary};
 use pphcr_recommender::{
     baselines, CandidateFilter, DriveContext, ListenerContext, Recommender, SchedulerConfig,
     ScoringWeights,
 };
 use pphcr_trajectory::model::ModelConfig;
-use pphcr_trajectory::{rdp_indices, MobilityModel, Trace};
+use pphcr_trajectory::{rdp_indices, GpsFix, MobilityModel, Trace};
 use pphcr_userdata::{AgeBand, FeedbackEvent, FeedbackKind, FeedbackStore, UserId, UserProfile};
 use std::fmt;
 
@@ -1175,8 +1175,10 @@ pub fn e12_resilience(users: u64, injections_per_user: u64, seed: u64) -> Vec<E1
         let mut submitted = 0u64;
         let mut delivered = 0u64;
         let mut clip_iter = clips.into_iter();
+        let user_ids: Vec<UserId> = (1..=users).map(UserId).collect();
         // Interleave submissions with ticks over a long horizon so
-        // retries and backoff timers get to fire.
+        // retries and backoff timers get to fire. Population steps go
+        // through the batch path (bit-identical to per-user ticks).
         for step in 0..240u64 {
             let now = t0.advance(TimeSpan::seconds(step * 30));
             if step % 8 == 0 {
@@ -1188,13 +1190,11 @@ pub fn e12_resilience(users: u64, injections_per_user: u64, seed: u64) -> Vec<E1
                     }
                 }
             }
-            for u in 1..=users {
-                let events = engine.tick(UserId(u), now);
-                delivered += events
-                    .iter()
-                    .filter(|e| matches!(e, EngineEvent::InjectionDelivered { .. }))
-                    .count() as u64;
-            }
+            let events = engine.tick_batch(&user_ids, now);
+            delivered += events
+                .iter()
+                .filter(|e| matches!(e, EngineEvent::InjectionDelivered { .. }))
+                .count() as u64;
         }
         let dead_lettered = engine
             .bus
@@ -1214,6 +1214,292 @@ pub fn e12_resilience(users: u64, injections_per_user: u64, seed: u64) -> Vec<E1
             duplicates_filtered: engine.delivery.duplicates_filtered(),
             wire_dropped: engine.bus.wire_stats().dropped,
             health: engine.health_counts(),
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// E13 — retrieval index + sharded batch ticks: throughput.
+// ---------------------------------------------------------------------
+
+/// One row of E13's retrieval half: the reference linear scan vs the
+/// posting-list index, ranking every listener over one archive size.
+#[derive(Debug, Clone, Copy)]
+pub struct E13Row {
+    /// Archive size, clips.
+    pub clips: usize,
+    /// Listeners ranked.
+    pub users: usize,
+    /// Linear-scan wall time, seconds.
+    pub scan_s: f64,
+    /// Indexed wall time, seconds.
+    pub indexed_s: f64,
+    /// `scan_s / indexed_s`.
+    pub speedup: f64,
+    /// Total candidates produced (identical on both paths).
+    pub candidates: u64,
+}
+
+impl fmt::Display for E13Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "clips={:>6} users={:>5} scan={:>8.3}s indexed={:>8.3}s speedup={:>6.1}x cands={}",
+            self.clips, self.users, self.scan_s, self.indexed_s, self.speedup, self.candidates
+        )
+    }
+}
+
+/// One row of E13's engine half: a full batched morning-commute window
+/// at one worker count.
+#[derive(Debug, Clone, Copy)]
+pub struct E13TickRow {
+    /// Commuters ticked.
+    pub users: u64,
+    /// Worker threads used by `tick_batch_with`.
+    pub workers: usize,
+    /// Wall time for the whole window, seconds.
+    pub seconds: f64,
+    /// User-ticks per second.
+    pub user_ticks_per_s: f64,
+    /// Events emitted (must not vary with the worker count).
+    pub events: u64,
+}
+
+impl fmt::Display for E13TickRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "users={:>5} workers={:>2} time={:>7.3}s ticks/s={:>9.1} events={}",
+            self.users, self.workers, self.seconds, self.user_ticks_per_s, self.events
+        )
+    }
+}
+
+/// Builds the E13 world: `trip_world`'s city and population, but the
+/// repository holds a deep archive — ~20 clips/day accumulated over
+/// `clips / 20` days — of which only the freshness window is live, and
+/// a small fraction carries geo tags. The linear scan still pays for
+/// every archived clip on every request; that asymmetry is what the
+/// posting index removes.
+#[must_use]
+pub fn e13_archive_world(clips: usize, users: usize, seed: u64) -> TripWorld {
+    let city = SyntheticCity::generate(16, 700.0, seed);
+    let population = Population::generate(&city, users, seed ^ 1);
+    let archive_days = (clips as u64 / 20).max(14);
+    let now = TimePoint::at(archive_days, 8, 0, 0);
+    let mut repo = ContentRepository::new(city.projection);
+    let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+    let mut next = move || {
+        state =
+            state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1_442_695_040_888_963_407);
+        state >> 33
+    };
+    for i in 0..clips {
+        // Even spread over the archive, newest ~2 h old.
+        let age_h = 2 + (i as u64 * (archive_days * 24 - 4)) / clips.max(1) as u64;
+        let geo = if next() % 64 == 0 {
+            let dx = (next() % 12_000) as f64 - 6_000.0;
+            let dy = (next() % 12_000) as f64 - 6_000.0;
+            Some(pphcr_catalog::GeoTag {
+                point: city.projection.unproject(ProjectedPoint::new(dx, dy)),
+                radius_m: 400.0,
+            })
+        } else {
+            None
+        };
+        repo.ingest(pphcr_catalog::ClipMetadata {
+            id: pphcr_audio::ClipId(i as u64),
+            title: format!("archive clip {i}"),
+            kind: ClipKind::Podcast,
+            category: CategoryId::new((next() % u64::from(CATEGORY_COUNT)) as u16),
+            category_confidence: 1.0,
+            duration: TimeSpan::minutes(3 + next() % 20),
+            published: now.rewind(TimeSpan::hours(age_h)),
+            geo,
+            transcript: Vec::new(),
+        });
+    }
+    let mut feedback = FeedbackStore::default();
+    let warm = now.rewind(TimeSpan::hours(2));
+    for commuter in &population.commuters {
+        for (cat, &taste) in commuter.tastes.iter().enumerate() {
+            let kind = if taste > 0.5 {
+                FeedbackKind::Like
+            } else if taste < -0.5 {
+                FeedbackKind::Dislike
+            } else {
+                continue;
+            };
+            for _ in 0..3 {
+                feedback.record(FeedbackEvent {
+                    user: UserId(commuter.index),
+                    clip: None,
+                    category: CategoryId::new(cat as u16),
+                    kind,
+                    time: warm,
+                });
+            }
+        }
+    }
+    TripWorld { city, population, repo, feedback, now }
+}
+
+/// E13 (retrieval): ranks every listener's morning drive against the
+/// archive twice — reference linear scan, then the posting-list index —
+/// timing each pass. Both paths must agree on the candidate count here;
+/// the property suite pins down bit-identical contents.
+#[must_use]
+pub fn e13_retrieval(grid: &[(usize, usize)], seed: u64) -> Vec<E13Row> {
+    use std::time::Instant;
+    let mut rows = Vec::new();
+    for &(clips, users) in grid {
+        let world = e13_archive_world(clips, users, seed);
+        let filter = CandidateFilter::default();
+        let weights = ScoringWeights::default();
+        let jobs: Vec<_> = world
+            .population
+            .commuters
+            .iter()
+            .map(|c| {
+                let prefs = world.feedback.preferences(UserId(c.index), world.now);
+                let ctx = morning_drive_context(&world, c)
+                    .unwrap_or_else(|| ListenerContext::stationary(world.now));
+                (prefs, ctx)
+            })
+            .collect();
+        let t = Instant::now();
+        let mut scan_cands = 0u64;
+        for (prefs, ctx) in &jobs {
+            scan_cands += filter.candidates(&world.repo, prefs, ctx, &weights).len() as u64;
+        }
+        let scan_s = t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        let mut indexed_cands = 0u64;
+        for (prefs, ctx) in &jobs {
+            indexed_cands +=
+                filter.candidates_indexed(&world.repo, prefs, ctx, &weights).len() as u64;
+        }
+        let indexed_s = t.elapsed().as_secs_f64();
+        assert_eq!(scan_cands, indexed_cands, "index diverged from scan at {clips} clips");
+        rows.push(E13Row {
+            clips,
+            users,
+            scan_s,
+            indexed_s,
+            speedup: scan_s / indexed_s.max(1e-9),
+            candidates: indexed_cands,
+        });
+    }
+    rows
+}
+
+const E13_ORIGIN: GeoPoint = GeoPoint { lat: 45.0703, lon: 7.6869 };
+
+/// An engine with `users` commuters, each with seven days of
+/// home→work→home history on their own bearing, plus a fresh batch of
+/// content for day 8. Deterministic: rebuilt identically per worker
+/// count so only speed may differ between rows.
+fn e13_commuter_fleet(users: u64) -> Engine {
+    let mut engine = Engine::new(EngineConfig::default());
+    let t0 = TimePoint::at(0, 0, 0, 0);
+    for u in 1..=users {
+        engine.register_user(
+            UserProfile {
+                id: UserId(u),
+                name: format!("commuter {u}"),
+                age_band: AgeBand::Adult,
+                favourite_service: ServiceIndex(0),
+            },
+            t0,
+        );
+    }
+    for u in 1..=users {
+        let home = E13_ORIGIN.destination(30.0 * u as f64, 1_500.0 * u as f64);
+        let bearing = 80.0 + 15.0 * u as f64;
+        let work = home.destination(bearing, 9_000.0);
+        for day in 0..7u64 {
+            let d0 = TimePoint::at(day, 0, 0, 0);
+            for i in 0..90u64 {
+                engine.record_fix(
+                    UserId(u),
+                    GpsFix::new(home, d0.advance(TimeSpan::minutes(i * 5)), 0.1),
+                );
+            }
+            for i in 0..40u64 {
+                let frac = i as f64 / 39.0;
+                engine.record_fix(
+                    UserId(u),
+                    GpsFix::new(
+                        home.destination(bearing, frac * 9_000.0),
+                        d0.advance(TimeSpan::hours(8)).advance(TimeSpan::seconds(i * 30)),
+                        7.5,
+                    ),
+                );
+            }
+            for i in 0..57u64 {
+                engine.record_fix(
+                    UserId(u),
+                    GpsFix::new(work, d0.advance(TimeSpan::minutes(510 + i * 10)), 0.2),
+                );
+            }
+            for i in 0..66u64 {
+                engine.record_fix(
+                    UserId(u),
+                    GpsFix::new(home, d0.advance(TimeSpan::minutes(1105 + i * 5)), 0.1),
+                );
+            }
+        }
+    }
+    for i in 0..30u64 {
+        engine.ingest_clip(
+            format!("morning clip {i}"),
+            ClipKind::Podcast,
+            TimeSpan::minutes(4),
+            TimePoint::at(7, 5, 0, 0),
+            None,
+            &[],
+            Some(CategoryId::new((i % u64::from(CATEGORY_COUNT)) as u16)),
+        );
+    }
+    engine
+}
+
+/// E13 (engine): replays the same day-8 commute window through
+/// `tick_batch_with` once per worker count. The engine is rebuilt
+/// identically each time, so the event count must not vary across rows
+/// — only the wall time may.
+#[must_use]
+pub fn e13_tick_scaling(users: u64, worker_counts: &[usize]) -> Vec<E13TickRow> {
+    use std::time::Instant;
+    let mut rows = Vec::new();
+    for &workers in worker_counts {
+        let mut engine = e13_commuter_fleet(users);
+        let ids: Vec<UserId> = (1..=users).map(UserId).collect();
+        let d8 = TimePoint::at(7, 8, 0, 0);
+        let t = Instant::now();
+        let mut events = 0u64;
+        for i in 0..12u64 {
+            let now = d8.advance(TimeSpan::seconds(i * 30));
+            for &u in &ids {
+                let home = E13_ORIGIN.destination(30.0 * u.0 as f64, 1_500.0 * u.0 as f64);
+                let bearing = 80.0 + 15.0 * u.0 as f64;
+                engine.record_fix(
+                    u,
+                    GpsFix::new(home.destination(bearing, i as f64 / 39.0 * 9_000.0), now, 7.5),
+                );
+            }
+            events += engine.tick_batch_with(&ids, now, workers).len() as u64;
+        }
+        let seconds = t.elapsed().as_secs_f64();
+        let ticks = users * 12;
+        rows.push(E13TickRow {
+            users,
+            workers,
+            seconds,
+            user_ticks_per_s: ticks as f64 / seconds.max(1e-9),
+            events,
         });
     }
     rows
@@ -1386,5 +1672,21 @@ mod tests {
         );
         let (h, d, b) = lossy.health;
         assert_eq!(h + d + b, 3, "every listener has an explicit health state: {lossy}");
+    }
+
+    #[test]
+    fn e13_index_agrees_with_scan_at_small_scale() {
+        let rows = e13_retrieval(&[(400, 6)], 11);
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert!(r.candidates > 0, "{r}");
+        assert!(r.scan_s > 0.0 && r.indexed_s > 0.0, "{r}");
+    }
+
+    #[test]
+    fn e13_tick_scaling_event_counts_agree_across_workers() {
+        let rows = e13_tick_scaling(2, &[1, 2]);
+        assert_eq!(rows[0].events, rows[1].events, "{rows:?}");
+        assert!(rows.iter().all(|r| r.user_ticks_per_s > 0.0), "{rows:?}");
     }
 }

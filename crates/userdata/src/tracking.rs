@@ -84,6 +84,14 @@ impl TrackingStore {
         self.traces.values().map(Trace::len).sum()
     }
 
+    /// Stored fixes for one user. Monotonically increasing per user, so
+    /// it doubles as a cheap revision counter for caches keyed on a
+    /// user's mobility state.
+    #[must_use]
+    pub fn fix_count(&self, user: UserId) -> usize {
+        self.traces.get(&user).map_or(0, Trace::len)
+    }
+
     /// The user's most recent `n` fixes (oldest first).
     #[must_use]
     pub fn recent_fixes(&self, user: UserId, n: usize) -> Vec<GpsFix> {
