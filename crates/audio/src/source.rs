@@ -49,7 +49,7 @@ pub trait AudioSource {
     }
 }
 
-/// SplitMix64 finalizer: uncorrelated 64-bit output per input.
+/// `SplitMix64` finalizer: uncorrelated 64-bit output per input.
 #[inline]
 fn mix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);

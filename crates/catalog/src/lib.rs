@@ -6,7 +6,7 @@
 //! editorial version of more than 100 podcasts created every day and
 //! the associated schedule metadata \[which\] are used to populate the
 //! content repository and the metadata DB". Services are identified in
-//! the RadioDNS style of ETSI TS 103 270, the standard the paper builds
+//! the `RadioDNS` style of ETSI TS 103 270, the standard the paper builds
 //! on.
 //!
 //! Modules:

@@ -132,7 +132,7 @@ impl ContentRepository {
     /// Geo-tagged clips relevant to a route: tags within `corridor_m`
     /// of the polyline, each with its along-route position (meters from
     /// the route start). Sorted by along-route position. This is how
-    /// Fig. 2's item B (relevant to the location L_B the user will
+    /// Fig. 2's item B (relevant to the location `L_B` the user will
     /// reach) is found.
     #[must_use]
     pub fn geo_along_route(&self, route: &Polyline, corridor_m: f64) -> Vec<(&ClipMetadata, f64)> {

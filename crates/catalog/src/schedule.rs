@@ -123,7 +123,7 @@ impl Schedule {
     /// All programmes on `service`, in air order.
     #[must_use]
     pub fn service_programmes(&self, service: ServiceIndex) -> &[Programme] {
-        self.by_service.get(&service).map(Vec::as_slice).unwrap_or(&[])
+        self.by_service.get(&service).map_or(&[], Vec::as_slice)
     }
 
     /// Total number of scheduled programmes.

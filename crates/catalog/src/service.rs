@@ -2,7 +2,7 @@
 //!
 //! A hybrid-radio service is the *same* programme reachable over
 //! several bearers — FM, DAB+ or an IP stream — identified in the
-//! RadioDNS manner (ETSI TS 103 270, the paper's reference [9]): an FM
+//! `RadioDNS` manner (ETSI TS 103 270, the paper's reference [9]): an FM
 //! bearer is keyed by country code + PI code + frequency, a DAB bearer
 //! by EId/SId, an IP bearer by stream URL. The client picks the cheapest
 //! bearer that carries the service; that choice is what the paper's
@@ -25,9 +25,9 @@ impl std::fmt::Display for ServiceIndex {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Bearer {
     /// Analogue FM: extended country code, PI code, frequency in kHz —
-    /// the key fields of a RadioDNS `fm/` lookup.
+    /// the key fields of a `RadioDNS` `fm/` lookup.
     Fm {
-        /// Global country code (GCC) as in RadioDNS, e.g. "5e0" for Italy.
+        /// Global country code (GCC) as in `RadioDNS`, e.g. "5e0" for Italy.
         gcc: String,
         /// RDS programme identification code.
         pi: u16,

@@ -1,6 +1,6 @@
 //! The in-process message bus.
 //!
-//! The paper's server uses RabbitMQ between the REST frontend, user
+//! The paper's server uses `RabbitMQ` between the REST frontend, user
 //! management, the recommender and the clients (Fig. 3). For a
 //! deterministic reproduction we replace it with a typed in-process
 //! bus: published messages are queued per topic, consumers drain them
@@ -283,7 +283,7 @@ impl Bus {
     /// dead-lettered rather than delivered, which
     /// [`Bus::publish_checked`] reports explicitly.
     pub fn publish(&mut self, topic: Topic, message: BusMessage, now: TimePoint) -> u64 {
-        self.publish_checked(topic, message, now).map(|e| e.seq).unwrap_or(0)
+        self.publish_checked(topic, message, now).map_or(0, |e| e.seq)
     }
 
     /// Publishes a message on a topic, failing when the topic's
@@ -405,7 +405,7 @@ impl Bus {
         self.delivered
     }
 
-    /// Messages evicted from full queues (DropOldest overflows).
+    /// Messages evicted from full queues (`DropOldest` overflows).
     #[must_use]
     pub fn overflowed(&self) -> u64 {
         self.overflowed

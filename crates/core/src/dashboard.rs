@@ -87,14 +87,21 @@ impl Dashboard {
             .into_iter()
             .map(|f| (f.time, f.point, f.speed_mps))
             .collect();
-        let model = engine.tracking.mobility_model(user);
-        let stay_points = model
-            .stay_points
-            .iter()
-            .map(|s| (s.center, s.visit_count, s.total_dwell.as_seconds()))
-            .collect();
-        let mut routes: Vec<(u32, u32, usize)> =
-            model.profiles.values().map(|p| (p.origin, p.destination, p.trip_count)).collect();
+        // An untracked user renders as an empty panel, not an error page.
+        let (stay_points, mut routes): (Vec<_>, Vec<(u32, u32, usize)>) = match engine
+            .tracking
+            .mobility_model(user)
+        {
+            Ok(model) => (
+                model
+                    .stay_points
+                    .iter()
+                    .map(|s| (s.center, s.visit_count, s.total_dwell.as_seconds()))
+                    .collect(),
+                model.profiles.values().map(|p| (p.origin, p.destination, p.trip_count)).collect(),
+            ),
+            Err(_) => (Vec::new(), Vec::new()),
+        };
         routes.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
         TrajectoryView { user, recent, stay_points, routes }
     }

@@ -25,7 +25,8 @@ use pphcr_geo::{
 };
 use pphcr_nlp::{NaiveBayes, Vocabulary};
 use pphcr_recommender::{
-    DriveContext, ListenerContext, ProactivityModel, Recommender, ScoredClip, SlotSchedule, Trigger,
+    Ambient, DriveContext, ListenerContext, ProactivityModel, Recommender, ScoredClip,
+    SlotSchedule, Trigger,
 };
 use pphcr_trajectory::{GpsFix, TripPredictor};
 use pphcr_userdata::{
@@ -202,7 +203,7 @@ struct CachedCandidates {
 /// shard space and per-user placement never depends on batch order.
 const USER_SHARDS: u64 = 64;
 
-/// SplitMix64 finalizer — a cheap, well-mixed hash from `UserId` to a
+/// `SplitMix64` finalizer — a cheap, well-mixed hash from `UserId` to a
 /// shard, stable across runs and platforms.
 fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -333,6 +334,7 @@ impl Engine {
     #[must_use]
     pub fn health_counts(&self) -> (u64, u64, u64) {
         let mut counts = (0, 0, 0);
+        // lint: allow(hash-iter) — order-independent tally; counts do not depend on visit order
         for h in self.health.values() {
             match h.state() {
                 HealthState::Healthy => counts.0 += 1,
@@ -638,7 +640,7 @@ impl Engine {
             position,
             speed_mps: speed,
             drive: None,
-            ambient: Default::default(),
+            ambient: Ambient::default(),
         };
         // Resolve trip state.
         let Some(tracker) = self.trips.get(&user) else { return ctx };
@@ -648,8 +650,12 @@ impl Engine {
             Some(o) => Some(o),
             None => {
                 let start_pos = path.first().copied();
-                let model = self.tracking.mobility_model(user);
-                start_pos.and_then(|p| model.stay_near(p, &proj, 400.0)).map(|s| s.id)
+                match self.tracking.mobility_model(user) {
+                    Ok(model) => {
+                        start_pos.and_then(|p| model.stay_near(p, &proj, 400.0)).map(|s| s.id)
+                    }
+                    Err(_) => None,
+                }
             }
         };
         if let Some(origin) = origin_stay {
@@ -657,11 +663,12 @@ impl Engine {
                 t.origin_stay = Some(origin);
             }
             let predictor = self.config.predictor.clone();
-            let model = self.tracking.mobility_model(user);
-            if let Some(prediction) = predictor.predict(model, origin, departure, now, &path) {
-                let route = Polyline::new(prediction.route_ahead.clone());
-                let zones = self.zones_for(&route);
-                ctx.drive = Some(DriveContext::new(prediction, zones));
+            if let Ok(model) = self.tracking.mobility_model(user) {
+                if let Some(prediction) = predictor.predict(model, origin, departure, now, &path) {
+                    let route = Polyline::new(prediction.route_ahead.clone());
+                    let zones = self.zones_for(&route);
+                    ctx.drive = Some(DriveContext::new(prediction, zones));
+                }
             }
         }
         ctx
@@ -888,6 +895,7 @@ impl Engine {
                     .collect();
                 let mut all = Vec::new();
                 for h in handles {
+                    // lint: allow(expect) — re-raising a worker panic; the closure runs lint-clean code
                     all.extend(h.join().expect("candidate worker panicked"));
                 }
                 all
@@ -928,7 +936,7 @@ impl Engine {
     }
 
     /// Records a delivery failure for the listener and applies the
-    /// ladder's side effects: stepping onto BroadcastOnly abandons
+    /// ladder's side effects: stepping onto `BroadcastOnly` abandons
     /// personalization and pins the player to the live stream.
     fn note_failure(&mut self, user: UserId, now: TimePoint) {
         let health = self.health.entry(user).or_insert_with(|| UserHealth::new(now));

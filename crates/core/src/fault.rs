@@ -1,6 +1,6 @@
 //! Fault injection for the delivery path.
 //!
-//! The paper's platform ships recommendations over RabbitMQ and fetches
+//! The paper's platform ships recommendations over `RabbitMQ` and fetches
 //! personalized clips over the mobile Internet — links that lose,
 //! duplicate, delay and reorder messages in the field. This module
 //! makes that a first-class, *deterministic* platform capability: a
@@ -13,7 +13,7 @@ use crate::bus::{Envelope, Topic};
 use pphcr_geo::{TimePoint, TimeSpan};
 use std::collections::{HashMap, VecDeque};
 
-/// Deterministic SplitMix64 generator used by all chaos machinery.
+/// Deterministic `SplitMix64` generator used by all chaos machinery.
 ///
 /// Self-contained so core stays dependency-free; the same seed yields
 /// the same fault sequence on every platform, which the chaos suite

@@ -22,7 +22,7 @@
 use pphcr_geo::TimePoint;
 
 /// Consecutive failures before stepping down a second rung
-/// (Degraded → BroadcastOnly).
+/// (Degraded → `BroadcastOnly`).
 pub const FAILS_TO_BROADCAST_ONLY: u32 = 3;
 
 /// Consecutive successes required to climb one rung back up.
@@ -104,7 +104,7 @@ impl UserHealth {
     /// Records a delivery failure (unicast fetch failed, delivery
     /// unacknowledged, …): one failure steps down to Degraded, a
     /// streak of [`FAILS_TO_BROADCAST_ONLY`] steps down to
-    /// BroadcastOnly.
+    /// `BroadcastOnly`.
     pub fn record_failure(&mut self, now: TimePoint) {
         self.ok_streak = 0;
         self.fail_streak += 1;

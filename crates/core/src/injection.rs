@@ -63,7 +63,7 @@ impl InjectionQueue {
     /// dashboard view).
     #[must_use]
     pub fn pending(&self, user: UserId) -> &[PendingInjection] {
-        self.queues.get(&user).map(Vec::as_slice).unwrap_or(&[])
+        self.queues.get(&user).map_or(&[], Vec::as_slice)
     }
 
     /// Total pending across all listeners.

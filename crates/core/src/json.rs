@@ -3,7 +3,7 @@
 //! The build environment is fully offline, so `serde_json` is not
 //! available; this module provides the tiny subset the platform needs:
 //! a recursive-descent parser into a [`JsonValue`] tree and a pretty
-//! writer matching serde_json's `to_string_pretty` layout (two-space
+//! writer matching `serde_json`'s `to_string_pretty` layout (two-space
 //! indent, `"key": value`).
 
 use std::collections::BTreeMap;
@@ -120,7 +120,7 @@ impl Parser<'_> {
         }
     }
 
-    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+    fn expect_byte(&mut self, byte: u8) -> Result<(), JsonError> {
         if self.peek() == Some(byte) {
             self.pos += 1;
             Ok(())
@@ -160,12 +160,13 @@ impl Parser<'_> {
         {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii slice");
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("malformed number"))?;
         text.parse::<f64>().map(JsonValue::Num).map_err(|_| self.err("malformed number"))
     }
 
     fn string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -205,7 +206,9 @@ impl Parser<'_> {
                     // Consume one UTF-8 code point.
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| self.err("invalid utf-8"))?;
-                    let ch = rest.chars().next().expect("non-empty");
+                    let Some(ch) = rest.chars().next() else {
+                        return Err(self.err("unterminated string"));
+                    };
                     out.push(ch);
                     self.pos += ch.len_utf8();
                 }
@@ -214,7 +217,7 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<JsonValue, JsonError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -237,7 +240,7 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<JsonValue, JsonError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut map = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -248,7 +251,7 @@ impl Parser<'_> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let value = self.value()?;
             map.insert(key, value);
@@ -435,6 +438,17 @@ mod tests {
         assert!(parse("").is_err());
         assert!(parse("{\"a\": 1,}").is_err());
         assert!(parse("[1 2]").is_err());
+    }
+
+    #[test]
+    fn malformed_numbers_and_strings_are_typed_errors() {
+        // Regression for the `.expect("ascii slice")` / `.expect("non-
+        // empty")` sites this replaced: every degenerate number or
+        // string shape must come back as a JsonError, never a panic.
+        for bad in ["-", "1e+e+", "--3", "[1,", "\"abc", "\"ab\\", "{\"k\""] {
+            let err = parse(bad).unwrap_err();
+            assert!(!err.message.is_empty(), "input {bad:?} must yield a message");
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The PPHCR platform core: everything from Fig. 3 of the paper wired
 //! together in-process.
 //!
-//! * [`bus`] — the typed message bus standing in for RabbitMQ,
+//! * [`bus`] — the typed message bus standing in for `RabbitMQ`,
 //! * [`replacement`] — the replacement planner: schedule-synchronized
 //!   buffering and time-shift (the Fig. 4 timeline),
 //! * [`player`] — the client session state machine (play / skip / like,

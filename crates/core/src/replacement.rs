@@ -136,10 +136,10 @@ impl ReplacementPlanner {
         // 2. Clips.
         let mut cursor = insert_at;
         for &clip_id in clips {
-            let Some(src) = store.source(clip_id, self.clock) else {
+            let (Some(src), Some(meta)) = (store.source(clip_id, self.clock), store.get(clip_id))
+            else {
                 return Err(ReplacementError::UnknownClip(clip_id));
             };
-            let meta = store.get(clip_id).expect("source implies record");
             let end = cursor.advance(meta.duration);
             segments.push(PlannedSegment {
                 start: self.clock.sample_at(cursor),
@@ -204,8 +204,7 @@ impl ReplacementPlanner {
                 Some(p) => p.interval.end.advance(delay),
                 None => epg
                     .next_programme(service, stream_t)
-                    .map(|p| p.interval.start.advance(delay))
-                    .unwrap_or(to),
+                    .map_or(to, |p| p.interval.start.advance(delay)),
             };
             let end = next_boundary.min(to).max(cursor.advance(TimeSpan::seconds(1)));
             spans.push(TimelineSpan {
@@ -377,6 +376,26 @@ mod tests {
                 TimePoint::at(0, 10, 45, 0),
                 TimePoint::at(0, 10, 50, 0),
                 &[ClipId(77)],
+                TimePoint::at(0, 11, 0, 0),
+            )
+            .unwrap_err();
+        assert_eq!(err, ReplacementError::UnknownClip(ClipId(77)));
+    }
+
+    #[test]
+    fn unknown_clip_mid_plan_is_typed_not_a_panic() {
+        // Regression for the `.expect("source implies record")` this
+        // replaced: a missing clip *after* a valid one must surface as
+        // the typed error from inside the planning loop.
+        let p = planner();
+        let err = p
+            .plan(
+                ServiceIndex(0),
+                &store_with(&[(1, 5)]),
+                &fig4_epg(),
+                TimePoint::at(0, 10, 45, 0),
+                TimePoint::at(0, 10, 50, 0),
+                &[ClipId(1), ClipId(77)],
                 TimePoint::at(0, 11, 0, 0),
             )
             .unwrap_err();

@@ -184,9 +184,10 @@ impl DeliveryTracker {
         for seq in due {
             let Some(d) = self.outstanding.get_mut(&seq) else { continue };
             if d.attempts >= policy.budget {
-                let dead = self.outstanding.remove(&seq).expect("present");
-                self.exhausted += 1;
-                to_dead_letter.push(dead);
+                if let Some(dead) = self.outstanding.remove(&seq) {
+                    self.exhausted += 1;
+                    to_dead_letter.push(dead);
+                }
             } else {
                 d.attempts += 1;
                 self.retries += 1;

@@ -81,7 +81,10 @@ impl BoundingBox {
     /// The centre of the box.
     #[must_use]
     pub fn center(&self) -> GeoPoint {
-        GeoPoint::new((self.min_lat + self.max_lat) / 2.0, (self.min_lon + self.max_lon) / 2.0)
+        GeoPoint::new(
+            f64::midpoint(self.min_lat, self.max_lat),
+            f64::midpoint(self.min_lon, self.max_lon),
+        )
     }
 
     /// The box's diagonal, in meters (haversine between corners).

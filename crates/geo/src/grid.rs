@@ -1,6 +1,6 @@
 //! A uniform-grid spatial index over projected points.
 //!
-//! The paper's tracking DB is "a PostGIS based spatial DB with the
+//! The paper's tracking DB is "a `PostGIS` based spatial DB with the
 //! listener's geographical information" whose GPS volume "requires to
 //! periodically process and simplify" it. This index is our in-process
 //! stand-in: it supports the two query shapes the analytics need —

@@ -11,7 +11,7 @@
 //!   clustering and simplification algorithms,
 //! * [`Polyline`] — measured paths with along-path interpolation,
 //! * [`grid::GridIndex`] — a uniform-grid spatial index standing in for
-//!   the paper's PostGIS tracking store,
+//!   the paper's `PostGIS` tracking store,
 //! * [`roadnet::RoadNetwork`] — a routable road graph with intersections
 //!   and roundabouts, the substrate for the distraction-aware scheduler,
 //! * [`time`] — the platform clock (simulated seconds).

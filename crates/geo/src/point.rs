@@ -88,7 +88,10 @@ impl GeoPoint {
     /// Adequate as an arithmetic blend at city scale.
     #[must_use]
     pub fn midpoint(self, other: GeoPoint) -> GeoPoint {
-        GeoPoint { lat: (self.lat + other.lat) / 2.0, lon: (self.lon + other.lon) / 2.0 }
+        GeoPoint {
+            lat: f64::midpoint(self.lat, other.lat),
+            lon: f64::midpoint(self.lon, other.lon),
+        }
     }
 }
 

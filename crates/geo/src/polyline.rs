@@ -4,7 +4,7 @@
 //! paths (paper Fig. 2), simplified trajectories (RDP output) and road
 //! geometry are all polylines. The type pre-computes cumulative arc
 //! length so along-path queries — "where is the driver after 3.2 km?",
-//! "how far along the route is location L_B?" — are O(log n).
+//! "how far along the route is location `L_B`?" — are O(log n).
 
 use crate::point::ProjectedPoint;
 use serde::{Deserialize, Serialize};

@@ -1,0 +1,4 @@
+//! B1 negative: bounded sync_channel carries backpressure.
+pub fn wire() {
+    let (_tx, _rx) = std::sync::mpsc::sync_channel(64);
+}

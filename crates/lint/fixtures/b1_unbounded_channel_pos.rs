@@ -1,0 +1,4 @@
+//! B1 positive: an unbounded channel has no backpressure.
+pub fn wire() {
+    let (_tx, _rx) = std::sync::mpsc::channel();
+}

@@ -1,0 +1,10 @@
+//! B2 negative: budgeted loops exit.
+pub fn drain(mut n: u64) -> u64 {
+    loop {
+        if n == 0 {
+            break;
+        }
+        n -= 1;
+    }
+    n
+}

@@ -1,0 +1,6 @@
+//! B2 positive: a loop with no break or return in retry code.
+pub fn spin(mut n: u64) -> u64 {
+    loop {
+        n = n.wrapping_add(1);
+    }
+}

@@ -1,0 +1,8 @@
+//! D1 negative: the same read is fine inside sim::timing (allowlist),
+//! and mentions inside strings or comments never fire.
+pub fn start() -> std::time::Instant {
+    // A comment saying Instant::now() is not a call.
+    let label = "Instant::now()";
+    let _ = label;
+    std::time::Instant::now()
+}

@@ -1,0 +1,6 @@
+//! D1 positive: wall-clock read outside the timing allowlist.
+pub fn now_ms() -> u128 {
+    let t = std::time::Instant::now();
+    let _ = std::time::SystemTime::now();
+    t.elapsed().as_millis()
+}

@@ -1,0 +1,4 @@
+//! D2 negative: simulated time advances via TimePoint, never the OS.
+pub fn advance(t: u64) -> u64 {
+    t + 5
+}

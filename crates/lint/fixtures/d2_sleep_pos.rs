@@ -1,0 +1,4 @@
+//! D2 positive: thread::sleep in workspace code.
+pub fn nap() {
+    std::thread::sleep(std::time::Duration::from_millis(5));
+}

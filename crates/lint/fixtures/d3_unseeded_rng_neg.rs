@@ -1,0 +1,5 @@
+//! D3 negative: seeded randomness is the workspace convention.
+pub fn roll(seed: u64) -> u64 {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    rng.next_u64()
+}

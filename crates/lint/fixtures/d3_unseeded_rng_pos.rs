@@ -1,0 +1,6 @@
+//! D3 positive: OS-entropy randomness.
+pub fn roll() -> u32 {
+    let mut rng = rand::thread_rng();
+    let _ = SmallRng::from_entropy();
+    rng.gen()
+}

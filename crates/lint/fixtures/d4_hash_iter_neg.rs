@@ -1,0 +1,12 @@
+//! D4 negative: ordered iteration and keyed lookups are fine.
+use std::collections::{BTreeMap, HashMap};
+pub struct Bus {
+    queues: BTreeMap<u32, Vec<u8>>,
+    sizes: HashMap<u32, usize>,
+}
+impl Bus {
+    pub fn commit(&self, topic: u32) -> usize {
+        let ordered: usize = self.queues.values().map(Vec::len).sum();
+        ordered + self.sizes.get(&topic).copied().unwrap_or(0)
+    }
+}

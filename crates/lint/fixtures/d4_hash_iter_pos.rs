@@ -1,0 +1,14 @@
+//! D4 positive: hash iteration in a commit-path file.
+use std::collections::HashMap;
+pub struct Bus {
+    queues: HashMap<u32, Vec<u8>>,
+}
+impl Bus {
+    pub fn commit(&self) -> usize {
+        let mut n = 0;
+        for q in self.queues.values() {
+            n += q.len();
+        }
+        n
+    }
+}

@@ -1,0 +1,14 @@
+//! P1 negative: unwrap inside #[cfg(test)] is test code.
+pub fn head(xs: &[u32]) -> Option<u32> {
+    xs.first().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_works() {
+        assert_eq!(head(&[7]).unwrap(), 7);
+    }
+}

@@ -1,0 +1,4 @@
+//! P1 positive: unwrap in non-test engine-path code.
+pub fn head(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}

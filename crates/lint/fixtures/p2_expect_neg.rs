@@ -1,0 +1,12 @@
+//! P2 negative: a method *named* expect_byte and strings mentioning
+//! .expect( do not fire.
+pub struct P;
+impl P {
+    fn expect_byte(&mut self, _b: u8) -> Result<(), ()> {
+        Ok(())
+    }
+    pub fn run(&mut self) -> Result<(), ()> {
+        let _doc = "call .expect( nothing )";
+        self.expect_byte(b'{')
+    }
+}

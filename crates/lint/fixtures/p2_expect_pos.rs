@@ -1,0 +1,4 @@
+//! P2 positive: expect in non-test engine-path code.
+pub fn head(xs: &[u32]) -> u32 {
+    *xs.first().expect("non-empty")
+}

@@ -1,0 +1,14 @@
+//! P3 negative: total code paths, panics only in tests.
+pub fn decide(x: u32) -> u32 {
+    x.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn boom_allowed_here() {
+        if super::decide(0) != 1 {
+            panic!("impossible");
+        }
+    }
+}

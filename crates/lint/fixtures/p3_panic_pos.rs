@@ -1,0 +1,9 @@
+//! P3 positive: panic-family macros in engine-path code.
+pub fn decide(x: u32) -> u32 {
+    match x {
+        0 => panic!("zero"),
+        1 => unreachable!(),
+        2 => todo!(),
+        n => n,
+    }
+}

@@ -1,0 +1,337 @@
+//! A small, panic-free Rust lexer that separates *code* from
+//! *comments* and blanks out literal contents.
+//!
+//! The registry is offline, so `pphcr-lint` cannot use `syn`; instead
+//! this hand-rolled scanner understands exactly as much Rust surface
+//! syntax as the rule engine needs:
+//!
+//! * line comments (`//`, `///`, `//!`) and nested block comments,
+//! * string literals, byte strings, raw strings with any number of
+//!   `#` guards (`r"…"`, `r#"…"#`, `br##"…"##`),
+//! * char literals vs. lifetimes (`'x'` vs. `'static`),
+//! * escape sequences inside non-raw literals.
+//!
+//! For every source line it yields the line's code with comment text
+//! and literal *contents* replaced by spaces (so substring rules never
+//! fire inside a string), plus the comment text separately (so pragma
+//! parsing never fires inside a string either). The scanner is total:
+//! it never panics and never indexes out of bounds, which the fixture
+//! suite checks with a proptest over arbitrary bytes.
+
+/// One source line, split into rule-checkable code and comment text.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LexedLine {
+    /// The line with comment bodies and literal contents blanked.
+    /// Quote characters and comment introducers are preserved, so
+    /// brace counting still sees the full code structure.
+    pub code: String,
+    /// Comment text fragments on this line (without `//` / `/* */`).
+    pub comments: Vec<String>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Ordinary code.
+    Code,
+    /// Inside `// …` until end of line.
+    LineComment,
+    /// Inside `/* … */`, tracking nesting depth.
+    BlockComment(u32),
+    /// Inside a `"…"` or `b"…"` literal.
+    Str,
+    /// Inside a raw string; the payload is the number of `#` guards.
+    RawStr(u32),
+    /// Inside a `'…'` char or byte literal.
+    CharLit,
+}
+
+/// Splits `source` into [`LexedLine`]s. Total over arbitrary input:
+/// unterminated literals and comments simply run to end of input.
+#[must_use]
+pub fn lex(source: &str) -> Vec<LexedLine> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut lines: Vec<LexedLine> = Vec::new();
+    let mut line = LexedLine::default();
+    let mut comment = String::new();
+    let mut state = State::Code;
+    let mut i = 0usize;
+
+    // Flushes the pending comment fragment into the current line.
+    fn flush(comment: &mut String, line: &mut LexedLine) {
+        if !comment.is_empty() {
+            line.comments.push(std::mem::take(comment));
+        }
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            flush(&mut comment, &mut line);
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            lines.push(std::mem::take(&mut line));
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                match c {
+                    '/' if next == Some('/') => {
+                        line.code.push_str("//");
+                        state = State::LineComment;
+                        i += 2;
+                    }
+                    '/' if next == Some('*') => {
+                        line.code.push_str("/*");
+                        state = State::BlockComment(1);
+                        i += 2;
+                    }
+                    '"' => {
+                        line.code.push('"');
+                        state = State::Str;
+                        i += 1;
+                    }
+                    'r' | 'b' if starts_raw_string(&chars, i) => {
+                        // Consume the prefix (`r`, `br`, `rb`), the `#`
+                        // guards and the opening quote.
+                        let mut j = i;
+                        while matches!(chars.get(j), Some('r' | 'b')) {
+                            line.code.push(chars[j]);
+                            j += 1;
+                        }
+                        let mut hashes = 0u32;
+                        while chars.get(j) == Some(&'#') {
+                            line.code.push('#');
+                            hashes += 1;
+                            j += 1;
+                        }
+                        if chars.get(j) == Some(&'"') {
+                            line.code.push('"');
+                            j += 1;
+                        }
+                        state = State::RawStr(hashes);
+                        i = j;
+                    }
+                    'b' if next == Some('"') => {
+                        line.code.push_str("b\"");
+                        state = State::Str;
+                        i += 2;
+                    }
+                    '\'' => {
+                        if is_char_literal(&chars, i) {
+                            line.code.push('\'');
+                            state = State::CharLit;
+                        } else {
+                            // A lifetime such as `'static`: plain code.
+                            line.code.push('\'');
+                        }
+                        i += 1;
+                    }
+                    _ => {
+                        line.code.push(c);
+                        i += 1;
+                    }
+                }
+            }
+            State::LineComment => {
+                comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    if depth <= 1 {
+                        line.code.push_str("*/");
+                        flush(&mut comment, &mut line);
+                        state = State::Code;
+                    } else {
+                        comment.push_str("*/");
+                        state = State::BlockComment(depth - 1);
+                    }
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    comment.push_str("/*");
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => match c {
+                '\\' => {
+                    line.code.push(' ');
+                    if chars.get(i + 1).is_some_and(|e| *e != '\n') {
+                        line.code.push(' ');
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                '"' => {
+                    line.code.push('"');
+                    state = State::Code;
+                    i += 1;
+                }
+                _ => {
+                    line.code.push(' ');
+                    i += 1;
+                }
+            },
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw_string(&chars, i, hashes) {
+                    line.code.push('"');
+                    for _ in 0..hashes {
+                        line.code.push('#');
+                    }
+                    state = State::Code;
+                    i += 1 + hashes as usize;
+                } else {
+                    line.code.push(' ');
+                    i += 1;
+                }
+            }
+            State::CharLit => match c {
+                '\\' => {
+                    line.code.push(' ');
+                    if chars.get(i + 1).is_some_and(|e| *e != '\n') {
+                        line.code.push(' ');
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                '\'' => {
+                    line.code.push('\'');
+                    state = State::Code;
+                    i += 1;
+                }
+                _ => {
+                    line.code.push(' ');
+                    i += 1;
+                }
+            },
+        }
+    }
+    flush(&mut comment, &mut line);
+    if !line.code.is_empty() || !line.comments.is_empty() {
+        lines.push(line);
+    }
+    lines
+}
+
+/// Whether position `i` (at `r` or `b`) starts a raw string literal:
+/// `r"`, `r#`, `br"`, `br#`, `rb"` (future-proof) — but not an
+/// identifier such as `radius` or `break`.
+fn starts_raw_string(chars: &[char], i: usize) -> bool {
+    // A raw string cannot directly follow an identifier character:
+    // `for_r"x"` is not Rust, but `bearing` must not trip the scanner.
+    if i > 0 && chars.get(i - 1).is_some_and(|p| p.is_alphanumeric() || *p == '_') {
+        return false;
+    }
+    let mut j = i;
+    let mut saw_r = false;
+    for _ in 0..2 {
+        match chars.get(j) {
+            Some('r') => {
+                saw_r = true;
+                j += 1;
+            }
+            Some('b') => j += 1,
+            _ => break,
+        }
+    }
+    if !saw_r {
+        return false;
+    }
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// Whether the `"` at position `i` is followed by `hashes` `#` chars.
+fn closes_raw_string(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Whether the `'` at position `i` opens a char literal rather than a
+/// lifetime. `'x'` and `'\n'` are literals; `'static` and `'_` in
+/// `&'a str` are lifetimes.
+fn is_char_literal(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        Some('\\') => true,
+        Some(_) => chars.get(i + 2) == Some(&'\''),
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> Vec<String> {
+        lex(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn blanks_string_contents() {
+        let lines = code_of("let x = \"Instant::now()\";");
+        assert_eq!(lines.len(), 1);
+        assert!(!lines[0].contains("Instant"));
+        assert!(lines[0].starts_with("let x = \""));
+    }
+
+    #[test]
+    fn captures_line_comment_text() {
+        let lines = lex("foo(); // lint: allow(unwrap) — reason");
+        assert_eq!(lines[0].comments, vec![" lint: allow(unwrap) — reason".to_string()]);
+        assert_eq!(lines[0].code, "foo(); //");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lines = lex("a /* outer /* inner */ still */ b");
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].code.contains('a') && lines[0].code.contains('b'));
+        assert!(!lines[0].code.contains("inner"));
+    }
+
+    #[test]
+    fn raw_strings_with_guards() {
+        let lines = code_of("let s = r#\"panic!(\"no\")\"#; done();");
+        assert!(!lines[0].contains("panic"));
+        assert!(lines[0].contains("done()"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lines = code_of("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(lines[0].contains("-> &'a str"));
+    }
+
+    #[test]
+    fn char_literal_with_quote_content() {
+        let lines = code_of("let q = '\"'; let brace = '{';");
+        // The quote inside the char literal must not open a string and
+        // the brace inside must not disturb depth counting.
+        assert!(lines[0].contains("let brace"));
+        assert!(!lines[0].contains('{'));
+    }
+
+    #[test]
+    fn multiline_block_comment_spans_lines() {
+        let lines = lex("a /* one\ntwo */ b");
+        assert_eq!(lines.len(), 2);
+        assert!(lines[1].code.contains('b'));
+        assert!(!lines[1].code.contains("two"));
+    }
+
+    #[test]
+    fn unterminated_string_is_total() {
+        let lines = lex("let s = \"never closed");
+        assert_eq!(lines.len(), 1);
+    }
+}

@@ -1,0 +1,82 @@
+//! `pphcr-lint` — the workspace invariant linter.
+//!
+//! PPHCR's headline guarantees rest on source-level conventions:
+//! bit-identical event streams across 1/2/8 workers (PR 2) need
+//! seeded, ordered execution; seeded chaos replay (PR 1) needs no
+//! wall-clock reads; the unattended in-vehicle loop needs panic-free
+//! engine code and bounded queues. This crate turns those conventions
+//! into machine-checked invariants:
+//!
+//! * [`lexer`] — a panic-free comment/string/raw-string-aware scanner,
+//! * [`rules`] — the D (determinism), P (panic-freedom) and
+//!   B (boundedness) rule families plus
+//!   `// lint: allow(<rule>) — <reason>` pragma handling,
+//! * [`report`] — the `LINT_REPORT.json` artifact CI uploads.
+//!
+//! The binary (`cargo run -p pphcr-lint`) walks every `crates/*/src`
+//! file, prints `file:line: rule — message` diagnostics, writes the
+//! JSON report, and exits nonzero on any violation or stale pragma.
+//! See `DESIGN.md` §9 for each rule's rationale.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use report::LintReport;
+pub use rules::{lint_source, rule_by_name, Violation, RULES};
+
+use std::path::{Path, PathBuf};
+
+/// Collects every `.rs` file under `root/crates/*/src`, sorted for
+/// deterministic diagnostics. Errors carry a printable message.
+///
+/// # Errors
+/// When `root/crates` cannot be read at all; unreadable subdirectories
+/// are skipped silently (a vanished directory must not fail CI).
+pub fn workspace_sources(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let crates_dir = root.join("crates");
+    let entries = std::fs::read_dir(&crates_dir)
+        .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?;
+    let mut crate_dirs: Vec<PathBuf> =
+        entries.filter_map(Result::ok).map(|e| e.path()).filter(|p| p.is_dir()).collect();
+    crate_dirs.sort();
+    let mut files = Vec::new();
+    for dir in crate_dirs {
+        collect_rs(&dir.join("src"), &mut files);
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for entry in entries.filter_map(Result::ok) {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Lints the workspace rooted at `root`. Returns the report; IO
+/// failures surface as printable errors.
+///
+/// # Errors
+/// When the crates directory or a source file cannot be read.
+pub fn lint_workspace(root: &Path) -> Result<LintReport, String> {
+    let files = workspace_sources(root)?;
+    let mut all = Vec::new();
+    for path in &files {
+        let source = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let rel = path.strip_prefix(root).unwrap_or(path);
+        all.extend(lint_source(&rel.to_string_lossy(), &source));
+    }
+    all.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
+    Ok(LintReport::from_violations(files.len(), all))
+}

@@ -1,0 +1,56 @@
+//! The `pphcr-lint` binary: lint the workspace, print diagnostics,
+//! write `LINT_REPORT.json`, exit nonzero on violations.
+//!
+//! ```text
+//! pphcr-lint [WORKSPACE_ROOT] [--rules]
+//! ```
+//!
+//! With no argument the workspace root is derived from this crate's
+//! manifest directory (`crates/lint/../..`), so `cargo run -p
+//! pphcr-lint` works from any directory inside the repo.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pphcr_lint::{lint_workspace, RULES};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--rules") {
+        for r in RULES {
+            println!("{:>2}  {:<18} {}", r.id, r.name, r.rationale);
+        }
+        return ExitCode::SUCCESS;
+    }
+    let root: PathBuf = match args.iter().find(|a| !a.starts_with("--")) {
+        Some(p) => PathBuf::from(p),
+        None => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."),
+    };
+    let report = match lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pphcr-lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for v in report.violations.iter().chain(report.stale_pragmas.iter()) {
+        println!("{}", v.render());
+    }
+    let report_path = root.join("LINT_REPORT.json");
+    if let Err(e) = std::fs::write(&report_path, report.to_json()) {
+        eprintln!("pphcr-lint: cannot write {}: {e}", report_path.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "pphcr-lint: {} files, {} violations, {} stale/bad pragmas → {}",
+        report.files_scanned,
+        report.violations.len(),
+        report.stale_pragmas.len(),
+        report_path.display()
+    );
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

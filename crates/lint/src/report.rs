@@ -1,0 +1,119 @@
+//! `LINT_REPORT.json` — the machine-readable result of a lint run.
+//!
+//! Hand-rolled JSON (the vendored serde stub has no serializer for
+//! arbitrary structs, and the linter must not depend on the crates it
+//! lints), matching the shape the CI artifact consumers expect:
+//!
+//! ```json
+//! {
+//!   "files_scanned": 63,
+//!   "violations": [ {"file": "…", "line": 7, "rule": "P1", "name": "unwrap", "message": "…"} ],
+//!   "stale_pragmas": [ … ],
+//!   "rules": [ {"id": "D1", "name": "wall-clock", "rationale": "…"} ]
+//! }
+//! ```
+
+use crate::rules::{Violation, RULES, STALE_PRAGMA};
+
+/// Full result of linting a workspace.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Rule violations (excluding stale pragmas).
+    pub violations: Vec<Violation>,
+    /// Pragmas that suppressed nothing, plus malformed pragmas.
+    pub stale_pragmas: Vec<Violation>,
+}
+
+impl LintReport {
+    /// Builds a report from raw per-file results, splitting pragma
+    /// bookkeeping problems from rule violations.
+    #[must_use]
+    pub fn from_violations(files_scanned: usize, all: Vec<Violation>) -> Self {
+        let (stale, violations): (Vec<_>, Vec<_>) =
+            all.into_iter().partition(|v| v.rule_id == STALE_PRAGMA || v.rule_id == "bad-pragma");
+        LintReport { files_scanned, violations, stale_pragmas: stale }
+    }
+
+    /// Whether the run should fail the build.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.stale_pragmas.is_empty()
+    }
+
+    /// Serializes the report as pretty-printed JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str("  \"violations\": [\n");
+        push_violations(&mut out, &self.violations);
+        out.push_str("  ],\n  \"stale_pragmas\": [\n");
+        push_violations(&mut out, &self.stale_pragmas);
+        out.push_str("  ],\n  \"rules\": [\n");
+        for (i, r) in RULES.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"id\": {}, \"name\": {}, \"rationale\": {}}}{}\n",
+                json_str(r.id),
+                json_str(r.name),
+                json_str(r.rationale),
+                if i + 1 < RULES.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn push_violations(out: &mut String, violations: &[Violation]) {
+    for (i, v) in violations.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"name\": {}, \"message\": {}}}{}\n",
+            json_str(&v.file),
+            v.line,
+            json_str(&v.rule_id),
+            json_str(&v.rule_name),
+            json_str(&v.message),
+            if i + 1 < violations.len() { "," } else { "" }
+        ));
+    }
+}
+
+/// Escapes a string for JSON output.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_json_strings() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn clean_report_round_trips() {
+        let r = LintReport::from_violations(3, Vec::new());
+        assert!(r.is_clean());
+        let json = r.to_json();
+        assert!(json.contains("\"files_scanned\": 3"));
+        assert!(json.contains("\"rules\""));
+    }
+}

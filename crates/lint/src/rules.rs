@@ -1,0 +1,651 @@
+//! The rule families enforced by `pphcr-lint` and the per-file
+//! checking pass, including `// lint: allow(<rule>) — <reason>`
+//! pragma handling.
+//!
+//! Three families back three workspace guarantees:
+//!
+//! * **D — determinism** protects the bit-identical event streams of
+//!   PR 2 (`tick_batch` across 1/2/8 workers) and the seeded chaos
+//!   replay of PR 1: no wall-clock reads, no OS-entropy RNGs, no
+//!   hash-order iteration where ordering can feed the event stream.
+//! * **P — panic-freedom** protects the unattended in-vehicle loop:
+//!   no `unwrap`/`expect`/`panic!` family calls in non-test code of
+//!   the engine-facing crates.
+//! * **B — boundedness** protects the backpressure design of PR 1:
+//!   no unbounded channels, no budget-less `loop` in bus/retry code.
+
+use crate::lexer::{lex, LexedLine};
+
+/// Static description of one rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleMeta {
+    /// Short id, e.g. `D1`.
+    pub id: &'static str,
+    /// Pragma-addressable slug, e.g. `wall-clock`.
+    pub name: &'static str,
+    /// One-line rationale shown in `--rules` output and the report.
+    pub rationale: &'static str,
+}
+
+/// Every rule the pass knows, in diagnostic order.
+pub const RULES: &[RuleMeta] = &[
+    RuleMeta {
+        id: "D1",
+        name: "wall-clock",
+        rationale: "Instant::now/SystemTime::now outside sim::timing breaks replayability",
+    },
+    RuleMeta {
+        id: "D2",
+        name: "sleep",
+        rationale: "thread::sleep hides timing dependence that seeded simulation cannot replay",
+    },
+    RuleMeta {
+        id: "D3",
+        name: "unseeded-rng",
+        rationale: "thread_rng/from_entropy draw OS entropy; all randomness must be seeded",
+    },
+    RuleMeta {
+        id: "D4",
+        name: "hash-iter",
+        rationale: "HashMap/HashSet iteration order is unstable and must not feed the event stream",
+    },
+    RuleMeta {
+        id: "P1",
+        name: "unwrap",
+        rationale: "unwrap() panics mid-replacement; return a typed error instead",
+    },
+    RuleMeta {
+        id: "P2",
+        name: "expect",
+        rationale: "expect() panics mid-replacement; return a typed error instead",
+    },
+    RuleMeta {
+        id: "P3",
+        name: "panic",
+        rationale: "panic!/unreachable!/todo!/unimplemented! abort the unattended engine loop",
+    },
+    RuleMeta {
+        id: "B1",
+        name: "unbounded-channel",
+        rationale: "mpsc::channel() has no backpressure; use bounded queues with a policy",
+    },
+    RuleMeta {
+        id: "B2",
+        name: "unbounded-loop",
+        rationale: "a loop without break/return in bus/retry code can spin forever on faults",
+    },
+];
+
+/// Pseudo-rule ids for pragma bookkeeping problems.
+pub const STALE_PRAGMA: &str = "stale-pragma";
+/// Pseudo-rule id for a malformed pragma (unknown rule, missing reason).
+pub const BAD_PRAGMA: &str = "bad-pragma";
+
+/// Finds a rule by its pragma slug.
+#[must_use]
+pub fn rule_by_name(name: &str) -> Option<&'static RuleMeta> {
+    RULES.iter().find(|r| r.name == name)
+}
+
+/// One diagnostic: either a rule violation or a pragma problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule id (`D1` … `B2`, or `stale-pragma` / `bad-pragma`).
+    pub rule_id: String,
+    /// Pragma slug (`wall-clock`, …); same as `rule_id` for pragma
+    /// problems.
+    pub rule_name: String,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl Violation {
+    /// `file:line: id(name) — message`, the grep-able diagnostic form.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: {}({}) — {}",
+            self.file, self.line, self.rule_id, self.rule_name, self.message
+        )
+    }
+}
+
+/// A parsed `// lint: allow(<rule>) — <reason>` pragma.
+#[derive(Debug, Clone)]
+struct Pragma {
+    line: usize,
+    rule: String,
+    reason: String,
+    /// The pragma is a standalone comment line (no code before it), so
+    /// it also covers the line directly below — mirroring how
+    /// `#[allow]` attributes sit above the item they govern.
+    comment_only: bool,
+    /// Set when a violation consumed this pragma.
+    used: bool,
+}
+
+impl Pragma {
+    /// Whether this pragma covers a violation on `line`.
+    fn covers(&self, line: usize) -> bool {
+        self.line == line || (self.comment_only && self.line + 1 == line)
+    }
+}
+
+/// Which rule families apply to a workspace-relative path.
+#[derive(Debug, Clone, Copy, Default)]
+struct Scope {
+    wall_clock: bool,
+    hash_iter: bool,
+    panic_free: bool,
+    bounded_loop: bool,
+}
+
+/// Crates whose non-test code must be panic-free (P rules). `trajectory`
+/// is included because its model/prediction code runs inside the
+/// engine's tick path.
+const PANIC_FREE_CRATES: &[&str] = &[
+    "crates/core/",
+    "crates/recommender/",
+    "crates/catalog/",
+    "crates/userdata/",
+    "crates/trajectory/",
+];
+
+/// Files whose map iteration can feed the ordered event stream.
+const HASH_ITER_FILES: &[&str] =
+    &["crates/core/src/engine.rs", "crates/core/src/bus.rs", "crates/recommender/src/"];
+
+/// Bus/retry files where every `loop` needs an exit.
+const BOUNDED_LOOP_FILES: &[&str] = &["crates/core/src/bus.rs", "crates/core/src/retry.rs"];
+
+/// The one module allowed to read the OS clock.
+const TIMING_ALLOWLIST: &str = "crates/sim/src/timing.rs";
+
+fn scope_for(path: &str) -> Scope {
+    let norm = path.replace('\\', "/");
+    Scope {
+        wall_clock: !norm.ends_with(TIMING_ALLOWLIST),
+        hash_iter: HASH_ITER_FILES.iter().any(|f| norm.contains(f)),
+        panic_free: PANIC_FREE_CRATES.iter().any(|c| norm.contains(c)),
+        bounded_loop: BOUNDED_LOOP_FILES.iter().any(|f| norm.contains(f)),
+    }
+}
+
+/// Lints one file's source text. `path` is the workspace-relative path
+/// used both for diagnostics and for rule scoping.
+#[must_use]
+pub fn lint_source(path: &str, source: &str) -> Vec<Violation> {
+    let scope = scope_for(path);
+    let lines = lex(source);
+    let test_mask = test_line_mask(&lines);
+    let hash_names = collect_hash_names(&lines);
+    let mut pragmas = collect_pragmas(&lines);
+    let mut out: Vec<Violation> = Vec::new();
+
+    // Malformed pragmas are reported unconditionally (even in test code:
+    // a broken pragma anywhere is a lie waiting to spread by copy-paste).
+    for (line_no, lexed) in lines.iter().enumerate() {
+        for c in &lexed.comments {
+            for problem in pragma_problems(c) {
+                out.push(Violation {
+                    file: path.to_string(),
+                    line: line_no + 1,
+                    rule_id: BAD_PRAGMA.to_string(),
+                    rule_name: BAD_PRAGMA.to_string(),
+                    message: problem,
+                });
+            }
+        }
+    }
+
+    for (idx, lexed) in lines.iter().enumerate() {
+        let line_no = idx + 1;
+        let in_test = test_mask.get(idx).copied().unwrap_or(false);
+        let code = lexed.code.as_str();
+        let mut raw: Vec<(&'static RuleMeta, String)> = Vec::new();
+
+        if scope.wall_clock {
+            for needle in ["Instant::now", "SystemTime::now"] {
+                if code.contains(needle) {
+                    raw.push((rule(0), format!("`{needle}()` outside the sim::timing allowlist")));
+                }
+            }
+            if code.contains("thread::sleep") || code.contains("std::thread::sleep") {
+                raw.push((rule(1), "`thread::sleep` in workspace code".to_string()));
+            }
+        }
+        for needle in ["thread_rng", "from_entropy"] {
+            if code.contains(needle) {
+                raw.push((rule(2), format!("`{needle}` draws unseeded OS entropy")));
+            }
+        }
+        if scope.hash_iter && !in_test {
+            let prev_code = idx.checked_sub(1).and_then(|p| lines.get(p)).map(|l| l.code.as_str());
+            for m in hash_iteration_hits(code, prev_code, &hash_names) {
+                raw.push((rule(3), m));
+            }
+        }
+        if scope.panic_free && !in_test {
+            if code.contains(".unwrap()") {
+                raw.push((rule(4), "`.unwrap()` in non-test engine-path code".to_string()));
+            }
+            if code.contains(".expect(") {
+                raw.push((rule(5), "`.expect(` in non-test engine-path code".to_string()));
+            }
+            for needle in ["panic!(", "unreachable!(", "todo!(", "unimplemented!("] {
+                if code.contains(needle) {
+                    raw.push((rule(6), format!("`{needle})` in non-test engine-path code")));
+                }
+            }
+        }
+        if code.contains("mpsc::channel()") {
+            raw.push((rule(7), "unbounded `mpsc::channel()`".to_string()));
+        }
+        if scope.bounded_loop && !in_test && opens_unbounded_loop(&lines, idx) {
+            raw.push((rule(8), "`loop` without `break`/`return` in bus/retry code".to_string()));
+        }
+
+        for (meta, message) in raw {
+            let suppressed = pragmas.iter_mut().any(|p| {
+                if !p.used && p.covers(line_no) && p.rule == meta.name {
+                    p.used = true;
+                    true
+                } else {
+                    false
+                }
+            });
+            if !suppressed {
+                out.push(Violation {
+                    file: path.to_string(),
+                    line: line_no,
+                    rule_id: meta.id.to_string(),
+                    rule_name: meta.name.to_string(),
+                    message,
+                });
+            }
+        }
+    }
+
+    // Unused pragmas are themselves violations: a pragma that suppresses
+    // nothing either outlived its violation or never matched it.
+    for p in pragmas.iter().filter(|p| !p.used) {
+        out.push(Violation {
+            file: path.to_string(),
+            line: p.line,
+            rule_id: STALE_PRAGMA.to_string(),
+            rule_name: STALE_PRAGMA.to_string(),
+            message: format!(
+                "pragma `allow({})` suppresses nothing on this line (reason: {})",
+                p.rule, p.reason
+            ),
+        });
+    }
+
+    out.sort_by(|a, b| a.line.cmp(&b.line).then_with(|| a.rule_id.cmp(&b.rule_id)));
+    out
+}
+
+fn rule(i: usize) -> &'static RuleMeta {
+    // RULES is a fixed-size constant; `i` is always a literal index in
+    // this module, so fall back to the first rule rather than panic.
+    RULES.get(i).unwrap_or(&RULES[0])
+}
+
+/// Marks lines belonging to `#[cfg(test)]` items (the attribute line
+/// itself, the item header, and its brace-balanced body).
+fn test_line_mask(lines: &[LexedLine]) -> Vec<bool> {
+    #[derive(PartialEq)]
+    enum Skip {
+        No,
+        /// Saw the attribute; waiting for the item's opening `{` (or a
+        /// `;` ending a braceless item). Payload: depth at the attribute.
+        Pending(i64),
+        /// Inside the item body; payload: depth to return to.
+        Body(i64),
+    }
+    let mut mask = vec![false; lines.len()];
+    let mut depth: i64 = 0;
+    let mut skip = Skip::No;
+    for (i, line) in lines.iter().enumerate() {
+        let code = line.code.as_str();
+        if skip == Skip::No && code.contains("#[cfg(test)]") {
+            skip = Skip::Pending(depth);
+        }
+        let mut line_depth = depth;
+        let mut opened = false;
+        let mut closed_to_base = false;
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    line_depth += 1;
+                    opened = true;
+                }
+                '}' => {
+                    line_depth -= 1;
+                    if let Skip::Body(base) | Skip::Pending(base) = skip {
+                        if line_depth <= base {
+                            closed_to_base = true;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        match skip {
+            Skip::No => {}
+            Skip::Pending(base) => {
+                mask[i] = true;
+                if opened && !closed_to_base {
+                    skip = Skip::Body(base);
+                } else if closed_to_base || code.contains(';') {
+                    // Braceless item (`#[cfg(test)] use …;`) or a
+                    // one-line `mod t { … }`.
+                    if opened || code.contains(';') {
+                        skip = Skip::No;
+                    }
+                }
+            }
+            Skip::Body(_) => {
+                mask[i] = true;
+                if closed_to_base {
+                    skip = Skip::No;
+                }
+            }
+        }
+        depth = line_depth;
+    }
+    mask
+}
+
+/// First pass of the `hash-iter` rule: names declared with a
+/// `HashMap`/`HashSet` type anywhere in the file (fields, lets,
+/// parameters — including `&HashMap<…>` borrows).
+fn collect_hash_names(lines: &[LexedLine]) -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    for line in lines {
+        let code = line.code.as_str();
+        if !(code.contains("HashMap") || code.contains("HashSet")) {
+            continue;
+        }
+        // `name: [&][std::collections::]Hash{Map,Set}<…>`
+        for (pos, _) in code.match_indices("Hash") {
+            let after = &code[pos..];
+            if !(after.starts_with("HashMap") || after.starts_with("HashSet")) {
+                continue;
+            }
+            let before = &code[..pos];
+            let trimmed = before
+                .trim_end_matches(|c: char| c.is_whitespace())
+                .trim_end_matches("std::collections::")
+                .trim_end_matches(|c: char| c.is_whitespace())
+                .trim_end_matches('&')
+                .trim_end_matches("mut")
+                .trim_end_matches(|c: char| c.is_whitespace());
+            if let Some(rest) = trimmed.strip_suffix(':') {
+                if let Some(name) = trailing_ident(rest) {
+                    push_unique(&mut names, name);
+                }
+            }
+            // `let [mut] name = Hash{Map,Set}::new()` / `::with_capacity`
+            if let Some(rest) = trimmed.strip_suffix('=') {
+                if let Some(name) = trailing_ident(rest) {
+                    push_unique(&mut names, name);
+                }
+            }
+        }
+    }
+    names
+}
+
+fn push_unique(names: &mut Vec<String>, name: String) {
+    if !name.is_empty() && !names.contains(&name) {
+        names.push(name);
+    }
+}
+
+/// [`trailing_ident`] adapted to `Option`-chaining over `&str`.
+fn trailing_ident_opt(text: &str) -> Option<String> {
+    trailing_ident(text)
+}
+
+/// The identifier ending `text`, skipping trailing whitespace and an
+/// optional `mut` / generic-less type ascription.
+fn trailing_ident(text: &str) -> Option<String> {
+    let t = text.trim_end();
+    let ident: String = t
+        .chars()
+        .rev()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect::<String>()
+        .chars()
+        .rev()
+        .collect();
+    if ident.is_empty() || ident.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        None
+    } else {
+        Some(ident)
+    }
+}
+
+/// Iteration method suffixes that expose hash ordering.
+const ITER_METHODS: &[&str] = &[
+    ".iter()",
+    ".iter_mut()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".into_iter()",
+    ".drain(",
+    ".retain(",
+];
+
+/// Second pass of the `hash-iter` rule: flags iteration idioms over the
+/// collected names (`name.iter()`, `for … in &name`, …). `prev_code`
+/// catches rustfmt-wrapped chains where `.values()` starts a line and
+/// the receiver sits on the line above.
+fn hash_iteration_hits(code: &str, prev_code: Option<&str>, names: &[String]) -> Vec<String> {
+    let mut hits = Vec::new();
+    for m in ITER_METHODS {
+        for (pos, _) in code.match_indices(m) {
+            let receiver = if code[..pos].trim().is_empty() {
+                prev_code.and_then(trailing_ident_opt)
+            } else {
+                trailing_ident(&code[..pos])
+            };
+            if let Some(ident) = receiver {
+                if names.iter().any(|n| *n == ident) {
+                    hits.push(format!("iteration `{ident}{m}…` over a hash collection"));
+                }
+            }
+        }
+    }
+    // `for x in [&[mut ]]name {` / `for x in [&]self.name {`
+    if let Some(pos) = code.find("for ") {
+        if let Some(in_pos) = code[pos..].find(" in ") {
+            let expr = code[pos + in_pos + 4..].trim();
+            let expr = expr.split(|c: char| c == '{').next().unwrap_or("").trim();
+            let bare = expr
+                .trim_start_matches('&')
+                .trim_start_matches("mut ")
+                .trim_start_matches("self.")
+                .trim();
+            if names.iter().any(|n| n == bare) {
+                hits.push(format!("`for … in {expr}` iterates a hash collection"));
+            }
+        }
+    }
+    hits
+}
+
+/// Whether line `idx` opens a `loop` whose brace-balanced body contains
+/// neither `break` nor `return`.
+fn opens_unbounded_loop(lines: &[LexedLine], idx: usize) -> bool {
+    let Some(first) = lines.get(idx) else { return false };
+    let code = first.code.as_str();
+    let Some(loop_pos) = find_loop_keyword(code) else { return false };
+    // Scan forward from the `loop` keyword, counting braces until the
+    // body closes; look for an exit on the way.
+    let mut depth = 0i64;
+    let mut entered = false;
+    let mut i = idx;
+    let mut col = loop_pos;
+    while i < lines.len() {
+        let Some(line) = lines.get(i) else { break };
+        let tail: String = line.code.chars().skip(col).collect();
+        if entered || tail.contains('{') {
+            if has_exit_keyword(&tail) {
+                return false;
+            }
+        }
+        for c in tail.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    entered = true;
+                }
+                '}' => {
+                    depth -= 1;
+                    if entered && depth <= 0 {
+                        return true;
+                    }
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+        col = 0;
+    }
+    // Unterminated body: treat as unbounded.
+    entered
+}
+
+/// Position of a standalone `loop` keyword in `code`, if any.
+fn find_loop_keyword(code: &str) -> Option<usize> {
+    for (pos, _) in code.match_indices("loop") {
+        let before_ok = pos == 0
+            || code[..pos]
+                .chars()
+                .next_back()
+                .is_none_or(|c| !(c.is_alphanumeric() || c == '_' || c == '.'));
+        let after = code[pos + 4..].chars().next();
+        let after_ok = after.is_none_or(|c| !(c.is_alphanumeric() || c == '_'));
+        if before_ok && after_ok {
+            return Some(pos);
+        }
+    }
+    None
+}
+
+fn has_exit_keyword(code: &str) -> bool {
+    for kw in ["break", "return"] {
+        for (pos, _) in code.match_indices(kw) {
+            let before_ok = pos == 0
+                || code[..pos]
+                    .chars()
+                    .next_back()
+                    .is_none_or(|c| !(c.is_alphanumeric() || c == '_'));
+            let after = code[pos + kw.len()..].chars().next();
+            let after_ok = after.is_none_or(|c| !(c.is_alphanumeric() || c == '_'));
+            if before_ok && after_ok {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Parses the pragmas in one file. A pragma lives in a comment on the
+/// offending line: `// lint: allow(<rule>) — <reason>`.
+fn collect_pragmas(lines: &[LexedLine]) -> Vec<Pragma> {
+    let mut out = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        let comment_only = line.code.trim().trim_start_matches('/').trim().is_empty();
+        for c in &line.comments {
+            for (rule, reason) in parse_allow_clauses(c) {
+                if rule_by_name(&rule).is_some() && !reason.is_empty() {
+                    out.push(Pragma { line: idx + 1, rule, reason, comment_only, used: false });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Problems with pragma syntax in one comment: unknown rule names and
+/// missing reasons. Returns human messages.
+fn pragma_problems(comment: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for (rule, reason) in parse_allow_clauses(comment) {
+        if rule_by_name(&rule).is_none() {
+            out.push(format!("pragma names unknown rule `{rule}`"));
+        } else if reason.is_empty() {
+            out.push(format!("pragma `allow({rule})` is missing its mandatory `— <reason>`"));
+        }
+    }
+    out
+}
+
+/// Extracts `(rule, reason)` pairs from a comment containing
+/// `lint: allow(<rule>) — <reason>`. The reason separator is an em
+/// dash, a double hyphen, or a colon; the reason runs to end of
+/// comment (or the next `lint:` clause).
+///
+/// The first clause must open the comment (only whitespace before
+/// `lint:`), so documentation *prose* that merely mentions the pragma
+/// grammar is never parsed as a pragma.
+fn parse_allow_clauses(comment: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    if !comment.trim_start().starts_with("lint:") {
+        return out;
+    }
+    let mut rest = comment;
+    while let Some(pos) = rest.find("lint:") {
+        let clause = &rest[pos + 5..];
+        let Some(open) = clause.find("allow(") else {
+            rest = clause;
+            continue;
+        };
+        // `allow(` must follow `lint:` with only whitespace between.
+        if !clause[..open].trim().is_empty() {
+            rest = clause;
+            continue;
+        }
+        let after_open = &clause[open + 6..];
+        let Some(close) = after_open.find(')') else {
+            out.push((after_open.trim().to_string(), String::new()));
+            break;
+        };
+        let rule = after_open[..close].trim().to_string();
+        let tail = &after_open[close + 1..];
+        let next_clause = tail.find("lint:");
+        let reason_src = next_clause.map_or(tail, |p| &tail[..p]);
+        let reason = reason_src
+            .trim_start()
+            .trim_start_matches(['—', '–'])
+            .trim_start_matches("--")
+            .trim_start_matches('-')
+            .trim_start_matches(':')
+            .trim()
+            .to_string();
+        // A reason requires an explicit separator; bare trailing text
+        // without one does not count.
+        let has_sep = {
+            let t = reason_src.trim_start();
+            t.starts_with('—')
+                || t.starts_with('–')
+                || t.starts_with("--")
+                || t.starts_with('-')
+                || t.starts_with(':')
+        };
+        out.push((rule, if has_sep { reason } else { String::new() }));
+        rest = next_clause.map_or("", |p| &tail[p..]);
+        if rest.is_empty() {
+            break;
+        }
+    }
+    out
+}

@@ -1,0 +1,43 @@
+//! Property tests: the lexer and the full lint pass are total — they
+//! never panic, whatever bytes they are fed.
+
+use pphcr_lint::{lexer::lex, lint_source};
+use proptest::prelude::*;
+
+/// Arbitrary bytes, including invalid UTF-8 sequences.
+fn arb_bytes() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec((0u32..256).prop_map(|b| b as u8), 0..1024)
+}
+
+proptest! {
+    #[test]
+    fn lexer_never_panics_on_arbitrary_bytes(bytes in arb_bytes()) {
+        let source = String::from_utf8_lossy(&bytes);
+        let _ = lex(&source);
+    }
+
+    #[test]
+    fn lexer_never_panics_on_rustish_soup(src in "[ \t\n\"'rb#{}/\\*a-z0-9_!().:—]{0,256}") {
+        let _ = lex(&src);
+    }
+
+    #[test]
+    fn lint_pass_never_panics(src in "[ \t\n\"'rb#{}/\\*a-z0-9_!().:—]{0,256}") {
+        // Engine path: every rule family is in scope.
+        let _ = lint_source("crates/core/src/bus.rs", &src);
+    }
+
+    #[test]
+    fn lint_pass_never_panics_on_arbitrary_bytes(bytes in arb_bytes()) {
+        let source = String::from_utf8_lossy(&bytes);
+        let _ = lint_source("crates/core/src/retry.rs", &source);
+    }
+
+    #[test]
+    fn line_count_never_shrinks(src in "[ \t\nx/\"*]{0,128}") {
+        // Every newline produces a line record; blanked lines included.
+        let lines = lex(&src);
+        let newlines = src.matches('\n').count();
+        prop_assert!(lines.len() >= newlines, "{} lines for {} newlines", lines.len(), newlines);
+    }
+}

@@ -1,0 +1,91 @@
+//! Pragma handling: `// lint: allow(<rule>) — <reason>` on the
+//! offending line suppresses exactly one rule; stale pragmas fail;
+//! pragmas inside string literals or ordinary prose are ignored.
+
+use pphcr_lint::lint_source;
+
+const PATH: &str = "crates/core/src/bus.rs";
+
+#[test]
+fn pragma_on_offending_line_suppresses_exactly_one_rule() {
+    let src = "pub fn f(xs: &[u32]) -> u32 {\n    *xs.first().unwrap() // lint: allow(unwrap) — fixture exercises suppression\n}\n";
+    assert!(lint_source(PATH, src).is_empty());
+}
+
+#[test]
+fn pragma_on_its_own_line_covers_the_next_line() {
+    let src = "pub fn f(xs: &[u32]) -> u32 {\n    // lint: allow(unwrap) — fixture exercises standalone pragma\n    *xs.first().unwrap()\n}\n";
+    assert!(lint_source(PATH, src).is_empty());
+}
+
+#[test]
+fn pragma_suppresses_only_the_named_rule() {
+    // unwrap is pragma'd; the expect on the same line still fires.
+    let src = "pub fn f(xs: &[u32]) -> u32 {\n    *xs.first().unwrap() + *xs.last().expect(\"x\") // lint: allow(unwrap) — only unwrap is excused\n}\n";
+    let violations = lint_source(PATH, src);
+    assert_eq!(violations.len(), 1, "{violations:?}");
+    assert_eq!(violations[0].rule_id, "P2");
+}
+
+#[test]
+fn stale_pragma_is_an_error() {
+    let src =
+        "pub fn f(x: u32) -> u32 {\n    x + 1 // lint: allow(unwrap) — nothing here needs it\n}\n";
+    let violations = lint_source(PATH, src);
+    assert_eq!(violations.len(), 1, "{violations:?}");
+    assert_eq!(violations[0].rule_id, "stale-pragma");
+}
+
+#[test]
+fn pragma_without_reason_is_an_error_and_does_not_suppress() {
+    let src = "pub fn f(xs: &[u32]) -> u32 {\n    *xs.first().unwrap() // lint: allow(unwrap)\n}\n";
+    let violations = lint_source(PATH, src);
+    let ids: Vec<&str> = violations.iter().map(|v| v.rule_id.as_str()).collect();
+    assert!(ids.contains(&"bad-pragma"), "{violations:?}");
+    assert!(ids.contains(&"P1"), "the violation must still fire: {violations:?}");
+}
+
+#[test]
+fn pragma_naming_unknown_rule_is_an_error() {
+    let src = "pub fn f() {} // lint: allow(made-up-rule) — no such rule\n";
+    let violations = lint_source(PATH, src);
+    assert_eq!(violations.len(), 1, "{violations:?}");
+    assert_eq!(violations[0].rule_id, "bad-pragma");
+}
+
+#[test]
+fn pragma_inside_string_literal_is_ignored() {
+    // The pragma text lives in a string: it must neither suppress the
+    // unwrap nor register as a (stale) pragma.
+    let src = "pub fn f(xs: &[u32]) -> u32 {\n    let _doc = \"// lint: allow(unwrap) — not a real pragma\";\n    *xs.first().unwrap()\n}\n";
+    let violations = lint_source(PATH, src);
+    assert_eq!(violations.len(), 1, "{violations:?}");
+    assert_eq!(violations[0].rule_id, "P1");
+}
+
+#[test]
+fn pragma_mentioned_in_prose_is_ignored() {
+    // Doc comments may *talk about* the grammar without tripping the
+    // bad-pragma detector: the clause must open the comment.
+    let src = "//! Write `// lint: allow(<rule>) — <reason>` to excuse a line.\npub fn f() {}\n";
+    assert!(lint_source(PATH, src).is_empty());
+}
+
+#[test]
+fn each_pragma_suppresses_one_violation_instance() {
+    // Two unwraps, one pragma: the second unwrap still fires.
+    let src = "pub fn f(xs: &[u32]) -> u32 {\n    *xs.first().unwrap() // lint: allow(unwrap) — one excuse\n}\npub fn g(xs: &[u32]) -> u32 {\n    *xs.last().unwrap()\n}\n";
+    let violations = lint_source(PATH, src);
+    assert_eq!(violations.len(), 1, "{violations:?}");
+    assert_eq!(violations[0].line, 5);
+}
+
+#[test]
+fn em_dash_double_hyphen_and_colon_reasons_all_parse() {
+    for sep in ["—", "--", ":"] {
+        let src = format!(
+            "pub fn f(xs: &[u32]) -> u32 {{\n    *xs.first().unwrap() // lint: allow(unwrap) {sep} reason text\n}}\n"
+        );
+        assert!(lint_source(PATH, &src).is_empty(), "separator {sep:?} failed");
+    }
+}

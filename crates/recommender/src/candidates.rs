@@ -209,6 +209,7 @@ impl CandidateFilter {
         }
         // Geo hits ride along regardless of freshness or preference;
         // skip the ones the category pass already scored.
+        // lint: allow(hash-iter) — finalize() re-sorts by (score desc, clip id); visit order cannot reach the output
         for &id in geo_hits.keys() {
             if seen.contains(&id) || exclude.contains(&id) {
                 continue;
@@ -232,7 +233,7 @@ impl CandidateFilter {
         let mut geo_hits = HashMap::new();
         let Some(drive) = ctx.drive.as_ref() else { return geo_hits };
         for (meta, along) in repo.geo_along_route(&drive.route_ahead, self.route_corridor_m) {
-            let tag = meta.geo.expect("geo hit has a tag");
+            let Some(tag) = meta.geo else { continue };
             match drive.route_ahead.distance_to(repo.projection().project(tag.point)) {
                 Some(dist) if dist.is_finite() && along.is_finite() => {
                     geo_hits.insert(meta.id, (dist, along));

@@ -53,7 +53,7 @@ pub fn diversify(
     let mut remaining: Vec<&ScoredClip> = ranked.iter().filter(|c| c.score.is_finite()).collect();
     let mut selected: Vec<ScoredClip> = Vec::with_capacity(k.min(ranked.len()));
     while selected.len() < k && !remaining.is_empty() {
-        let (best_idx, _) = remaining
+        let Some((best_idx, _)) = remaining
             .iter()
             .enumerate()
             .map(|(i, cand)| {
@@ -64,7 +64,9 @@ pub fn diversify(
                 (i, lambda * cand.score - (1.0 - lambda) * max_sim)
             })
             .max_by(|a, b| a.1.total_cmp(&b.1))
-            .expect("remaining is non-empty");
+        else {
+            break;
+        };
         selected.push(remaining.remove(best_idx).clone());
     }
     selected
@@ -75,7 +77,11 @@ pub fn diversify(
 /// for `n` equally represented categories.
 #[must_use]
 pub fn category_entropy(items: &[ScoredClip], repo: &ContentRepository) -> f64 {
-    let mut counts: std::collections::HashMap<u16, usize> = std::collections::HashMap::new();
+    // BTreeMap, not HashMap: the entropy sum is floating-point, so the
+    // visit order changes the low bits — hash order would make the
+    // variety metric differ between identical runs (caught by the D4
+    // `hash-iter` lint).
+    let mut counts: std::collections::BTreeMap<u16, usize> = std::collections::BTreeMap::new();
     let mut total = 0usize;
     for item in items {
         if let Some(meta) = repo.get(item.clip) {

@@ -3,7 +3,7 @@
 //! Fig. 2 of the paper: when the car starts moving the system predicts
 //! a travel duration ΔT and "tries to allocate the most relevant
 //! content for the available time ΔT, recommending media items A, B, C,
-//! D. Item B is also relevant to location L_B the user will reach."
+//! D. Item B is also relevant to location `L_B` the user will reach."
 //!
 //! The scheduler solves that allocation:
 //!
@@ -162,11 +162,9 @@ impl SchedulerConfig {
         };
         // Phase 2: ordering. Pinned items first, by along-route ETA.
         let zones = if self.avoid_distraction { drive.zone_windows() } else { Vec::new() };
-        let mut pinned: Vec<&ScoredClip> =
-            selected.iter().copied().filter(|c| c.along_route_m.is_some()).collect();
-        pinned.sort_by(|a, b| {
-            a.along_route_m.unwrap_or(0.0).total_cmp(&b.along_route_m.unwrap_or(0.0))
-        });
+        let mut pinned: Vec<(&ScoredClip, f64)> =
+            selected.iter().filter_map(|c| c.along_route_m.map(|along| (*c, along))).collect();
+        pinned.sort_by(|a, b| a.1.total_cmp(&b.1));
         let mut unpinned: Vec<&ScoredClip> =
             selected.iter().copied().filter(|c| c.along_route_m.is_none()).collect();
         unpinned.sort_by(|a, b| b.score.total_cmp(&a.score));
@@ -174,16 +172,16 @@ impl SchedulerConfig {
         let mut items: Vec<ScheduledItem> = Vec::with_capacity(selected.len());
         let mut cursor = 0u64;
         let mut un_iter = unpinned.into_iter().peekable();
-        for p in pinned {
+        for (p, along) in pinned {
             let dur = p.duration.as_seconds();
-            let eta = drive.eta_seconds(p.along_route_m.expect("pinned"));
+            let eta = drive.eta_seconds(along);
             let ideal_start = eta.saturating_sub(dur / 2);
             // Fill the gap before the pinned item with unpinned content
             // that finishes in time.
             while let Some(next) = un_iter.peek() {
                 let ndur = next.duration.as_seconds();
                 if cursor + ndur <= ideal_start.max(cursor) && cursor + ndur <= budget_s {
-                    let c = un_iter.next().expect("peeked");
+                    let Some(c) = un_iter.next() else { break };
                     if let Some(item) = place(c, cursor, &zones, budget_s, None) {
                         cursor = item.end_s();
                         items.push(item);

@@ -17,8 +17,8 @@ use pphcr_core::{DeliveryPlanKind, Engine, EngineConfig, EngineEvent, NetworkCos
 use pphcr_geo::{GeoPoint, ProjectedPoint, TimePoint, TimeSpan};
 use pphcr_nlp::{AsrConfig, NaiveBayes, SimulatedAsr, Vocabulary};
 use pphcr_recommender::{
-    baselines, CandidateFilter, DriveContext, ListenerContext, Recommender, SchedulerConfig,
-    ScoringWeights,
+    baselines, Ambient, CandidateFilter, DriveContext, ListenerContext, Recommender,
+    SchedulerConfig, ScoringWeights,
 };
 use pphcr_trajectory::model::ModelConfig;
 use pphcr_trajectory::{rdp_indices, GpsFix, MobilityModel, Trace};
@@ -218,7 +218,7 @@ pub fn morning_drive_context(world: &TripWorld, commuter: &Commuter) -> Option<L
         position: polyline.points().first().copied(),
         speed_mps: 11.0,
         drive: Some(DriveContext::new(prediction, zones)),
-        ambient: Default::default(),
+        ambient: Ambient::default(),
     })
 }
 
@@ -348,19 +348,18 @@ impl fmt::Display for E3Row {
 /// each stage.
 #[must_use]
 pub fn e3_pipeline(podcasts_per_day: usize, users: usize, seed: u64) -> Vec<E3Row> {
-    use std::time::Instant;
     let mut rows = Vec::new();
     let city = SyntheticCity::generate(12, 400.0, seed);
     let gen = CorpusGenerator::new(seed);
     let mut engine = Engine::new(EngineConfig::default());
 
     // Stage 1: classifier training (editorial ground truth).
-    let t = Instant::now();
+    let t = crate::timing::stopwatch();
     let train = gen.training_set(8, 150);
     for doc in &train {
         engine.train_classifier(doc.category, &doc.tokens);
     }
-    let dt = t.elapsed().as_secs_f64();
+    let dt = t.elapsed_s();
     rows.push(E3Row {
         stage: "train-classifier".into(),
         items: train.len() as u64,
@@ -372,7 +371,7 @@ pub fn e3_pipeline(podcasts_per_day: usize, users: usize, seed: u64) -> Vec<E3Ro
     let batch = gen.daily_batch(&city, 0, podcasts_per_day, 0.15);
     let pool: Vec<String> = (0..100).map(|i| format!("common{i}")).collect();
     let mut asr = SimulatedAsr::new(AsrConfig { wer: 0.15, seed, ..Default::default() });
-    let t = Instant::now();
+    let t = crate::timing::stopwatch();
     for clip in &batch {
         let transcript = asr.transcribe(&clip.doc.tokens, &pool);
         engine.ingest_clip(
@@ -385,7 +384,7 @@ pub fn e3_pipeline(podcasts_per_day: usize, users: usize, seed: u64) -> Vec<E3Ro
             None,
         );
     }
-    let dt = t.elapsed().as_secs_f64();
+    let dt = t.elapsed_s();
     rows.push(E3Row {
         stage: "asr+classify+ingest".into(),
         items: batch.len() as u64,
@@ -410,14 +409,14 @@ pub fn e3_pipeline(podcasts_per_day: usize, users: usize, seed: u64) -> Vec<E3Ro
         }
     }
     let recommender = Recommender::default();
-    let t = Instant::now();
+    let t = crate::timing::stopwatch();
     let mut produced = 0u64;
     for commuter in &population.commuters {
         let ctx = ListenerContext::stationary(now);
         let ranked = recommender.rank(&engine.repo, &engine.feedback, UserId(commuter.index), &ctx);
         produced += ranked.len() as u64;
     }
-    let dt = t.elapsed().as_secs_f64();
+    let dt = t.elapsed_s();
     rows.push(E3Row {
         stage: "rank-all-users".into(),
         items: users as u64,
@@ -1352,7 +1351,6 @@ pub fn e13_archive_world(clips: usize, users: usize, seed: u64) -> TripWorld {
 /// the property suite pins down bit-identical contents.
 #[must_use]
 pub fn e13_retrieval(grid: &[(usize, usize)], seed: u64) -> Vec<E13Row> {
-    use std::time::Instant;
     let mut rows = Vec::new();
     for &(clips, users) in grid {
         let world = e13_archive_world(clips, users, seed);
@@ -1369,19 +1367,19 @@ pub fn e13_retrieval(grid: &[(usize, usize)], seed: u64) -> Vec<E13Row> {
                 (prefs, ctx)
             })
             .collect();
-        let t = Instant::now();
+        let t = crate::timing::stopwatch();
         let mut scan_cands = 0u64;
         for (prefs, ctx) in &jobs {
             scan_cands += filter.candidates(&world.repo, prefs, ctx, &weights).len() as u64;
         }
-        let scan_s = t.elapsed().as_secs_f64();
-        let t = Instant::now();
+        let scan_s = t.elapsed_s();
+        let t = crate::timing::stopwatch();
         let mut indexed_cands = 0u64;
         for (prefs, ctx) in &jobs {
             indexed_cands +=
                 filter.candidates_indexed(&world.repo, prefs, ctx, &weights).len() as u64;
         }
-        let indexed_s = t.elapsed().as_secs_f64();
+        let indexed_s = t.elapsed_s();
         assert_eq!(scan_cands, indexed_cands, "index diverged from scan at {clips} clips");
         rows.push(E13Row {
             clips,
@@ -1472,13 +1470,12 @@ fn e13_commuter_fleet(users: u64) -> Engine {
 /// — only the wall time may.
 #[must_use]
 pub fn e13_tick_scaling(users: u64, worker_counts: &[usize]) -> Vec<E13TickRow> {
-    use std::time::Instant;
     let mut rows = Vec::new();
     for &workers in worker_counts {
         let mut engine = e13_commuter_fleet(users);
         let ids: Vec<UserId> = (1..=users).map(UserId).collect();
         let d8 = TimePoint::at(7, 8, 0, 0);
-        let t = Instant::now();
+        let t = crate::timing::stopwatch();
         let mut events = 0u64;
         for i in 0..12u64 {
             let now = d8.advance(TimeSpan::seconds(i * 30));
@@ -1492,7 +1489,7 @@ pub fn e13_tick_scaling(users: u64, worker_counts: &[usize]) -> Vec<E13TickRow> 
             }
             events += engine.tick_batch_with(&ids, now, workers).len() as u64;
         }
-        let seconds = t.elapsed().as_secs_f64();
+        let seconds = t.elapsed_s();
         let ticks = users * 12;
         rows.push(E13TickRow {
             users,

@@ -28,6 +28,7 @@ pub mod corpus;
 pub mod experiments;
 pub mod listener;
 pub mod population;
+pub mod timing;
 pub mod world;
 
 pub use chaos::ChaosProfile;

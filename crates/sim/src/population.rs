@@ -123,9 +123,9 @@ impl Population {
         noise: GpsNoise,
     ) -> Vec<GpsFix> {
         let mut rng = StdRng::seed_from_u64(
-            self.seed ^ commuter.index.wrapping_mul(31) ^ day.wrapping_mul(0x5DEECE66D),
+            self.seed ^ commuter.index.wrapping_mul(31) ^ day.wrapping_mul(0x5_DEEC_E66D),
         );
-        let jitter = rng.gen_range(0..600) as i64 - 300;
+        let jitter = i64::from(rng.gen_range(0..600)) - 300;
         let dep_out = (commuter.departure_out_s as i64 + jitter).max(0) as u64;
         let dep_back = (commuter.departure_back_s as i64 + jitter).max(0) as u64;
         let mut fixes = Vec::new();

@@ -112,7 +112,9 @@ pub fn dbscan(points: &[ProjectedPoint], params: DbscanParams) -> Vec<ClusterLab
             }
         }
     }
-    labels.into_iter().map(|l| l.expect("every point labelled")).collect()
+    // The sweep labels every point; an unlabelled survivor would be an
+    // algorithmic bug, and Noise is the safe total answer for it.
+    labels.into_iter().map(|l| l.unwrap_or(ClusterLabel::Noise)).collect()
 }
 
 /// A recurring significant place extracted from a listener's fixes.
@@ -137,12 +139,7 @@ impl StayPoint {
     /// The hour of day at which visits most often start.
     #[must_use]
     pub fn peak_hour(&self) -> u64 {
-        self.hour_histogram
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &c)| c)
-            .map(|(h, _)| h as u64)
-            .unwrap_or(0)
+        self.hour_histogram.iter().enumerate().max_by_key(|(_, &c)| c).map_or(0, |(h, _)| h as u64)
     }
 }
 

@@ -163,14 +163,19 @@ impl MobilityModel {
         for (id, t) in trips_raw.iter().enumerate() {
             let pts: Vec<ProjectedPoint> =
                 t.fixes().iter().map(|f| proj.project(f.point)).collect();
-            let first = *pts.first().expect("segmenter yields non-empty trips");
-            let last = *pts.last().expect("segmenter yields non-empty trips");
+            // The segmenter yields non-empty trips today, but the model
+            // builder must stay total: a degenerate empty trip is
+            // dropped rather than panicking mid-compaction.
+            let (Some(&first), Some(&last)) = (pts.first(), pts.last()) else { continue };
+            let (Some(first_fix), Some(last_fix)) = (t.fixes().first(), t.fixes().last()) else {
+                continue;
+            };
             trips.push(TripSummary {
                 id: id as u32,
                 origin: attach(first),
                 destination: attach(last),
-                start: t.fixes().first().expect("non-empty").time,
-                end: t.fixes().last().expect("non-empty").time,
+                start: first_fix.time,
+                end: last_fix.time,
                 length_m: t.length_m(),
                 mean_speed_mps: t.mean_speed_mps(),
                 complexity: trajectory_complexity(&pts, cfg.rdp_epsilon_m),
@@ -238,7 +243,7 @@ fn aggregate_profiles(trips: &[TripSummary]) -> HashMap<(u32, u32), RouteProfile
                 hour_histogram[t.departure_hour() as usize] += 1;
             }
             let representative =
-                ts.iter().max_by_key(|t| t.start).expect("non-empty group").geometry.clone();
+                ts.iter().max_by_key(|t| t.start).map(|t| t.geometry.clone()).unwrap_or_default();
             (
                 (o, d),
                 RouteProfile {

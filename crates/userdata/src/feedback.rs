@@ -168,7 +168,7 @@ impl FeedbackStore {
     /// The user's raw navigation log (chronological as recorded).
     #[must_use]
     pub fn events(&self, user: UserId) -> &[FeedbackEvent] {
-        self.log.get(&user).map(Vec::as_slice).unwrap_or(&[])
+        self.log.get(&user).map_or(&[], Vec::as_slice)
     }
 
     /// Number of events recorded for `user`.

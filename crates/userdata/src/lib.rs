@@ -9,7 +9,7 @@
 //!   listener's app together with the implicit or explicit rating") —
 //!   [`feedback`], including the decayed per-category preference model
 //!   the recommender reads,
-//! * the **tracking data DB** ("a PostGIS based spatial DB with the
+//! * the **tracking data DB** ("a `PostGIS` based spatial DB with the
 //!   listener's geographical information") — [`tracking`], wrapping the
 //!   trajectory analytics of `pphcr-trajectory`.
 

@@ -1,6 +1,6 @@
 //! The tracking data DB.
 //!
-//! Stand-in for the paper's "PostGIS based spatial DB with the
+//! Stand-in for the paper's "`PostGIS` based spatial DB with the
 //! listener's geographical information": per-user GPS traces plus a
 //! grid spatial index for the dashboard's map queries (Fig. 5), and the
 //! periodic compaction job that turns raw fixes into each user's
@@ -12,6 +12,25 @@ use pphcr_geo::{BoundingBox, GeoPoint, LocalProjection, TimePoint};
 use pphcr_trajectory::fix::{GpsFix, Trace};
 use pphcr_trajectory::model::{MobilityModel, ModelConfig};
 use std::collections::HashMap;
+
+/// Why a tracking query could not be answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrackingError {
+    /// The user has no recorded fixes, so no mobility model exists.
+    NoFixes(UserId),
+}
+
+impl std::fmt::Display for TrackingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrackingError::NoFixes(user) => {
+                write!(f, "user {} has no recorded fixes", user.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrackingError {}
 
 /// The tracking store.
 #[derive(Debug)]
@@ -121,8 +140,17 @@ impl TrackingStore {
     /// The user's compact mobility model, rebuilt only when new fixes
     /// arrived since the last build (the paper's "periodically process
     /// and simplify" job, run on demand).
-    pub fn mobility_model(&mut self, user: UserId) -> &MobilityModel {
-        let fix_count = self.traces.get(&user).map_or(0, Trace::len);
+    ///
+    /// # Errors
+    /// [`TrackingError::NoFixes`] for a user without any recorded fix —
+    /// previously this silently built an empty model; an engine asking
+    /// for the mobility of an untracked listener is a caller bug worth
+    /// surfacing.
+    pub fn mobility_model(&mut self, user: UserId) -> Result<&MobilityModel, TrackingError> {
+        let fix_count = match self.traces.get(&user) {
+            Some(t) => t.len(),
+            None => return Err(TrackingError::NoFixes(user)),
+        };
         let needs_build = match self.models.get(&user) {
             Some((count, _)) => *count != fix_count,
             None => true,
@@ -132,7 +160,10 @@ impl TrackingStore {
             let model = MobilityModel::build(&trace, &self.projection, &self.config);
             self.models.insert(user, (fix_count, model));
         }
-        &self.models.get(&user).expect("just inserted").1
+        match self.models.get(&user) {
+            Some((_, model)) => Ok(model),
+            None => Err(TrackingError::NoFixes(user)),
+        }
     }
 
     /// Users with at least one fix.
@@ -239,23 +270,28 @@ mod tests {
                 );
             }
         }
-        let stays = s.mobility_model(UserId(1)).stay_points.len();
+        let stays = s.mobility_model(UserId(1)).expect("has fixes").stay_points.len();
         assert!(stays >= 2, "home and work expected, got {stays}");
         // Cached: building again without new fixes is the same object
         // (checked via pointer equality of the stored model).
-        let p1 = std::ptr::addr_of!(*s.mobility_model(UserId(1)));
-        let p2 = std::ptr::addr_of!(*s.mobility_model(UserId(1)));
+        let p1 = std::ptr::addr_of!(*s.mobility_model(UserId(1)).expect("has fixes"));
+        let p2 = std::ptr::addr_of!(*s.mobility_model(UserId(1)).expect("has fixes"));
         assert_eq!(p1, p2);
         // New fix invalidates.
         s.record(UserId(1), GpsFix::new(TORINO, TimePoint::at(3, 0, 0, 0), 0.1));
-        let _ = s.mobility_model(UserId(1));
+        assert!(s.mobility_model(UserId(1)).is_ok());
     }
 
     #[test]
-    fn cold_user_gets_empty_model() {
+    fn cold_user_is_a_typed_error_not_a_panic() {
         let mut s = TrackingStore::new(TORINO);
-        let model = s.mobility_model(UserId(42));
-        assert!(model.stay_points.is_empty());
+        // Regression for the `.expect("just inserted")` this replaced:
+        // an untracked user must surface as a typed error, not an
+        // invisible empty model (and certainly not a panic).
+        assert!(matches!(s.mobility_model(UserId(42)), Err(TrackingError::NoFixes(UserId(42)))));
+        // One valid fix is enough to make the query answerable.
+        s.record(UserId(42), GpsFix::new(TORINO, TimePoint::at(0, 8, 0, 0), 1.0));
+        let model = s.mobility_model(UserId(42)).expect("has a fix now");
         assert!(model.trips.is_empty());
     }
 }

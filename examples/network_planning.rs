@@ -47,7 +47,7 @@ fn main() {
         match model.hybrid_crossover(listen, p, 1_000_000) {
             Some(n) => println!("  personalized fraction {p:>4.2} → {n} listeners"),
             None => {
-                println!("  personalized fraction {p:>4.2} → never (clips equal the full stream)")
+                println!("  personalized fraction {p:>4.2} → never (clips equal the full stream)");
             }
         }
     }

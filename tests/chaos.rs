@@ -178,7 +178,7 @@ fn chaos_is_deterministic_per_seed() {
     assert_ne!(a.2, c.2, "different seed, different faults");
 }
 
-/// A FaultyTransport with every rate at zero — and no bandwidth caps —
+/// A `FaultyTransport` with every rate at zero — and no bandwidth caps —
 /// is indistinguishable from the default perfect transport: identical
 /// events, identical snapshot. Chaos machinery off = seed behaviour.
 #[test]
