@@ -1,7 +1,9 @@
 //! E13 — writes `BENCH_e13.json`: scan-vs-index retrieval throughput
-//! over a months-deep archive plus batch-tick worker scaling, then
-//! gates on the index actually beating the linear scan at the largest
-//! archive point (the CI perf-smoke job fails on a regression).
+//! over a months-deep archive, batch-tick worker scaling, and the
+//! observability overhead check (instrumented vs bare engine on the
+//! same window). Gates on the index beating the linear scan at the
+//! largest archive point and on the obs layer staying under its
+//! overhead budget (the CI perf-smoke job fails on either regression).
 //!
 //! Environment overrides (all optional):
 //! * `E13_GRID` — comma-separated `CLIPSxUSERS` retrieval points,
@@ -10,9 +12,14 @@
 //! * `E13_WORKERS` — comma-separated worker counts, default `1,2,8`.
 //! * `E13_MIN_SPEEDUP` — gate on the largest grid point, default 1.0.
 //! * `E13_OUT` — output path, default `BENCH_e13.json`.
+//! * `E13_OBS_ROUNDS` — best-of rounds per obs variant, default 3.
+//! * `E13_MAX_OVERHEAD_PCT` — obs overhead gate, default 3.0.
+//! * `E13_OBS_SLACK_S` — absolute slack added to the overhead gate so
+//!   sub-noise wall times cannot fake a percentage, default 0.02.
+//! * `E13_OBS_OUT` — snapshot artifact path, default `OBS_SNAPSHOT.json`.
 
 use pphcr_core::json::JsonWriter;
-use pphcr_sim::experiments::{e13_retrieval, e13_tick_scaling};
+use pphcr_sim::experiments::{e13_obs_overhead, e13_retrieval, e13_tick_scaling};
 use std::process::ExitCode;
 
 fn env_or(key: &str, default: &str) -> String {
@@ -38,6 +45,11 @@ fn main() -> ExitCode {
         .collect();
     let min_speedup: f64 = env_or("E13_MIN_SPEEDUP", "1.0").parse().expect("E13_MIN_SPEEDUP");
     let out_path = env_or("E13_OUT", "BENCH_e13.json");
+    let obs_rounds: usize = env_or("E13_OBS_ROUNDS", "3").parse().expect("E13_OBS_ROUNDS");
+    let max_overhead_pct: f64 =
+        env_or("E13_MAX_OVERHEAD_PCT", "3.0").parse().expect("E13_MAX_OVERHEAD_PCT");
+    let obs_slack_s: f64 = env_or("E13_OBS_SLACK_S", "0.02").parse().expect("E13_OBS_SLACK_S");
+    let obs_out = env_or("E13_OBS_OUT", "OBS_SNAPSHOT.json");
 
     println!("=== E13: retrieval index + sharded batch ticks ===");
     let retrieval = e13_retrieval(&grid, 42);
@@ -48,6 +60,10 @@ fn main() -> ExitCode {
     for row in &ticks {
         println!("{row}");
     }
+    let obs = e13_obs_overhead(tick_users, *workers.last().unwrap_or(&1), obs_rounds);
+    println!("{obs}");
+    std::fs::write(&obs_out, format!("{}\n", obs.snapshot_json)).expect("write OBS_SNAPSHOT.json");
+    println!("wrote {obs_out}");
 
     let mut w = JsonWriter::new();
     w.begin_object();
@@ -75,6 +91,15 @@ fn main() -> ExitCode {
         w.end_object();
     }
     w.end_array();
+    w.begin_named_object("obs_overhead");
+    w.field_u64("users", obs.users)
+        .field_u64("workers", obs.workers as u64)
+        .field_u64("rounds", obs.rounds as u64)
+        .field_f64("bare_s", obs.bare_s)
+        .field_f64("instrumented_s", obs.instrumented_s)
+        .field_f64("overhead_pct", obs.overhead_pct)
+        .field_u64("events", obs.events);
+    w.end_object();
     w.end_object();
     let mut doc = w.finish();
     doc.push('\n');
@@ -89,6 +114,22 @@ fn main() -> ExitCode {
         eprintln!(
             "FAIL: indexed retrieval speedup {:.2}x at {} clips is below the {:.2}x gate",
             largest.speedup, largest.clips, min_speedup
+        );
+        return ExitCode::FAILURE;
+    }
+
+    // The observability gate: the instrumented engine may not cost
+    // more than `max_overhead_pct` over the bare one, with a small
+    // absolute slack so sub-noise wall times cannot fake a percentage.
+    let budget_s = obs.bare_s * (1.0 + max_overhead_pct / 100.0) + obs_slack_s;
+    if obs.instrumented_s > budget_s {
+        eprintln!(
+            "FAIL: instrumented window {:.3}s exceeds bare {:.3}s by more than {:.1}% (+{:.0}ms \
+             slack)",
+            obs.instrumented_s,
+            obs.bare_s,
+            max_overhead_pct,
+            obs_slack_s * 1_000.0
         );
         return ExitCode::FAILURE;
     }

@@ -92,6 +92,7 @@ fn main() {
     for row in exp::e13_tick_scaling(12, &[1, 2, 8]) {
         println!("{row}");
     }
+    println!("{}", exp::e13_obs_overhead(12, 8, 2));
 
     println!("\n{:=<78}", "");
     println!("done.");

@@ -86,6 +86,13 @@ impl ContentRepository {
         self.index.postings(category).iter().filter_map(|&(_, id)| self.clips.get(&id)).collect()
     }
 
+    /// Number of indexed clips in one category — the posting-list
+    /// length, read in O(1) without visiting any clip.
+    #[must_use]
+    pub fn category_len(&self, category: CategoryId) -> usize {
+        self.index.postings(category).len()
+    }
+
     /// All categories that currently hold at least one clip
     /// (unspecified order).
     pub fn indexed_categories(&self) -> impl Iterator<Item = CategoryId> + '_ {

@@ -8,7 +8,9 @@
 //! tables (what the examples print).
 
 use crate::engine::Engine;
+use crate::health::HealthCounts;
 use pphcr_geo::{GeoPoint, TimePoint};
+use pphcr_obs::Verdict;
 use pphcr_userdata::UserId;
 use serde::{Deserialize, Serialize};
 
@@ -71,6 +73,23 @@ pub struct HealthView {
     pub dup_deliveries: u64,
     /// Ladder transitions.
     pub transitions: u64,
+}
+
+/// The observability panel: platform-wide counters and the decision
+/// trace, summarized from the engine's [`pphcr_obs::Registry`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ObservabilityView {
+    /// Every non-zero counter, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Listeners per ladder rung.
+    pub health: HealthCounts,
+    /// Decision-trace entries currently retained.
+    pub trace_len: usize,
+    /// Decision-trace entries evicted by the ring bound.
+    pub trace_dropped: u64,
+    /// Retained trace verdicts: (scheduled, no-candidates,
+    /// empty-schedule).
+    pub verdicts: (u64, u64, u64),
 }
 
 /// The dashboard facade.
@@ -153,6 +172,32 @@ impl Dashboard {
         })
     }
 
+    /// Builds the platform-wide observability panel.
+    #[must_use]
+    pub fn observability(engine: &Engine) -> ObservabilityView {
+        let counters = engine
+            .obs()
+            .counters()
+            .map(|(name, value)| (name.to_string(), value))
+            .filter(|&(_, v)| v > 0)
+            .collect();
+        let mut verdicts = (0u64, 0u64, 0u64);
+        for entry in engine.obs_trace().entries() {
+            match entry.verdict {
+                Verdict::Scheduled => verdicts.0 += 1,
+                Verdict::NoCandidates => verdicts.1 += 1,
+                Verdict::EmptySchedule => verdicts.2 += 1,
+            }
+        }
+        ObservabilityView {
+            counters,
+            health: engine.health_counts(),
+            trace_len: engine.obs_trace().len(),
+            trace_dropped: engine.obs_trace().dropped(),
+            verdicts,
+        }
+    }
+
     /// Renders a compact text summary of every panel (what the demo
     /// examples print in place of the web dashboard).
     #[must_use]
@@ -209,6 +254,17 @@ impl Dashboard {
             wire.delayed,
             engine.bus.dead_letters().len(),
             engine.delivery.retries(),
+        );
+        let obs = Dashboard::observability(engine);
+        let _ = writeln!(
+            out,
+            "-- obs: {} counters | trace {} kept / {} dropped | verdicts scheduled={} no-candidates={} empty-schedule={}",
+            obs.counters.len(),
+            obs.trace_len,
+            obs.trace_dropped,
+            obs.verdicts.0,
+            obs.verdicts.1,
+            obs.verdicts.2,
         );
         out
     }
@@ -293,6 +349,22 @@ mod tests {
         assert!(text.contains("pending injections: 1"));
         assert!(text.contains("-- health: healthy"));
         assert!(text.contains("-- wire: dropped=0"));
+    }
+
+    #[test]
+    fn observability_panel_summarizes_counters() {
+        let mut e = engine_with_user();
+        let t = TimePoint::at(0, 9, 0, 0);
+        e.tick(UserId(1), t);
+        let view = Dashboard::observability(&e);
+        assert_eq!(view.health, HealthCounts { healthy: 1, degraded: 0, broadcast_only: 0 });
+        assert!(
+            view.counters.iter().any(|(name, v)| name == "engine.ticks" && *v == 1),
+            "tick counter missing: {:?}",
+            view.counters
+        );
+        let text = Dashboard::render_text(&mut e, UserId(1), t);
+        assert!(text.contains("-- obs:"));
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use crate::bearer::{BearerClass, BearerSelector, CoverageMap};
 use crate::bus::{Bus, BusMessage, PublishError, Topic};
 use crate::fault::ChaosRng;
-use crate::health::{HealthState, UserHealth};
+use crate::health::{HealthCounts, HealthState, UserHealth};
 use crate::injection::InjectionQueue;
 use crate::netcost::UnicastLink;
 use crate::player::{Player, PlayerEvent, QueuedClip};
@@ -24,9 +24,12 @@ use pphcr_geo::{
     DistractionZone, GeoPoint, NodeKind, Polyline, ProjectedPoint, RoadNetwork, TimePoint, TimeSpan,
 };
 use pphcr_nlp::{NaiveBayes, Vocabulary};
+use pphcr_obs::{
+    DecisionTrace, DecisionTraceEntry, ObsSnapshot, Registry, Span, Verdict, DEFAULT_TRACE_CAPACITY,
+};
 use pphcr_recommender::{
-    Ambient, DriveContext, ListenerContext, ProactivityModel, Recommender, ScoredClip,
-    SlotSchedule, Trigger,
+    Ambient, DriveContext, ListenerContext, ProactivityModel, Recommender, RetrievalStats,
+    ScoredClip, SlotSchedule, Trigger,
 };
 use pphcr_trajectory::{GpsFix, TripPredictor};
 use pphcr_userdata::{
@@ -59,6 +62,12 @@ pub struct EngineConfig {
     /// Worker threads for [`Engine::tick_batch`]'s speculative
     /// candidate-scoring phase. `1` disables threading.
     pub worker_threads: usize,
+    /// Observability master switch: `false` swaps in a no-op registry
+    /// and skips the decision trace — the bare baseline the e13
+    /// overhead gate measures the instrumented path against.
+    pub obs_enabled: bool,
+    /// Capacity of the bounded decision-trace ring buffer.
+    pub trace_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -73,6 +82,8 @@ impl Default for EngineConfig {
             chaos_seed: 0x5EED,
             stale_fix_after: TimeSpan::minutes(2),
             worker_threads: std::thread::available_parallelism().map_or(1, |n| n.get().min(8)),
+            obs_enabled: true,
+            trace_capacity: DEFAULT_TRACE_CAPACITY,
         }
     }
 }
@@ -191,17 +202,122 @@ struct CandidateCacheKey {
     now: TimePoint,
 }
 
-/// A memoized ranked candidate list plus the key it was computed under.
+/// A memoized ranked candidate list plus the key it was computed under
+/// and the retrieval-stage counters of that computation (replayed into
+/// the decision trace on cache hits, so a warmed tick traces the same
+/// numbers as a cold one).
 #[derive(Debug, Clone)]
 struct CachedCandidates {
     key: CandidateCacheKey,
     ranked: Vec<ScoredClip>,
+    stats: RetrievalStats,
+}
+
+/// One consolidated engine-step request: the single entry point behind
+/// the historical `tick` / `tick_batch` / `tick_batch_with` wrappers.
+#[derive(Debug, Clone)]
+pub struct TickRequest<'a> {
+    /// Listeners to step, in order.
+    pub users: &'a [UserId],
+    /// The tick instant.
+    pub now: TimePoint,
+    /// Run the shared batch preamble (bus clock advance, telemetry
+    /// pump, parallel candidate-cache warm) once before the sequential
+    /// user loop. `false` reproduces the historical single-user
+    /// [`Engine::tick`] bit-exactly: each user's step performs its own
+    /// clock advance and pumps.
+    pub batch: bool,
+    /// Worker threads for the warm phase; `None` uses
+    /// [`EngineConfig::worker_threads`]. Ignored unless `batch`.
+    pub workers: Option<usize>,
+}
+
+impl<'a> TickRequest<'a> {
+    /// A single-listener step (the historical [`Engine::tick`]).
+    #[must_use]
+    pub fn single(user: &'a UserId, now: TimePoint) -> Self {
+        TickRequest { users: std::slice::from_ref(user), now, batch: false, workers: None }
+    }
+
+    /// A population step with the shared preamble and warm phase (the
+    /// historical [`Engine::tick_batch`]).
+    #[must_use]
+    pub fn batch(users: &'a [UserId], now: TimePoint) -> Self {
+        TickRequest { users, now, batch: true, workers: None }
+    }
+
+    /// Overrides the warm-phase worker count (`1` runs it inline).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+}
+
+/// What one [`Engine::run_tick`] call did: the event stream plus the
+/// observability counters it moved.
+#[derive(Debug, Clone)]
+pub struct TickReport {
+    /// Events in delivery order — the same stream the historical
+    /// wrappers returned.
+    pub events: Vec<EngineEvent>,
+    /// Counters incremented during this tick as `(name, delta)` pairs
+    /// in name order. Empty when observability is disabled.
+    pub obs_deltas: Vec<(&'static str, u64)>,
+}
+
+impl TickReport {
+    /// The delta recorded for one counter this tick (0 if unchanged).
+    #[must_use]
+    pub fn delta(&self, name: &str) -> u64 {
+        self.obs_deltas.iter().find(|(n, _)| *n == name).map_or(0, |&(_, d)| d)
+    }
 }
 
 /// Number of logical user shards; shard → worker assignment is
 /// `shard % worker_count`, so any worker count divides the same stable
 /// shard space and per-user placement never depends on batch order.
 const USER_SHARDS: u64 = 64;
+
+/// A score in `[0, 1]` as exact micro-units, keeping the decision
+/// trace (and hence the observability snapshot) float-free.
+fn micro(score: f64) -> i64 {
+    (score * 1e6).round() as i64
+}
+
+/// Builds the decision-trace entry for one fired trigger: retrieval
+/// stage counters plus the top candidate's score breakdown. The
+/// verdict starts pessimistic (`NoCandidates` / `EmptySchedule`) and
+/// is upgraded by the caller once a schedule is actually packed.
+fn trace_entry(
+    user: UserId,
+    now: TimePoint,
+    trigger: Trigger,
+    stats: &RetrievalStats,
+    ranked: &[ScoredClip],
+) -> DecisionTraceEntry {
+    let top = ranked.first();
+    DecisionTraceEntry {
+        user: user.0,
+        at_s: now.seconds(),
+        trigger: match trigger {
+            Trigger::TripStarted => "trip-started",
+            Trigger::ScheduleUnderrun => "schedule-underrun",
+        },
+        considered: stats.considered,
+        cut_freshness: stats.cut_freshness,
+        cut_preference: stats.cut_preference,
+        cut_geo: stats.cut_geo,
+        cut_heard: stats.cut_heard,
+        scored: stats.scored,
+        scheduled: 0,
+        top_clip: top.map(|c| c.clip.0),
+        top_content_micro: top.map_or(0, |c| micro(c.content_score)),
+        top_context_micro: top.map_or(0, |c| micro(c.context_score)),
+        top_total_micro: top.map_or(0, |c| micro(c.score)),
+        verdict: if ranked.is_empty() { Verdict::NoCandidates } else { Verdict::EmptySchedule },
+    }
+}
 
 /// `SplitMix64` finalizer — a cheap, well-mixed hash from `UserId` to a
 /// shard, stable across runs and platforms.
@@ -259,6 +375,8 @@ pub struct Engine {
     coverage: Option<CoverageMap>,
     bearers: HashMap<UserId, BearerSelector>,
     candidate_cache: HashMap<UserId, CachedCandidates>,
+    obs: Registry,
+    obs_trace: DecisionTrace,
 }
 
 impl Engine {
@@ -296,8 +414,18 @@ impl Engine {
             coverage: None,
             bearers: HashMap::new(),
             candidate_cache: HashMap::new(),
+            obs: if config.obs_enabled { Registry::new() } else { Registry::disabled() },
+            obs_trace: DecisionTrace::with_capacity(config.trace_capacity),
             config,
         }
+    }
+
+    /// Starts a fluent [`EngineBuilder`] — the consolidated way to
+    /// attach coverage, road network and gazetteer at construction
+    /// time instead of through the post-hoc setters.
+    #[must_use]
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::new()
     }
 
     /// Attaches the broadcast coverage map; every listener then gets a
@@ -330,19 +458,11 @@ impl Engine {
         self.health.get(&user)
     }
 
-    /// Listeners per ladder rung: (healthy, degraded, broadcast-only).
+    /// Listeners per ladder rung.
     #[must_use]
-    pub fn health_counts(&self) -> (u64, u64, u64) {
-        let mut counts = (0, 0, 0);
+    pub fn health_counts(&self) -> HealthCounts {
         // lint: allow(hash-iter) — order-independent tally; counts do not depend on visit order
-        for h in self.health.values() {
-            match h.state() {
-                HealthState::Healthy => counts.0 += 1,
-                HealthState::Degraded => counts.1 += 1,
-                HealthState::BroadcastOnly => counts.2 += 1,
-            }
-        }
-        counts
+        HealthCounts::tally(self.health.values().map(UserHealth::state))
     }
 
     /// Attaches the road network used for distraction zones.
@@ -566,10 +686,15 @@ impl Engine {
         Ok(())
     }
 
-    /// Clips this listener has already had queued (never re-recommend).
+    /// Clips this listener has already had queued (never
+    /// re-recommend), sorted by id so consumers iterate
+    /// deterministically.
     #[must_use]
-    pub fn heard(&self, user: UserId) -> HashSet<ClipId> {
-        self.heard.get(&user).cloned().unwrap_or_default()
+    pub fn heard(&self, user: UserId) -> Vec<ClipId> {
+        let mut out: Vec<ClipId> =
+            self.heard.get(&user).map_or_else(Vec::new, |set| set.iter().copied().collect());
+        out.sort_unstable();
+        out
     }
 
     /// The dashboard's decision trace.
@@ -674,11 +799,21 @@ impl Engine {
         ctx
     }
 
-    /// One engine step for a listener: advance their player, learn from
-    /// its events, send editorial injections and proactive schedules as
+    /// One engine step for a listener.
+    ///
+    /// **Deprecated-style wrapper**: prefer [`Engine::run_tick`] with
+    /// [`TickRequest::single`], which also returns the tick's
+    /// observability deltas. Kept (and kept bit-identical) for the
+    /// existing call sites.
+    pub fn tick(&mut self, user: UserId, now: TimePoint) -> Vec<EngineEvent> {
+        self.run_tick(&TickRequest::single(&user, now)).events
+    }
+
+    /// The single-user step body: advance the player, learn from its
+    /// events, send editorial injections and proactive schedules as
     /// acknowledged deliveries over the bus, and sweep the retry
     /// ledger. Total for unregistered users (returns no events).
-    pub fn tick(&mut self, user: UserId, now: TimePoint) -> Vec<EngineEvent> {
+    fn tick_user(&mut self, user: UserId, now: TimePoint) -> Vec<EngineEvent> {
         let mut out = Vec::new();
         self.bus.advance_clock(now);
         // 0. Collect telemetry that was still on the wire.
@@ -697,6 +832,7 @@ impl Engine {
                     // Sender-side heard bookkeeping: never re-recommend a
                     // clip an editor already pushed, delivered or not.
                     self.heard.entry(user).or_default().insert(meta.id);
+                    self.obs.inc("injection.sent");
                     self.send_tracked(
                         user,
                         BusMessage::Inject { user, clip: meta.id, at: inj.submitted_at },
@@ -710,6 +846,7 @@ impl Engine {
         let ctx = self.context_for(user, now);
         self.note_stale_model(user, &ctx, now);
         if let Some(drive) = ctx.drive.as_ref() {
+            self.obs.inc("trip.predicted");
             out.push(EngineEvent::TripPredicted {
                 user,
                 destination: drive.prediction.destination,
@@ -719,10 +856,16 @@ impl Engine {
         }
         let trigger = self.proactivity.entry(user).or_default().observe(&ctx);
         if let Some(trigger) = trigger {
-            let ranked = self.ranked_candidates(user, &ctx, now);
+            self.obs.inc("proactive.triggers");
+            let (ranked, stats) = self.ranked_candidates_stats(user, &ctx, now);
+            let mut entry = trace_entry(user, now, trigger, &stats, &ranked);
             if let Some(drive) = ctx.drive.as_ref() {
                 let schedule = self.recommender.scheduler.pack(&ranked, drive, now);
                 if !schedule.items.is_empty() {
+                    entry.scheduled = schedule.items.len() as u64;
+                    entry.verdict = Verdict::Scheduled;
+                    self.obs.inc("schedule.delivered");
+                    self.obs.observe("schedule.items", entry.scheduled);
                     if self.players.contains_key(&user) {
                         let hs = self.heard.entry(user).or_default();
                         for item in &schedule.items {
@@ -743,6 +886,14 @@ impl Engine {
                     });
                 }
             }
+            match entry.verdict {
+                Verdict::Scheduled => {}
+                Verdict::NoCandidates => self.obs.inc("proactive.no_candidates"),
+                Verdict::EmptySchedule => self.obs.inc("proactive.empty_schedule"),
+            }
+            if self.obs.is_enabled() {
+                self.obs_trace.push(entry);
+            }
         }
         self.pump_recommendations(now, &mut out);
         // 4. Retry sweep: re-send unacknowledged deliveries whose
@@ -755,37 +906,61 @@ impl Engine {
     /// pump and warming the per-user candidate cache with a sharded
     /// worker pool before the (authoritative) sequential user loop.
     ///
-    /// The event stream is bit-identical to calling [`Self::tick`] for
-    /// each user in order: the parallel phase only *memoizes* — it
-    /// computes ranked candidate lists for users whose proactivity
-    /// model is about to fire and stores them under an exact cache key;
-    /// the sequential loop recomputes anything the key cannot vouch
-    /// for. Worker count therefore cannot change observable behavior,
-    /// only wall-clock time.
+    /// **Deprecated-style wrapper**: prefer [`Engine::run_tick`] with
+    /// [`TickRequest::batch`].
     pub fn tick_batch(&mut self, users: &[UserId], now: TimePoint) -> Vec<EngineEvent> {
-        self.tick_batch_with(users, now, self.config.worker_threads)
+        self.run_tick(&TickRequest::batch(users, now)).events
     }
 
     /// [`Self::tick_batch`] with an explicit worker count (`1` runs the
     /// warm phase inline without spawning).
+    ///
+    /// **Deprecated-style wrapper**: prefer [`Engine::run_tick`] with
+    /// [`TickRequest::batch`] + [`TickRequest::with_workers`].
     pub fn tick_batch_with(
         &mut self,
         users: &[UserId],
         now: TimePoint,
         workers: usize,
     ) -> Vec<EngineEvent> {
-        // Drain telemetry once for the whole batch — exactly what the
-        // first sequential tick would do, so contexts are stable from
-        // here through the user loop.
-        self.bus.advance_clock(now);
-        self.pump_tracking();
-        self.pump_feedback();
-        self.warm_candidate_cache(users, now, workers.max(1));
-        let mut out = Vec::new();
-        for &user in users {
-            out.extend(self.tick(user, now));
+        self.run_tick(&TickRequest::batch(users, now).with_workers(workers)).events
+    }
+
+    /// The consolidated engine step: every historical tick entry point
+    /// is a thin wrapper over this.
+    ///
+    /// For batch requests the telemetry is drained once for the whole
+    /// batch — exactly what the first sequential step would do, so
+    /// contexts are stable from here through the user loop — and the
+    /// candidate cache is warmed by the sharded worker pool. The event
+    /// stream is bit-identical to stepping each user in order: the
+    /// parallel phase only *memoizes* — it computes ranked candidate
+    /// lists for users whose proactivity model is about to fire and
+    /// stores them under an exact cache key; the sequential loop
+    /// recomputes anything the key cannot vouch for. Worker count
+    /// therefore cannot change observable behavior, only wall-clock
+    /// time — and because per-shard metric registries merge by exact
+    /// integer addition, it cannot change the observability snapshot
+    /// either.
+    pub fn run_tick(&mut self, request: &TickRequest<'_>) -> TickReport {
+        let before = self.obs.is_enabled().then(|| self.obs.clone());
+        let span = Span::enter("engine.tick");
+        if request.batch {
+            self.bus.advance_clock(request.now);
+            self.pump_tracking();
+            self.pump_feedback();
+            let workers = request.workers.unwrap_or(self.config.worker_threads).max(1);
+            self.warm_candidate_cache(request.users, request.now, workers);
         }
-        out
+        let mut events = Vec::new();
+        for &user in request.users {
+            events.extend(self.tick_user(user, request.now));
+        }
+        span.finish(&mut self.obs);
+        self.obs.inc("engine.ticks");
+        self.obs.add("engine.tick_users", request.users.len() as u64);
+        let obs_deltas = before.map_or_else(Vec::new, |b| self.obs.counter_deltas(&b));
+        TickReport { events, obs_deltas }
     }
 
     /// The cache key for `user`'s ranked candidates at `now`.
@@ -809,23 +984,39 @@ impl Engine {
         ctx: &ListenerContext,
         now: TimePoint,
     ) -> Vec<ScoredClip> {
+        self.ranked_candidates_stats(user, ctx, now).0
+    }
+
+    /// [`Self::ranked_candidates`] plus the retrieval-stage counters —
+    /// replayed from the cache on a hit, so the decision trace records
+    /// the same numbers whether the warm phase ran or not.
+    fn ranked_candidates_stats(
+        &mut self,
+        user: UserId,
+        ctx: &ListenerContext,
+        now: TimePoint,
+    ) -> (Vec<ScoredClip>, RetrievalStats) {
         let key = self.candidate_cache_key(user, now);
         if let Some(entry) = self.candidate_cache.get(&user) {
             if entry.key == key {
-                return entry.ranked.clone();
+                let hit = (entry.ranked.clone(), entry.stats);
+                self.obs.inc("candidates.cache_hits");
+                return hit;
             }
         }
+        self.obs.inc("candidates.cache_misses");
         let heard = self.heard.get(&user).cloned().unwrap_or_default();
         let prefs = self.feedback.preferences(user, now);
-        let ranked = self.recommender.filter.candidates_indexed_excluding(
+        let (ranked, stats) = self.recommender.filter.candidates_indexed_excluding_stats(
             &self.repo,
             &prefs,
             ctx,
             &self.recommender.weights,
             &heard,
         );
-        self.candidate_cache.insert(user, CachedCandidates { key, ranked: ranked.clone() });
-        ranked
+        self.obs.observe("candidates.ranked_len", ranked.len() as u64);
+        self.candidate_cache.insert(user, CachedCandidates { key, ranked: ranked.clone(), stats });
+        (ranked, stats)
     }
 
     /// Speculatively fills the candidate cache for every user whose
@@ -868,14 +1059,22 @@ impl Engine {
         let feedback = &self.feedback;
         let weights = self.recommender.weights;
         let filter = self.recommender.filter;
-        let score_item = |(idx, user, ctx, key, heard): &WorkItem| {
+        let obs_enabled = self.obs.is_enabled();
+        let shard_registry =
+            move || if obs_enabled { Registry::new() } else { Registry::disabled() };
+        let score_item = |(idx, user, ctx, key, heard): &WorkItem, reg: &mut Registry| {
             let prefs = feedback.preferences(*user, now);
-            let ranked = filter.candidates_indexed_excluding(repo, &prefs, ctx, &weights, heard);
-            (*idx, *user, *key, ranked)
+            let (ranked, stats) =
+                filter.candidates_indexed_excluding_stats(repo, &prefs, ctx, &weights, heard);
+            reg.inc("candidates.warmed");
+            reg.observe("candidates.ranked_len", ranked.len() as u64);
+            (*idx, *user, *key, ranked, stats)
         };
-        let mut results: Vec<(usize, UserId, CandidateCacheKey, Vec<ScoredClip>)> = if workers <= 1
-        {
-            work.iter().map(score_item).collect()
+        type Scored = (usize, UserId, CandidateCacheKey, Vec<ScoredClip>, RetrievalStats);
+        let (mut results, shard_registries): (Vec<Scored>, Vec<Registry>) = if workers <= 1 {
+            let mut reg = shard_registry();
+            let scored = work.iter().map(|item| score_item(item, &mut reg)).collect();
+            (scored, vec![reg])
         } else {
             std::thread::scope(|s| {
                 let work = &work;
@@ -883,27 +1082,40 @@ impl Engine {
                 let handles: Vec<_> = (0..workers)
                     .map(|slot| {
                         s.spawn(move || {
-                            work.iter()
+                            let mut reg = shard_registry();
+                            let scored = work
+                                .iter()
                                 .filter(|(_, user, ..)| {
                                     let shard = splitmix64(user.0) % USER_SHARDS;
                                     shard % workers as u64 == slot as u64
                                 })
-                                .map(score_item)
-                                .collect::<Vec<_>>()
+                                .map(|item| score_item(item, &mut reg))
+                                .collect::<Vec<_>>();
+                            (scored, reg)
                         })
                     })
                     .collect();
                 let mut all = Vec::new();
+                let mut registries = Vec::new();
                 for h in handles {
                     // lint: allow(expect) — re-raising a worker panic; the closure runs lint-clean code
-                    all.extend(h.join().expect("candidate worker panicked"));
+                    let (scored, reg) = h.join().expect("candidate worker panicked");
+                    all.extend(scored);
+                    registries.push(reg);
                 }
-                all
+                (all, registries)
             })
         };
         results.sort_by_key(|&(idx, ..)| idx);
-        for (_, user, key, ranked) in results {
-            self.candidate_cache.insert(user, CachedCandidates { key, ranked });
+        // Commit per-shard registries in slot order. Counter and
+        // histogram merging is exact integer addition — commutative and
+        // associative — so the merged totals are identical for any
+        // worker count over the same work list.
+        for reg in &shard_registries {
+            self.obs.merge_from(reg);
+        }
+        for (_, user, key, ranked, stats) in results {
+            self.candidate_cache.insert(user, CachedCandidates { key, ranked, stats });
         }
     }
 
@@ -911,7 +1123,14 @@ impl Engine {
     /// in the ack/retry ledger.
     fn send_tracked(&mut self, user: UserId, message: BusMessage, now: TimePoint) {
         if let Ok(envelope) = self.bus.publish_checked(Topic::Recommendation, message, now) {
-            self.delivery.register(user, envelope, now, &self.config.backoff, &mut self.chaos_rng);
+            self.delivery.register(
+                user,
+                envelope,
+                now,
+                &self.config.backoff,
+                &mut self.chaos_rng,
+                &mut self.obs,
+            );
         }
     }
 
@@ -932,6 +1151,7 @@ impl Engine {
             if let Some(h) = self.health.get_mut(&user) {
                 h.stale_model_reuses += 1;
             }
+            self.obs.inc("health.stale_model_reuse");
         }
     }
 
@@ -942,7 +1162,12 @@ impl Engine {
         let health = self.health.entry(user).or_insert_with(|| UserHealth::new(now));
         let before = health.state();
         health.record_failure(now);
-        if health.state() == HealthState::BroadcastOnly && before != HealthState::BroadcastOnly {
+        let after = health.state();
+        if after != before {
+            self.obs.inc("health.transitions");
+            self.obs.inc("health.step_down");
+        }
+        if after == HealthState::BroadcastOnly && before != HealthState::BroadcastOnly {
             if let Some(player) = self.players.get_mut(&user) {
                 player.fallback_live();
             }
@@ -961,6 +1186,7 @@ impl Engine {
             };
             if self.delivery.seen(envelope.seq) {
                 self.delivery.note_duplicate();
+                self.obs.inc("delivery.duplicates");
                 if let Some(h) = self.health.get_mut(&target) {
                     h.dup_deliveries += 1;
                 }
@@ -977,6 +1203,7 @@ impl Engine {
             // complete and will be retried.
             let fetched = self.unicast.fetch().is_ok();
             if !fetched {
+                self.obs.inc("delivery.fetch_failures");
                 if let Some(h) = self.health.get_mut(&target) {
                     h.fetch_failures += 1;
                 }
@@ -985,9 +1212,17 @@ impl Engine {
                 continue;
             }
             let was_broadcast_only = self.health_of(target) == Some(HealthState::BroadcastOnly);
+            let mut stepped_up = false;
             if let Some(h) = self.health.get_mut(&target) {
+                let before = h.state();
                 h.record_success(now);
+                stepped_up = h.state() != before;
             }
+            if stepped_up {
+                self.obs.inc("health.transitions");
+                self.obs.inc("health.step_up");
+            }
+            self.obs.inc("delivery.success");
             self.delivery.mark_delivered(envelope.seq);
             if was_broadcast_only {
                 // The fetch doubled as a recovery probe; the listener
@@ -1074,6 +1309,7 @@ impl Engine {
         if let Some(h) = self.health.get_mut(&user) {
             h.replays += 1;
         }
+        self.obs.inc("delivery.replays");
         out.push(EngineEvent::Recommended { user, schedule });
     }
 
@@ -1082,8 +1318,12 @@ impl Engine {
     /// and every abandonment counts as a failure on the listener's
     /// ladder.
     fn sweep_retries(&mut self, now: TimePoint) {
-        let (to_retry, to_dead_letter) =
-            self.delivery.due_retries(now, &self.config.backoff, &mut self.chaos_rng);
+        let (to_retry, to_dead_letter) = self.delivery.due_retries(
+            now,
+            &self.config.backoff,
+            &mut self.chaos_rng,
+            &mut self.obs,
+        );
         for d in to_retry {
             self.note_failure(d.user, now);
             self.bus.resend(Topic::Recommendation, d.envelope, now);
@@ -1124,6 +1364,128 @@ impl Engine {
             self.apply_player_events(user, &events);
         }
         out
+    }
+
+    /// Read access to the observability registry (counters, gauges,
+    /// histograms, span timings).
+    #[must_use]
+    pub fn obs(&self) -> &Registry {
+        &self.obs
+    }
+
+    /// The bounded per-decision trace ring.
+    #[must_use]
+    pub fn obs_trace(&self) -> &DecisionTrace {
+        &self.obs_trace
+    }
+
+    /// Captures the deterministic observability snapshot: every
+    /// registry counter/gauge/histogram, platform-level gauges (bus,
+    /// delivery ledger, health ladder, catalog) and the decision
+    /// trace. Bit-identical across runs and warm-phase worker counts
+    /// for the same seeded inputs — wall-clock span timings are
+    /// deliberately excluded.
+    #[must_use]
+    pub fn obs_snapshot(&self) -> ObsSnapshot {
+        let mut snap = ObsSnapshot::capture(&self.obs, &self.obs_trace);
+        let health = self.health_counts();
+        snap.set_gauge("bus.dead_letters", self.bus.dead_letters().len() as i64);
+        snap.set_gauge("bus.delivered", self.bus.delivered() as i64);
+        snap.set_gauge("bus.overflowed", self.bus.overflowed() as i64);
+        snap.set_gauge("bus.published", self.bus.published() as i64);
+        snap.set_gauge("bus.rejected", self.bus.rejected() as i64);
+        snap.set_gauge("catalog.clips", self.repo.len() as i64);
+        snap.set_gauge("catalog.epoch", self.repo.epoch() as i64);
+        snap.set_gauge("delivery.duplicates_filtered", self.delivery.duplicates_filtered() as i64);
+        snap.set_gauge("delivery.outstanding", self.delivery.outstanding_count() as i64);
+        snap.set_gauge("delivery.retries", self.delivery.retries() as i64);
+        snap.set_gauge("health.broadcast_only", health.broadcast_only as i64);
+        snap.set_gauge("health.degraded", health.degraded as i64);
+        snap.set_gauge("health.healthy", health.healthy as i64);
+        snap
+    }
+}
+
+/// Fluent engine construction, consolidating the historical
+/// `set_coverage` / `set_road_network` / `set_gazetteer` post-hoc
+/// setters into one builder:
+///
+/// ```
+/// use pphcr_core::{Engine, EngineConfig};
+///
+/// let engine = Engine::builder().config(EngineConfig::default()).build();
+/// assert_eq!(engine.repo.len(), 0);
+/// ```
+pub struct EngineBuilder {
+    config: EngineConfig,
+    coverage: Option<CoverageMap>,
+    road_network: Option<RoadNetwork>,
+    gazetteer: Option<Gazetteer>,
+}
+
+impl Default for EngineBuilder {
+    fn default() -> Self {
+        EngineBuilder::new()
+    }
+}
+
+impl EngineBuilder {
+    /// A builder starting from [`EngineConfig::default`].
+    #[must_use]
+    pub fn new() -> Self {
+        EngineBuilder {
+            config: EngineConfig::default(),
+            coverage: None,
+            road_network: None,
+            gazetteer: None,
+        }
+    }
+
+    /// Replaces the engine configuration.
+    #[must_use]
+    pub fn config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Attaches the broadcast coverage map (see
+    /// [`Engine::set_coverage`]).
+    #[must_use]
+    pub fn coverage(mut self, coverage: CoverageMap) -> Self {
+        self.coverage = Some(coverage);
+        self
+    }
+
+    /// Attaches the road network used for distraction zones (see
+    /// [`Engine::set_road_network`]).
+    #[must_use]
+    pub fn road_network(mut self, network: RoadNetwork) -> Self {
+        self.road_network = Some(network);
+        self
+    }
+
+    /// Attaches the gazetteer for geo-tagging untagged archive clips
+    /// (see [`Engine::set_gazetteer`]).
+    #[must_use]
+    pub fn gazetteer(mut self, gazetteer: Gazetteer) -> Self {
+        self.gazetteer = Some(gazetteer);
+        self
+    }
+
+    /// Builds the engine and applies every attachment.
+    #[must_use]
+    pub fn build(self) -> Engine {
+        let mut engine = Engine::new(self.config);
+        if let Some(coverage) = self.coverage {
+            engine.set_coverage(coverage);
+        }
+        if let Some(network) = self.road_network {
+            engine.set_road_network(network);
+        }
+        if let Some(gazetteer) = self.gazetteer {
+            engine.set_gazetteer(gazetteer);
+        }
+        engine
     }
 }
 

@@ -20,6 +20,7 @@
 //! oscillate.
 
 use pphcr_geo::TimePoint;
+use serde::{Deserialize, Serialize};
 
 /// Consecutive failures before stepping down a second rung
 /// (Degraded → `BroadcastOnly`).
@@ -46,6 +47,41 @@ impl std::fmt::Display for HealthState {
             HealthState::Degraded => "degraded",
             HealthState::BroadcastOnly => "broadcast-only",
         })
+    }
+}
+
+/// Listeners per ladder rung, as reported by
+/// [`crate::engine::Engine::health_counts`] and serialized into both
+/// the platform snapshot and the observability snapshot's gauges.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HealthCounts {
+    /// Listeners on the [`HealthState::Healthy`] rung.
+    pub healthy: u64,
+    /// Listeners on the [`HealthState::Degraded`] rung.
+    pub degraded: u64,
+    /// Listeners on the [`HealthState::BroadcastOnly`] rung.
+    pub broadcast_only: u64,
+}
+
+impl HealthCounts {
+    /// Tallies an iterator of ladder positions.
+    #[must_use]
+    pub fn tally(states: impl Iterator<Item = HealthState>) -> Self {
+        let mut counts = HealthCounts::default();
+        for state in states {
+            match state {
+                HealthState::Healthy => counts.healthy += 1,
+                HealthState::Degraded => counts.degraded += 1,
+                HealthState::BroadcastOnly => counts.broadcast_only += 1,
+            }
+        }
+        counts
+    }
+
+    /// Total listeners across every rung.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.healthy + self.degraded + self.broadcast_only
     }
 }
 
@@ -137,6 +173,19 @@ impl UserHealth {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn tally_buckets_every_state() {
+        let states = [
+            HealthState::Healthy,
+            HealthState::Degraded,
+            HealthState::Healthy,
+            HealthState::BroadcastOnly,
+        ];
+        let counts = HealthCounts::tally(states.into_iter());
+        assert_eq!(counts, HealthCounts { healthy: 2, degraded: 1, broadcast_only: 1 });
+        assert_eq!(counts.total(), 4);
+    }
 
     #[test]
     fn one_failure_degrades() {

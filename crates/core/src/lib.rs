@@ -33,10 +33,12 @@ pub use bearer::{BearerClass, BearerSelector, CoverageMap};
 pub use bus::{
     Bus, BusMessage, DeadLetter, DeadLetterReason, Envelope, OverflowPolicy, QueuePolicy, Topic,
 };
-pub use dashboard::Dashboard;
-pub use engine::{Engine, EngineConfig, EngineError, EngineEvent};
+pub use dashboard::{Dashboard, ObservabilityView};
+pub use engine::{
+    Engine, EngineBuilder, EngineConfig, EngineError, EngineEvent, TickReport, TickRequest,
+};
 pub use fault::{ChaosRng, FaultProfile, FaultyTransport, PerfectTransport, Transport, WireStats};
-pub use health::{HealthState, UserHealth};
+pub use health::{HealthCounts, HealthState, UserHealth};
 pub use injection::{InjectionQueue, PendingInjection};
 pub use netcost::{DeliveryPlanKind, FetchOutcome, NetworkCostModel, TrafficReport, UnicastLink};
 pub use player::{PlaybackMode, Player, PlayerEvent};

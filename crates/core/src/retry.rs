@@ -13,6 +13,7 @@
 use crate::bus::Envelope;
 use crate::fault::ChaosRng;
 use pphcr_geo::{TimePoint, TimeSpan};
+use pphcr_obs::Registry;
 use pphcr_userdata::UserId;
 use std::collections::{HashMap, HashSet};
 
@@ -95,7 +96,9 @@ impl DeliveryTracker {
         DeliveryTracker::default()
     }
 
-    /// Registers a freshly sent delivery awaiting acknowledgement.
+    /// Registers a freshly sent delivery awaiting acknowledgement. The
+    /// (deterministically jittered) backoff wait is observed into
+    /// `obs` as `retry.backoff_wait_s`.
     pub fn register(
         &mut self,
         user: UserId,
@@ -103,11 +106,19 @@ impl DeliveryTracker {
         sent_at: TimePoint,
         policy: &BackoffPolicy,
         rng: &mut ChaosRng,
+        obs: &mut Registry,
     ) {
-        let next_retry_at = sent_at.advance(policy.delay_for(1, rng));
+        let delay = policy.delay_for(1, rng);
+        obs.inc("retry.registered");
+        obs.observe("retry.backoff_wait_s", delay.as_seconds());
         self.outstanding.insert(
             envelope.seq,
-            OutstandingDelivery { user, envelope, attempts: 0, next_retry_at },
+            OutstandingDelivery {
+                user,
+                envelope,
+                attempts: 0,
+                next_retry_at: sent_at.advance(delay),
+            },
         );
     }
 
@@ -170,6 +181,7 @@ impl DeliveryTracker {
         now: TimePoint,
         policy: &BackoffPolicy,
         rng: &mut ChaosRng,
+        obs: &mut Registry,
     ) -> (Vec<OutstandingDelivery>, Vec<OutstandingDelivery>) {
         let mut due: Vec<u64> = self
             .outstanding
@@ -186,12 +198,16 @@ impl DeliveryTracker {
             if d.attempts >= policy.budget {
                 if let Some(dead) = self.outstanding.remove(&seq) {
                     self.exhausted += 1;
+                    obs.inc("retry.exhausted");
                     to_dead_letter.push(dead);
                 }
             } else {
                 d.attempts += 1;
                 self.retries += 1;
-                d.next_retry_at = now.advance(policy.delay_for(d.attempts + 1, rng));
+                let delay = policy.delay_for(d.attempts + 1, rng);
+                obs.inc("retry.resent");
+                obs.observe("retry.backoff_wait_s", delay.as_seconds());
+                d.next_retry_at = now.advance(delay);
                 to_retry.push(d.clone());
             }
         }
@@ -278,36 +294,44 @@ mod tests {
             budget: 2,
         };
         let mut rng = ChaosRng::new(1);
+        let mut obs = Registry::new();
         let mut t = DeliveryTracker::new();
-        t.register(UserId(1), env(5), TimePoint(0), &policy, &mut rng);
+        t.register(UserId(1), env(5), TimePoint(0), &policy, &mut rng, &mut obs);
 
-        let (retry, dead) = t.due_retries(TimePoint(5), &policy, &mut rng);
+        let (retry, dead) = t.due_retries(TimePoint(5), &policy, &mut rng, &mut obs);
         assert!(retry.is_empty() && dead.is_empty(), "timer not fired yet");
 
-        let (retry, dead) = t.due_retries(TimePoint(10), &policy, &mut rng);
+        let (retry, dead) = t.due_retries(TimePoint(10), &policy, &mut rng, &mut obs);
         assert_eq!((retry.len(), dead.len()), (1, 0));
         assert_eq!(retry[0].attempts, 1);
 
-        let (retry, dead) = t.due_retries(TimePoint(20), &policy, &mut rng);
+        let (retry, dead) = t.due_retries(TimePoint(20), &policy, &mut rng, &mut obs);
         assert_eq!((retry.len(), dead.len()), (1, 0));
 
-        let (retry, dead) = t.due_retries(TimePoint(30), &policy, &mut rng);
+        let (retry, dead) = t.due_retries(TimePoint(30), &policy, &mut rng, &mut obs);
         assert_eq!((retry.len(), dead.len()), (0, 1), "budget of 2 exhausted");
         assert_eq!(t.exhausted(), 1);
         assert_eq!(t.outstanding_count(), 0);
         assert_eq!(t.retries(), 2, "budget never exceeded");
+        assert_eq!(obs.counter("retry.registered"), 1);
+        assert_eq!(obs.counter("retry.resent"), 2);
+        assert_eq!(obs.counter("retry.exhausted"), 1);
+        let waits = obs.histogram("retry.backoff_wait_s").expect("waits observed");
+        assert_eq!(waits.count(), 3, "initial arm plus two re-arms");
+        assert_eq!(waits.sum(), 30, "constant 10 s backoff, no jitter");
     }
 
     #[test]
     fn ack_stops_retries() {
         let policy = BackoffPolicy::default();
         let mut rng = ChaosRng::new(2);
+        let mut obs = Registry::new();
         let mut t = DeliveryTracker::new();
-        t.register(UserId(1), env(9), TimePoint(0), &policy, &mut rng);
+        t.register(UserId(1), env(9), TimePoint(0), &policy, &mut rng, &mut obs);
         assert!(t.is_outstanding(9));
         t.ack(9);
         assert!(!t.is_outstanding(9));
-        let (retry, dead) = t.due_retries(TimePoint(10_000), &policy, &mut rng);
+        let (retry, dead) = t.due_retries(TimePoint(10_000), &policy, &mut rng, &mut obs);
         assert!(retry.is_empty() && dead.is_empty());
     }
 }

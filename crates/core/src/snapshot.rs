@@ -9,6 +9,7 @@
 
 use crate::bus::Topic;
 use crate::engine::Engine;
+use crate::health::HealthCounts;
 use crate::json::{self, JsonError, JsonValue, JsonWriter};
 use pphcr_geo::TimePoint;
 use serde::{Deserialize, Serialize};
@@ -58,8 +59,8 @@ pub struct PlatformSnapshot {
     pub delivery_retries: u64,
     /// Wire duplicates filtered before application.
     pub duplicates_filtered: u64,
-    /// Listeners per ladder rung: (healthy, degraded, broadcast-only).
-    pub health: (u64, u64, u64),
+    /// Listeners per ladder rung.
+    pub health: HealthCounts,
 }
 
 impl PlatformSnapshot {
@@ -121,7 +122,9 @@ impl PlatformSnapshot {
         w.field_u64("delivery_retries", self.delivery_retries);
         w.field_u64("duplicates_filtered", self.duplicates_filtered);
         w.begin_named_array("health");
-        w.item_u64(self.health.0).item_u64(self.health.1).item_u64(self.health.2);
+        w.item_u64(self.health.healthy)
+            .item_u64(self.health.degraded)
+            .item_u64(self.health.broadcast_only);
         w.end_array();
         w.end_object();
         w.finish()
@@ -149,7 +152,13 @@ impl PlatformSnapshot {
             .get("health")
             .and_then(JsonValue::as_arr)
             .filter(|items| items.len() == 3)
-            .and_then(|items| Some((items[0].as_u64()?, items[1].as_u64()?, items[2].as_u64()?)))
+            .and_then(|items| {
+                Some(HealthCounts {
+                    healthy: items[0].as_u64()?,
+                    degraded: items[1].as_u64()?,
+                    broadcast_only: items[2].as_u64()?,
+                })
+            })
             .ok_or_else(|| missing("health"))?;
         Ok(PlatformSnapshot {
             at: TimePoint(u("at")?),
@@ -221,7 +230,11 @@ mod tests {
         assert_eq!(snap.services, 10);
         assert!(snap.bus_published >= 4, "tune + 3 ingests: {}", snap.bus_published);
         assert_eq!(snap.decisions, 0);
-        assert_eq!(snap.health, (1, 0, 0), "one healthy listener");
+        assert_eq!(
+            snap.health,
+            HealthCounts { healthy: 1, degraded: 0, broadcast_only: 0 },
+            "one healthy listener"
+        );
         assert_eq!(snap.dead_letters, 0);
         assert_eq!(snap.wire_dropped, 0);
     }

@@ -1,0 +1,346 @@
+//! `ObsSnapshot`: a stable, self-contained export of everything the
+//! observability layer knows.
+//!
+//! The snapshot captures counters, gauges, histogram buckets and the
+//! decision trace — all exact integers, all in name order — and
+//! deliberately **excludes** the span-timing table (wall time is not
+//! replayable). Two engines that processed the same seeded inputs
+//! therefore produce byte-identical `to_json()` output, regardless of
+//! worker count; the cross-worker test and the golden-file test both
+//! pin that property.
+//!
+//! The JSON encoding is hand-rolled (the crate is dependency-free) in
+//! the same two-space pretty style as `pphcr-core`'s writer, so the
+//! artifact diffs cleanly in CI.
+
+use crate::registry::{Histogram, Registry};
+use crate::trace::{DecisionTrace, DecisionTraceEntry};
+
+/// Exact bucket counts of one histogram at capture time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Exact (saturating) sum of observed values.
+    pub sum: u64,
+    /// Non-empty `(bucket index, count)` pairs, ascending. Bucket 0
+    /// holds the value 0; bucket `i` holds `[2^(i-1), 2^i)`.
+    pub buckets: Vec<(usize, u64)>,
+}
+
+impl HistogramSnapshot {
+    fn capture(h: &Histogram) -> Self {
+        HistogramSnapshot { count: h.count(), sum: h.sum(), buckets: h.nonzero_buckets().collect() }
+    }
+}
+
+/// A point-in-time export of a [`Registry`] plus [`DecisionTrace`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsSnapshot {
+    /// `(name, value)` counters, name-ascending.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` gauges, name-ascending.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, histogram)` pairs, name-ascending.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// The decision trace's fixed bound.
+    pub trace_capacity: u64,
+    /// Entries the trace evicted to stay within its bound.
+    pub trace_dropped: u64,
+    /// Retained decisions, oldest first.
+    pub trace: Vec<DecisionTraceEntry>,
+}
+
+impl ObsSnapshot {
+    /// Captures a registry and decision trace into a snapshot.
+    #[must_use]
+    pub fn capture(registry: &Registry, trace: &DecisionTrace) -> Self {
+        ObsSnapshot {
+            counters: registry.counters().map(|(k, v)| (k.to_string(), v)).collect(),
+            gauges: registry.gauges().map(|(k, v)| (k.to_string(), v)).collect(),
+            histograms: registry
+                .histograms()
+                .map(|(k, h)| (k.to_string(), HistogramSnapshot::capture(h)))
+                .collect(),
+            trace_capacity: trace.capacity() as u64,
+            trace_dropped: trace.dropped(),
+            trace: trace.entries().cloned().collect(),
+        }
+    }
+
+    /// Inserts or replaces a gauge, keeping name order — used by
+    /// embedders to attach platform-level gauges (bus totals, health
+    /// counts, catalog epoch) at capture time.
+    pub fn set_gauge(&mut self, name: &str, value: i64) {
+        match self.gauges.binary_search_by(|(k, _)| k.as_str().cmp(name)) {
+            Ok(i) => {
+                if let Some(slot) = self.gauges.get_mut(i) {
+                    slot.1 = value;
+                }
+            }
+            Err(i) => self.gauges.insert(i, (name.to_string(), value)),
+        }
+    }
+
+    /// Value of a captured counter (0 when absent).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .binary_search_by(|(k, _)| k.as_str().cmp(name))
+            .ok()
+            .and_then(|i| self.counters.get(i))
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Value of a captured gauge, if present.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges
+            .binary_search_by(|(k, _)| k.as_str().cmp(name))
+            .ok()
+            .and_then(|i| self.gauges.get(i))
+            .map(|(_, v)| *v)
+    }
+
+    /// Stable pretty-JSON encoding of the snapshot.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n");
+        self.write_counters(&mut out);
+        self.write_gauges(&mut out);
+        self.write_histograms(&mut out);
+        self.write_trace(&mut out);
+        out.push_str("}\n");
+        out
+    }
+
+    fn write_counters(&self, out: &mut String) {
+        write_scalar_map(out, 1, "counters", self.counters.iter().map(|(k, v)| (k, v.to_string())));
+        out.push_str(",\n");
+    }
+
+    fn write_gauges(&self, out: &mut String) {
+        write_scalar_map(out, 1, "gauges", self.gauges.iter().map(|(k, v)| (k, v.to_string())));
+        out.push_str(",\n");
+    }
+
+    fn write_histograms(&self, out: &mut String) {
+        push_indent(out, 1);
+        out.push_str("\"histograms\": ");
+        if self.histograms.is_empty() {
+            out.push_str("{}");
+        } else {
+            out.push_str("{\n");
+            for (i, (name, h)) in self.histograms.iter().enumerate() {
+                push_indent(out, 2);
+                out.push('"');
+                out.push_str(&escape(name));
+                out.push_str("\": {\n");
+                push_indent(out, 3);
+                out.push_str(&format!("\"count\": {},\n", h.count));
+                push_indent(out, 3);
+                out.push_str(&format!("\"sum\": {},\n", h.sum));
+                write_scalar_map(
+                    out,
+                    3,
+                    "buckets",
+                    h.buckets.iter().map(|(b, c)| (format!("b{b}"), c.to_string())),
+                );
+                out.push('\n');
+                push_indent(out, 2);
+                out.push('}');
+                out.push_str(if i + 1 < self.histograms.len() { ",\n" } else { "\n" });
+            }
+            push_indent(out, 1);
+            out.push('}');
+        }
+        out.push_str(",\n");
+    }
+
+    fn write_trace(&self, out: &mut String) {
+        push_indent(out, 1);
+        out.push_str("\"trace\": {\n");
+        push_indent(out, 2);
+        out.push_str(&format!("\"capacity\": {},\n", self.trace_capacity));
+        push_indent(out, 2);
+        out.push_str(&format!("\"dropped\": {},\n", self.trace_dropped));
+        push_indent(out, 2);
+        out.push_str("\"entries\": ");
+        if self.trace.is_empty() {
+            out.push_str("[]\n");
+        } else {
+            out.push_str("[\n");
+            for (i, e) in self.trace.iter().enumerate() {
+                write_entry(out, 3, e);
+                out.push_str(if i + 1 < self.trace.len() { ",\n" } else { "\n" });
+            }
+            push_indent(out, 2);
+            out.push_str("]\n");
+        }
+        push_indent(out, 1);
+        out.push_str("}\n");
+    }
+}
+
+fn write_entry(out: &mut String, indent: usize, e: &DecisionTraceEntry) {
+    push_indent(out, indent);
+    out.push_str("{\n");
+    let fields: Vec<(&str, String)> = vec![
+        ("user", e.user.to_string()),
+        ("at_s", e.at_s.to_string()),
+        ("trigger", format!("\"{}\"", escape(e.trigger))),
+        ("considered", e.considered.to_string()),
+        ("cut_freshness", e.cut_freshness.to_string()),
+        ("cut_preference", e.cut_preference.to_string()),
+        ("cut_geo", e.cut_geo.to_string()),
+        ("cut_heard", e.cut_heard.to_string()),
+        ("scored", e.scored.to_string()),
+        ("scheduled", e.scheduled.to_string()),
+        ("top_clip", e.top_clip.map_or_else(|| "null".to_string(), |c| c.to_string())),
+        ("top_content_micro", e.top_content_micro.to_string()),
+        ("top_context_micro", e.top_context_micro.to_string()),
+        ("top_total_micro", e.top_total_micro.to_string()),
+        ("verdict", format!("\"{}\"", e.verdict.as_str())),
+    ];
+    for (i, (name, value)) in fields.iter().enumerate() {
+        push_indent(out, indent + 1);
+        out.push_str(&format!("\"{name}\": {value}"));
+        out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+    }
+    push_indent(out, indent);
+    out.push('}');
+}
+
+/// Writes `"name": { "k": v, … }` (no trailing newline/comma) at
+/// `indent`, with string keys and pre-rendered scalar values.
+fn write_scalar_map<K: AsRef<str>>(
+    out: &mut String,
+    indent: usize,
+    name: &str,
+    items: impl Iterator<Item = (K, String)>,
+) {
+    push_indent(out, indent);
+    out.push_str(&format!("\"{name}\": "));
+    let items: Vec<(K, String)> = items.collect();
+    if items.is_empty() {
+        out.push_str("{}");
+        return;
+    }
+    out.push_str("{\n");
+    for (i, (k, v)) in items.iter().enumerate() {
+        push_indent(out, indent + 1);
+        out.push_str(&format!("\"{}\": {}", escape(k.as_ref()), v));
+        out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+    }
+    push_indent(out, indent);
+    out.push('}');
+}
+
+fn push_indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+/// Minimal JSON string escaping (metric names are plain identifiers,
+/// but the encoder must never emit invalid JSON).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if u32::from(c) < 0x20 => out.push_str(&format!("\\u{:04x}", u32::from(c))),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Verdict;
+
+    fn sample() -> ObsSnapshot {
+        let mut reg = Registry::new();
+        reg.add("bus.published", 3);
+        reg.inc("tick.users");
+        reg.gauge("health.healthy", 2);
+        reg.observe("retry.backoff_wait_s", 4);
+        reg.observe("retry.backoff_wait_s", 9);
+        let mut trace = DecisionTrace::with_capacity(8);
+        trace.push(DecisionTraceEntry {
+            user: 1,
+            at_s: 25_200,
+            trigger: "drive-predicted",
+            considered: 10,
+            cut_freshness: 2,
+            cut_preference: 3,
+            cut_geo: 4,
+            cut_heard: 1,
+            scored: 4,
+            scheduled: 3,
+            top_clip: Some(7),
+            top_content_micro: 550_000,
+            top_context_micro: 210_000,
+            top_total_micro: 760_000,
+            verdict: Verdict::Scheduled,
+        });
+        ObsSnapshot::capture(&reg, &trace)
+    }
+
+    #[test]
+    fn capture_orders_names_and_reads_back() {
+        let snap = sample();
+        assert_eq!(snap.counter("bus.published"), 3);
+        assert_eq!(snap.counter("tick.users"), 1);
+        assert_eq!(snap.counter("absent"), 0);
+        assert_eq!(snap.gauge("health.healthy"), Some(2));
+        let names: Vec<&str> = snap.counters.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(names, vec!["bus.published", "tick.users"]);
+    }
+
+    #[test]
+    fn set_gauge_keeps_name_order() {
+        let mut snap = sample();
+        snap.set_gauge("a.first", 1);
+        snap.set_gauge("z.last", 9);
+        snap.set_gauge("health.healthy", 5);
+        let names: Vec<&str> = snap.gauges.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(names, vec!["a.first", "health.healthy", "z.last"]);
+        assert_eq!(snap.gauge("health.healthy"), Some(5));
+    }
+
+    #[test]
+    fn json_is_stable_and_structured() {
+        let snap = sample();
+        let a = snap.to_json();
+        let b = snap.to_json();
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\n"));
+        assert!(a.ends_with("}\n"));
+        assert!(a.contains("\"bus.published\": 3"));
+        assert!(a.contains("\"b3\": 1"));
+        assert!(a.contains("\"verdict\": \"scheduled\""));
+    }
+
+    #[test]
+    fn empty_sections_render_as_empty_objects() {
+        let snap = ObsSnapshot::capture(&Registry::new(), &DecisionTrace::with_capacity(4));
+        let json = snap.to_json();
+        assert!(json.contains("\"counters\": {}"));
+        assert!(json.contains("\"histograms\": {}"));
+        assert!(json.contains("\"entries\": []"));
+    }
+
+    #[test]
+    fn escape_handles_controls() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,70 @@
+//! Wall-clock measurement for spans and the experiment harness.
+//!
+//! This is the **only** module in the workspace allowed to read the OS
+//! clock: the workspace invariant linter (`pphcr-lint`, rule D1
+//! `wall-clock`) forbids `Instant::now()` / `SystemTime::now()`
+//! everywhere else so that scoring and commit paths stay replayable.
+//! Benchmark timing and [`Span`](crate::Span) durations funnel through
+//! [`stopwatch`], which keeps the allowlist at exactly one module
+//! (`sim::timing` re-exports these items rather than reading the clock
+//! itself).
+//!
+//! Wall-clock readings never enter an [`ObsSnapshot`](crate::ObsSnapshot):
+//! they feed the *reported-only* timing table of the
+//! [`Registry`](crate::Registry), which is excluded from snapshot
+//! comparison so snapshots stay bit-identical across runs and worker
+//! counts.
+
+use std::time::Instant;
+
+/// A started wall-clock timer; see [`stopwatch`].
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Seconds elapsed since the stopwatch started.
+    #[must_use]
+    pub fn elapsed_s(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Whole nanoseconds elapsed since the stopwatch started,
+    /// saturating at `u64::MAX` (~584 years).
+    #[must_use]
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// Starts a wall-clock stopwatch for throughput measurement.
+///
+/// Experiment and span code must call this instead of `Instant::now()`;
+/// the result only ever feeds *reported* wall times, never scoring,
+/// scheduling or event-stream decisions.
+#[must_use]
+pub fn stopwatch() -> Stopwatch {
+    Stopwatch { started: Instant::now() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotonic_and_finite() {
+        let sw = stopwatch();
+        let a = sw.elapsed_s();
+        let b = sw.elapsed_s();
+        assert!(a >= 0.0 && b >= a && b.is_finite());
+    }
+
+    #[test]
+    fn elapsed_ns_is_monotonic() {
+        let sw = stopwatch();
+        let a = sw.elapsed_ns();
+        let b = sw.elapsed_ns();
+        assert!(b >= a);
+    }
+}

@@ -45,6 +45,40 @@ pub fn sanitize_score(score: f64) -> f64 {
     }
 }
 
+/// Stage counters from one retrieval: how many catalog entries were
+/// looked at and why the rest never reached scoring. The engine copies
+/// these into its decision trace.
+///
+/// The counts are *path diagnostics*, deterministic for a given
+/// retrieval path but attributed differently between them: the linear
+/// scan tests every clip against the predicate in order
+/// (freshness before preference), while the indexed path cuts
+/// structurally — a skipped category charges its whole posting list to
+/// `cut_preference`, and a posting list's stale prefix is charged to
+/// `cut_freshness` without visiting the clips.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetrievalStats {
+    /// Clips the retrieval stage examined individually.
+    pub considered: u64,
+    /// Clips cut by the freshness window (and not rescued by geo).
+    pub cut_freshness: u64,
+    /// Clips cut by the category-preference floor (and not rescued by
+    /// geo).
+    pub cut_preference: u64,
+    /// Geo-tagged clips inside the corridor whose tag could not be
+    /// placed on the route (missing tag or non-finite projection).
+    pub cut_geo: u64,
+    /// Clips cut because the exclusion (heard) set already held them.
+    pub cut_heard: u64,
+    /// Route geo matches that entered (or stayed in) the candidate set
+    /// on geographic relevance alone.
+    pub geo_hits: u64,
+    /// Candidates that reached the scoring stage.
+    pub scored: u64,
+    /// Scored candidates dropped by the `max_candidates` cap.
+    pub truncated: u64,
+}
+
 /// A candidate clip with its relevance breakdown.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScoredClip {
@@ -144,23 +178,42 @@ impl CandidateFilter {
         weights: &ScoringWeights,
         exclude: &HashSet<ClipId>,
     ) -> Vec<ScoredClip> {
+        self.candidates_excluding_stats(repo, prefs, ctx, weights, exclude).0
+    }
+
+    /// [`Self::candidates_excluding`] plus the per-stage
+    /// [`RetrievalStats`] of the scan.
+    #[must_use]
+    pub fn candidates_excluding_stats(
+        &self,
+        repo: &ContentRepository,
+        prefs: &PreferenceVector,
+        ctx: &ListenerContext,
+        weights: &ScoringWeights,
+        exclude: &HashSet<ClipId>,
+    ) -> (Vec<ScoredClip>, RetrievalStats) {
+        let mut stats = RetrievalStats::default();
         let cutoff = ctx.now.rewind(self.max_age);
-        let geo_hits = self.geo_hits_for(repo, ctx);
+        let geo_hits = self.geo_hits_for(repo, ctx, &mut stats);
         let mut out: Vec<ScoredClip> = Vec::new();
         for meta in repo.iter() {
+            stats.considered += 1;
             if exclude.contains(&meta.id) {
+                stats.cut_heard += 1;
                 continue;
             }
             let is_geo_hit = geo_hits.contains_key(&meta.id);
             if meta.published < cutoff && !is_geo_hit {
+                stats.cut_freshness += 1;
                 continue;
             }
             if prefs.score(meta.category) < self.min_category_pref && !is_geo_hit {
+                stats.cut_preference += 1;
                 continue;
             }
             out.push(self.score_one(meta, prefs, ctx, weights, &geo_hits));
         }
-        self.finalize(out)
+        (self.finalize(out, &mut stats), stats)
     }
 
     /// Index-backed retrieval: the same shortlist as
@@ -191,33 +244,62 @@ impl CandidateFilter {
         weights: &ScoringWeights,
         exclude: &HashSet<ClipId>,
     ) -> Vec<ScoredClip> {
+        self.candidates_indexed_excluding_stats(repo, prefs, ctx, weights, exclude).0
+    }
+
+    /// [`Self::candidates_indexed_excluding`] plus the per-stage
+    /// [`RetrievalStats`] of the index walk. Freshness and preference
+    /// cuts are counted structurally from posting-list lengths, so the
+    /// stats cost O(categories) on top of the clips actually visited.
+    #[must_use]
+    pub fn candidates_indexed_excluding_stats(
+        &self,
+        repo: &ContentRepository,
+        prefs: &PreferenceVector,
+        ctx: &ListenerContext,
+        weights: &ScoringWeights,
+        exclude: &HashSet<ClipId>,
+    ) -> (Vec<ScoredClip>, RetrievalStats) {
+        let mut stats = RetrievalStats::default();
         let cutoff = ctx.now.rewind(self.max_age);
-        let geo_hits = self.geo_hits_for(repo, ctx);
+        let geo_hits = self.geo_hits_for(repo, ctx, &mut stats);
         let mut out: Vec<ScoredClip> = Vec::new();
         let mut seen: HashSet<ClipId> = HashSet::new();
         for category in repo.indexed_categories().collect::<Vec<_>>() {
+            let posted = repo.category_len(category) as u64;
             if prefs.score(category) < self.min_category_pref {
+                stats.cut_preference += posted;
                 continue;
             }
+            let mut fresh = 0u64;
             for meta in repo.fresh_in_category(category, cutoff) {
+                fresh += 1;
+                stats.considered += 1;
                 if exclude.contains(&meta.id) {
+                    stats.cut_heard += 1;
                     continue;
                 }
                 seen.insert(meta.id);
                 out.push(self.score_one(meta, prefs, ctx, weights, &geo_hits));
             }
+            stats.cut_freshness += posted - fresh;
         }
         // Geo hits ride along regardless of freshness or preference;
         // skip the ones the category pass already scored.
         // lint: allow(hash-iter) — finalize() re-sorts by (score desc, clip id); visit order cannot reach the output
         for &id in geo_hits.keys() {
-            if seen.contains(&id) || exclude.contains(&id) {
+            if seen.contains(&id) {
+                continue;
+            }
+            stats.considered += 1;
+            if exclude.contains(&id) {
+                stats.cut_heard += 1;
                 continue;
             }
             let Some(meta) = repo.get(id) else { continue };
             out.push(self.score_one(meta, prefs, ctx, weights, &geo_hits));
         }
-        self.finalize(out)
+        (self.finalize(out, &mut stats), stats)
     }
 
     /// Route geo matches for the drive ahead (id → (distance, along)).
@@ -229,18 +311,23 @@ impl CandidateFilter {
         &self,
         repo: &ContentRepository,
         ctx: &ListenerContext,
+        stats: &mut RetrievalStats,
     ) -> HashMap<ClipId, (f64, f64)> {
         let mut geo_hits = HashMap::new();
         let Some(drive) = ctx.drive.as_ref() else { return geo_hits };
         for (meta, along) in repo.geo_along_route(&drive.route_ahead, self.route_corridor_m) {
-            let Some(tag) = meta.geo else { continue };
+            let Some(tag) = meta.geo else {
+                stats.cut_geo += 1;
+                continue;
+            };
             match drive.route_ahead.distance_to(repo.projection().project(tag.point)) {
                 Some(dist) if dist.is_finite() && along.is_finite() => {
                     geo_hits.insert(meta.id, (dist, along));
                 }
-                _ => {}
+                _ => stats.cut_geo += 1,
             }
         }
+        stats.geo_hits = geo_hits.len() as u64;
         geo_hits
     }
 
@@ -251,7 +338,8 @@ impl CandidateFilter {
     /// the *scheduler* decides whether it fits), but they must not
     /// break the "best first" contract either: callers such as the
     /// engine's skip path take a prefix of this list directly.
-    fn finalize(&self, mut out: Vec<ScoredClip>) -> Vec<ScoredClip> {
+    fn finalize(&self, mut out: Vec<ScoredClip>, stats: &mut RetrievalStats) -> Vec<ScoredClip> {
+        stats.scored = out.len() as u64;
         let by_score_desc =
             |a: &ScoredClip, b: &ScoredClip| b.score.total_cmp(&a.score).then(a.clip.cmp(&b.clip));
         out.sort_by(by_score_desc);
@@ -266,6 +354,7 @@ impl CandidateFilter {
                 out.sort_by(by_score_desc);
             }
         }
+        stats.truncated = stats.scored - out.len() as u64;
         out
     }
 
@@ -541,6 +630,40 @@ mod tests {
         assert_eq!(sanitize_score(-0.25), 0.0);
         assert_eq!(sanitize_score(1.75), 1.0);
         assert_eq!(sanitize_score(0.42), 0.42);
+    }
+
+    #[test]
+    fn stats_account_for_every_cut() {
+        let mut r = repo();
+        r.ingest(meta(9, 8, TimePoint::EPOCH, 5)); // stale wine clip
+        let mut late_ctx = ctx();
+        late_ctx.now = TimePoint::at(10, 9, 0, 0);
+        let filter = CandidateFilter::default();
+        let weights = ScoringWeights::default();
+        let p = prefs(1, &[8], &[5]);
+        let exclude: HashSet<ClipId> = [ClipId(3)].into_iter().collect();
+        let (scan, scan_stats) =
+            filter.candidates_excluding_stats(&r, &p, &late_ctx, &weights, &exclude);
+        // Four clips total: 1 survives (wine #1... also stale!), so
+        // derive expectations from the scan semantics directly.
+        assert_eq!(scan_stats.considered, 4, "scan examines the whole repo");
+        assert_eq!(scan_stats.cut_heard, 1, "clip 3 excluded");
+        assert_eq!(
+            scan_stats.cut_freshness + scan_stats.cut_preference + scan_stats.scored,
+            3,
+            "remaining clips are cut or scored: {scan_stats:?}"
+        );
+        assert_eq!(scan.len() as u64, scan_stats.scored - scan_stats.truncated);
+
+        let (indexed, indexed_stats) =
+            filter.candidates_indexed_excluding_stats(&r, &p, &late_ctx, &weights, &exclude);
+        assert_eq!(scan, indexed, "stats ride along without changing the shortlist");
+        assert_eq!(indexed_stats.scored, scan_stats.scored);
+        assert_eq!(indexed_stats.truncated, scan_stats.truncated);
+        assert!(
+            indexed_stats.considered <= scan_stats.considered,
+            "index visits no more clips than the scan"
+        );
     }
 
     #[test]

@@ -13,7 +13,10 @@ use pphcr_audio::source::{ClipSource, LiveSource};
 use pphcr_audio::splice::{PlannedSegment, SegmentSource, SplicePlan};
 use pphcr_catalog::ServiceIndex;
 use pphcr_catalog::{CategoryId, ClipKind, ContentRepository, CATEGORY_COUNT};
-use pphcr_core::{DeliveryPlanKind, Engine, EngineConfig, EngineEvent, NetworkCostModel};
+use pphcr_core::{
+    DeliveryPlanKind, Engine, EngineConfig, EngineEvent, HealthCounts, NetworkCostModel,
+    TickRequest,
+};
 use pphcr_geo::{GeoPoint, ProjectedPoint, TimePoint, TimeSpan};
 use pphcr_nlp::{AsrConfig, NaiveBayes, SimulatedAsr, Vocabulary};
 use pphcr_recommender::{
@@ -1108,9 +1111,8 @@ pub struct E12Row {
     pub duplicates_filtered: u64,
     /// Messages lost on the wire.
     pub wire_dropped: u64,
-    /// Final listener count per ladder rung:
-    /// (healthy, degraded, broadcast-only).
-    pub health: (u64, u64, u64),
+    /// Final listener count per ladder rung.
+    pub health: HealthCounts,
 }
 
 impl fmt::Display for E12Row {
@@ -1126,9 +1128,9 @@ impl fmt::Display for E12Row {
             self.retries,
             self.duplicates_filtered,
             self.wire_dropped,
-            self.health.0,
-            self.health.1,
-            self.health.2,
+            self.health.healthy,
+            self.health.degraded,
+            self.health.broadcast_only,
         )
     }
 }
@@ -1189,7 +1191,7 @@ pub fn e12_resilience(users: u64, injections_per_user: u64, seed: u64) -> Vec<E1
                     }
                 }
             }
-            let events = engine.tick_batch(&user_ids, now);
+            let events = engine.run_tick(&TickRequest::batch(&user_ids, now)).events;
             delivered += events
                 .iter()
                 .filter(|e| matches!(e, EngineEvent::InjectionDelivered { .. }))
@@ -1256,7 +1258,7 @@ impl fmt::Display for E13Row {
 pub struct E13TickRow {
     /// Commuters ticked.
     pub users: u64,
-    /// Worker threads used by `tick_batch_with`.
+    /// Worker threads used by the batched tick.
     pub workers: usize,
     /// Wall time for the whole window, seconds.
     pub seconds: f64,
@@ -1399,8 +1401,8 @@ const E13_ORIGIN: GeoPoint = GeoPoint { lat: 45.0703, lon: 7.6869 };
 /// home→work→home history on their own bearing, plus a fresh batch of
 /// content for day 8. Deterministic: rebuilt identically per worker
 /// count so only speed may differ between rows.
-fn e13_commuter_fleet(users: u64) -> Engine {
-    let mut engine = Engine::new(EngineConfig::default());
+fn e13_commuter_fleet(users: u64, config: EngineConfig) -> Engine {
+    let mut engine = Engine::new(config);
     let t0 = TimePoint::at(0, 0, 0, 0);
     for u in 1..=users {
         engine.register_user(
@@ -1464,32 +1466,39 @@ fn e13_commuter_fleet(users: u64) -> Engine {
     engine
 }
 
+/// Replays the day-8 commute window through batched ticks, returning
+/// the wall time and the number of events emitted.
+fn e13_commute_window(engine: &mut Engine, users: u64, workers: usize) -> (f64, u64) {
+    let ids: Vec<UserId> = (1..=users).map(UserId).collect();
+    let d8 = TimePoint::at(7, 8, 0, 0);
+    let t = crate::timing::stopwatch();
+    let mut events = 0u64;
+    for i in 0..12u64 {
+        let now = d8.advance(TimeSpan::seconds(i * 30));
+        for &u in &ids {
+            let home = E13_ORIGIN.destination(30.0 * u.0 as f64, 1_500.0 * u.0 as f64);
+            let bearing = 80.0 + 15.0 * u.0 as f64;
+            engine.record_fix(
+                u,
+                GpsFix::new(home.destination(bearing, i as f64 / 39.0 * 9_000.0), now, 7.5),
+            );
+        }
+        let request = TickRequest::batch(&ids, now).with_workers(workers);
+        events += engine.run_tick(&request).events.len() as u64;
+    }
+    (t.elapsed_s(), events)
+}
+
 /// E13 (engine): replays the same day-8 commute window through
-/// `tick_batch_with` once per worker count. The engine is rebuilt
+/// batched ticks once per worker count. The engine is rebuilt
 /// identically each time, so the event count must not vary across rows
 /// — only the wall time may.
 #[must_use]
 pub fn e13_tick_scaling(users: u64, worker_counts: &[usize]) -> Vec<E13TickRow> {
     let mut rows = Vec::new();
     for &workers in worker_counts {
-        let mut engine = e13_commuter_fleet(users);
-        let ids: Vec<UserId> = (1..=users).map(UserId).collect();
-        let d8 = TimePoint::at(7, 8, 0, 0);
-        let t = crate::timing::stopwatch();
-        let mut events = 0u64;
-        for i in 0..12u64 {
-            let now = d8.advance(TimeSpan::seconds(i * 30));
-            for &u in &ids {
-                let home = E13_ORIGIN.destination(30.0 * u.0 as f64, 1_500.0 * u.0 as f64);
-                let bearing = 80.0 + 15.0 * u.0 as f64;
-                engine.record_fix(
-                    u,
-                    GpsFix::new(home.destination(bearing, i as f64 / 39.0 * 9_000.0), now, 7.5),
-                );
-            }
-            events += engine.tick_batch_with(&ids, now, workers).len() as u64;
-        }
-        let seconds = t.elapsed_s();
+        let mut engine = e13_commuter_fleet(users, EngineConfig::default());
+        let (seconds, events) = e13_commute_window(&mut engine, users, workers);
         let ticks = users * 12;
         rows.push(E13TickRow {
             users,
@@ -1500,6 +1509,81 @@ pub fn e13_tick_scaling(users: u64, worker_counts: &[usize]) -> Vec<E13TickRow> 
         });
     }
     rows
+}
+
+/// One row of E13's observability half: the same batched commute
+/// window with instrumentation enabled and disabled.
+#[derive(Debug, Clone)]
+pub struct E13ObsRow {
+    /// Commuters ticked.
+    pub users: u64,
+    /// Worker threads for the batched ticks.
+    pub workers: usize,
+    /// Timed rounds per variant (best-of).
+    pub rounds: usize,
+    /// Best wall time with `obs_enabled: false`, seconds.
+    pub bare_s: f64,
+    /// Best wall time with the default instrumented engine, seconds.
+    pub instrumented_s: f64,
+    /// `(instrumented_s / bare_s - 1) * 100`.
+    pub overhead_pct: f64,
+    /// Events emitted (must be identical for both variants).
+    pub events: u64,
+    /// The instrumented run's exported snapshot (stable JSON).
+    pub snapshot_json: String,
+}
+
+impl fmt::Display for E13ObsRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "users={:>5} workers={:>2} bare={:>7.3}s instrumented={:>7.3}s overhead={:>+6.2}% \
+             events={}",
+            self.users,
+            self.workers,
+            self.bare_s,
+            self.instrumented_s,
+            self.overhead_pct,
+            self.events
+        )
+    }
+}
+
+/// E13 (observability): times the day-8 commute window with the obs
+/// layer on and off, best-of-`rounds` per variant to damp scheduler
+/// noise. Both variants must emit identical events — instrumentation
+/// is observation, never behaviour — and the instrumented run's
+/// snapshot rides along for the CI artifact.
+#[must_use]
+pub fn e13_obs_overhead(users: u64, workers: usize, rounds: usize) -> E13ObsRow {
+    let rounds = rounds.max(1);
+    let run = |obs_enabled: bool| -> (f64, u64, String) {
+        let mut best = f64::INFINITY;
+        let mut events = 0u64;
+        let mut snapshot = String::new();
+        for _ in 0..rounds {
+            let config = EngineConfig { obs_enabled, ..EngineConfig::default() };
+            let mut engine = e13_commuter_fleet(users, config);
+            let (seconds, ev) = e13_commute_window(&mut engine, users, workers);
+            best = best.min(seconds);
+            events = ev;
+            snapshot = engine.obs_snapshot().to_json();
+        }
+        (best, events, snapshot)
+    };
+    let (bare_s, bare_events, _) = run(false);
+    let (instrumented_s, events, snapshot_json) = run(true);
+    assert_eq!(events, bare_events, "instrumentation changed engine behaviour");
+    E13ObsRow {
+        users,
+        workers,
+        rounds,
+        bare_s,
+        instrumented_s,
+        overhead_pct: (instrumented_s / bare_s.max(1e-9) - 1.0) * 100.0,
+        events,
+        snapshot_json,
+    }
 }
 
 #[cfg(test)]
@@ -1652,7 +1736,11 @@ mod tests {
         assert_eq!(calm.retries, 0, "{calm}");
         assert_eq!(calm.dead_lettered, 0, "{calm}");
         assert_eq!(calm.wire_dropped, 0, "{calm}");
-        assert_eq!(calm.health, (3, 0, 0), "{calm}");
+        assert_eq!(
+            calm.health,
+            HealthCounts { healthy: 3, degraded: 0, broadcast_only: 0 },
+            "{calm}"
+        );
     }
 
     #[test]
@@ -1667,8 +1755,7 @@ mod tests {
             lossy.delivered + lossy.dead_lettered <= lossy.submitted,
             "nothing applied twice: {lossy}"
         );
-        let (h, d, b) = lossy.health;
-        assert_eq!(h + d + b, 3, "every listener has an explicit health state: {lossy}");
+        assert_eq!(lossy.health.total(), 3, "every listener has an explicit health state: {lossy}");
     }
 
     #[test]

@@ -1,37 +1,13 @@
 //! Wall-clock measurement for the experiment harness.
 //!
-//! This is the **only** module in the workspace allowed to read the OS
-//! clock: the workspace invariant linter (`pphcr-lint`, rule D1
-//! `wall-clock`) forbids `Instant::now()` / `SystemTime::now()`
-//! everywhere else so that scoring and commit paths stay replayable.
-//! Benchmark timing funnels through [`stopwatch`], which keeps the
-//! allowlist at exactly one module.
+//! The implementation lives in [`pphcr_obs::timing`] — the **only**
+//! module in the workspace allowed to read the OS clock (lint rule D1
+//! `wall-clock`) — so that benchmark timing and the observability
+//! layer's spans share one stopwatch. This module re-exports it under
+//! the historical `sim::timing` path used by the experiment code; it
+//! performs no clock reads of its own.
 
-use std::time::Instant;
-
-/// A started wall-clock timer; see [`stopwatch`].
-#[derive(Debug, Clone, Copy)]
-pub struct Stopwatch {
-    started: Instant,
-}
-
-impl Stopwatch {
-    /// Seconds elapsed since the stopwatch started.
-    #[must_use]
-    pub fn elapsed_s(&self) -> f64 {
-        self.started.elapsed().as_secs_f64()
-    }
-}
-
-/// Starts a wall-clock stopwatch for throughput measurement.
-///
-/// Experiment code must call this instead of `Instant::now()`; the
-/// result only ever feeds *reported* wall times, never scoring,
-/// scheduling or event-stream decisions.
-#[must_use]
-pub fn stopwatch() -> Stopwatch {
-    Stopwatch { started: Instant::now() }
-}
+pub use pphcr_obs::timing::{stopwatch, Stopwatch};
 
 #[cfg(test)]
 mod tests {

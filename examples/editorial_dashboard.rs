@@ -11,7 +11,13 @@ use pphcr::trajectory::GpsFix;
 use pphcr::userdata::{AgeBand, FeedbackEvent, FeedbackKind, UserId, UserProfile};
 
 fn main() {
-    let mut engine = Engine::new(EngineConfig::default());
+    let center = GeoPoint::new(45.0703, 7.6869);
+    // The gazetteer feeds geo estimation of untagged archive clips
+    // (the paper's future-work feature); it is attached at build time
+    // through the fluent builder.
+    let mut gazetteer = Gazetteer::new();
+    gazetteer.add_place("fairground", center.destination(45.0, 4_000.0), 1_200.0);
+    let mut engine = Engine::builder().config(EngineConfig::default()).gazetteer(gazetteer).build();
     let listener = UserId(42);
     let t0 = TimePoint::at(0, 7, 0, 0);
     engine.register_user(
@@ -26,7 +32,6 @@ fn main() {
 
     // The listener moves around town and reacts to content for a few
     // hours — the raw material of the dashboard panels.
-    let center = GeoPoint::new(45.0703, 7.6869);
     for i in 0..40u64 {
         let p = center.destination((i * 25) as f64 % 360.0, (i % 7) as f64 * 900.0);
         engine.record_fix(listener, GpsFix::new(p, t0.advance(TimeSpan::minutes(i * 3)), 6.0));
@@ -47,12 +52,9 @@ fn main() {
         });
     }
 
-    // Archive ingest with gazetteer-based geo estimation (the paper's
-    // future-work feature): the transcript mentions the fairground
-    // twice, so the clip is tagged there automatically.
-    let mut gazetteer = Gazetteer::new();
-    gazetteer.add_place("fairground", center.destination(45.0, 4_000.0), 1_200.0);
-    engine.set_gazetteer(gazetteer);
+    // Archive ingest with gazetteer-based geo estimation: the
+    // transcript mentions the fairground twice, so the clip is tagged
+    // there automatically.
     let tokens: Vec<String> =
         "storia della città vista dal fairground il fairground compie cento anni"
             .split_whitespace()

@@ -9,7 +9,7 @@ use pphcr::geo::{TimePoint, TimeSpan};
 use pphcr::userdata::{AgeBand, FeedbackKind, UserId, UserProfile};
 
 fn main() {
-    let mut engine = Engine::new(EngineConfig::default());
+    let mut engine = Engine::builder().config(EngineConfig::default()).build();
     let now = TimePoint::at(0, 9, 0, 0);
 
     // A listener tunes in to service 0 (its live stream plus metadata
@@ -74,4 +74,13 @@ fn main() {
         other => println!("player mode: {other:?}"),
     }
     println!("clips queued behind it: {}", player.queue_len());
+
+    // Everything the platform just did left a deterministic trail in
+    // the observability registry.
+    let snapshot = engine.obs_snapshot();
+    println!(
+        "obs: {} bus messages delivered, {} decision trace entr(ies) kept",
+        snapshot.gauge("bus.delivered").unwrap_or(0),
+        engine.obs_trace().len(),
+    );
 }

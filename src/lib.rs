@@ -20,6 +20,8 @@
 //! * [`userdata`] — profiles, feedback learning, tracking store,
 //! * [`recommender`] — compound scoring, the proactivity model, the ΔT
 //!   slot scheduler,
+//! * [`obs`] — deterministic counters, histograms, spans and the
+//!   decision trace,
 //! * [`core`] — the engine, replacement planner, player, injection,
 //!   network-cost model, dashboard,
 //! * [`sim`] — the synthetic world and the experiment harness.
@@ -67,6 +69,7 @@ pub use pphcr_catalog as catalog;
 pub use pphcr_core as core;
 pub use pphcr_geo as geo;
 pub use pphcr_nlp as nlp;
+pub use pphcr_obs as obs;
 pub use pphcr_recommender as recommender;
 pub use pphcr_sim as sim;
 pub use pphcr_trajectory as trajectory;

@@ -17,7 +17,7 @@ use pphcr::audio::ClipId;
 use pphcr::catalog::{CategoryId, ClipKind, ServiceIndex};
 use pphcr::core::{
     BusMessage, DeadLetterReason, Engine, EngineConfig, EngineEvent, FaultProfile, FaultyTransport,
-    PlatformSnapshot, Topic, UnicastLink,
+    HealthCounts, PlatformSnapshot, Topic, UnicastLink,
 };
 use pphcr::geo::{TimePoint, TimeSpan};
 use pphcr::userdata::{AgeBand, UserId, UserProfile};
@@ -111,8 +111,11 @@ fn lossy_mobile_never_panics_and_health_converges() {
             "listener {u} must have an explicit health state"
         );
     }
-    let (h, d, b) = engine.health_counts();
-    assert_eq!(h + d + b, USERS, "health covers exactly the registered listeners");
+    assert_eq!(
+        engine.health_counts().total(),
+        USERS,
+        "health covers exactly the registered listeners"
+    );
     assert_eq!(
         engine.delivery.outstanding_count(),
         0,
@@ -208,7 +211,10 @@ fn perfect_transport_needs_no_resilience() {
     assert_eq!(engine.delivery.retries(), 0);
     assert_eq!(engine.delivery.duplicates_filtered(), 0);
     assert!(engine.bus.dead_letters().is_empty());
-    assert_eq!(engine.health_counts(), (USERS, 0, 0));
+    assert_eq!(
+        engine.health_counts(),
+        HealthCounts { healthy: USERS, degraded: 0, broadcast_only: 0 }
+    );
 }
 
 /// Seed-independent invariants, parameterised for CI's scheduled
@@ -235,6 +241,9 @@ fn chaos_invariants_hold_for_env_seed() {
         "no delivery invented out of thin air under seed {seed}"
     );
     assert_eq!(engine.delivery.outstanding_count(), 0, "ledger did not settle under seed {seed}");
-    let (h, d, b) = engine.health_counts();
-    assert_eq!(h + d + b, USERS, "health must cover all listeners under seed {seed}");
+    assert_eq!(
+        engine.health_counts().total(),
+        USERS,
+        "health must cover all listeners under seed {seed}"
+    );
 }

@@ -6,7 +6,7 @@
 use pphcr::audio::source::{AudioSource, LiveSource};
 use pphcr::audio::{ClipId, ClipStore, SampleClock, TimeShiftBuffer};
 use pphcr::catalog::{CategoryId, ClipKind, Schedule, ServiceIndex};
-use pphcr::core::{Engine, EngineConfig, PlaybackMode, ReplacementPlanner};
+use pphcr::core::{Engine, EngineConfig, HealthCounts, PlaybackMode, ReplacementPlanner};
 use pphcr::geo::{GeoPoint, TimePoint, TimeSpan};
 use pphcr::sim::population::GpsNoise;
 use pphcr::sim::{Population, SyntheticCity};
@@ -250,5 +250,5 @@ fn unregistered_user_is_total_at_every_entry_point() {
 
     // Nothing above disturbed the registered listener.
     assert!(engine.player(registered).is_some());
-    assert_eq!(engine.health_counts(), (1, 0, 0));
+    assert_eq!(engine.health_counts(), HealthCounts { healthy: 1, degraded: 0, broadcast_only: 0 });
 }

@@ -447,6 +447,7 @@ mod resilience {
         BackoffPolicy, Bus, BusMessage, ChaosRng, DeliveryTracker, Envelope, FaultProfile,
         FaultyTransport, Topic,
     };
+    use pphcr::obs::Registry;
 
     proptest! {
         /// Without jitter the retry delay never shrinks between
@@ -506,6 +507,7 @@ mod resilience {
             let policy = BackoffPolicy { budget, ..BackoffPolicy::default() };
             let mut rng = ChaosRng::new(seed);
             let mut tracker = DeliveryTracker::new();
+            let mut obs = Registry::new();
             let t0 = TimePoint::at(0, 9, 0, 0);
             let envelope = Envelope {
                 message: BusMessage::Tuned { user: UserId(1), service: ServiceIndex(0) },
@@ -513,13 +515,13 @@ mod resilience {
                 hops: 0,
                 seq: 1,
             };
-            tracker.register(UserId(1), envelope, t0, &policy, &mut rng);
+            tracker.register(UserId(1), envelope, t0, &policy, &mut rng, &mut obs);
             let mut now = t0;
             let (mut retries, mut dead) = (0u64, 0u64);
             for _ in 0..64 {
                 // Stride past max_delay so every armed timer has fired.
                 now = now.advance(TimeSpan::minutes(5));
-                let (due, exhausted) = tracker.due_retries(now, &policy, &mut rng);
+                let (due, exhausted) = tracker.due_retries(now, &policy, &mut rng, &mut obs);
                 retries += due.len() as u64;
                 dead += exhausted.len() as u64;
             }
