@@ -62,6 +62,7 @@ fn main() -> ExitCode {
     }
     let obs = e13_obs_overhead(tick_users, *workers.last().unwrap_or(&1), obs_rounds);
     println!("{obs}");
+    // lint: allow(fsync-free-write) — bench artifact, not durable state; loss on crash is fine
     std::fs::write(&obs_out, format!("{}\n", obs.snapshot_json)).expect("write OBS_SNAPSHOT.json");
     println!("wrote {obs_out}");
 
@@ -103,6 +104,7 @@ fn main() -> ExitCode {
     w.end_object();
     let mut doc = w.finish();
     doc.push('\n');
+    // lint: allow(fsync-free-write) — bench artifact, not durable state; loss on crash is fine
     std::fs::write(&out_path, doc).expect("write BENCH_e13.json");
     println!("wrote {out_path}");
 

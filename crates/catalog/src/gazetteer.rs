@@ -71,6 +71,14 @@ impl Gazetteer {
         self.places.get(name)
     }
 
+    /// All places sorted by name, for deterministic persistence.
+    #[must_use]
+    pub fn places_sorted(&self) -> Vec<&Place> {
+        let mut out: Vec<&Place> = self.places.values().collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+
     /// Counts place mentions in a transcript, most-mentioned first
     /// (ties broken by name for determinism).
     #[must_use]

@@ -144,6 +144,17 @@ impl RepositoryIndex {
         self.max_tag_radius_m
     }
 
+    /// Overwrites the epoch and radius watermark after a snapshot
+    /// restore. Rebuilding the index by re-inserting surviving clips
+    /// reproduces the posting lists and geo grid exactly, but the
+    /// epoch also counts removals and rebuilds from the previous
+    /// incarnation — caches keyed on it must not see the clock run
+    /// backwards.
+    pub fn restore_meta(&mut self, epoch: u64, max_tag_radius_m: f64) {
+        self.epoch = epoch;
+        self.max_tag_radius_m = max_tag_radius_m;
+    }
+
     /// Geo-tagged clip ids whose projected tag falls inside the padded
     /// rectangle `[min, max]`.
     #[must_use]

@@ -179,6 +179,20 @@ impl ContentRepository {
     pub fn iter(&self) -> impl Iterator<Item = &ClipMetadata> {
         self.clips.values()
     }
+
+    /// Largest geo-tag radius ever indexed, meters (persisted alongside
+    /// the epoch because a removed clip can still hold the watermark).
+    #[must_use]
+    pub fn max_tag_radius_m(&self) -> f64 {
+        self.index.max_tag_radius_m()
+    }
+
+    /// Restores the index epoch and radius watermark after rebuilding
+    /// the repository from persisted clip metadata. See
+    /// [`RepositoryIndex::restore_meta`].
+    pub fn restore_index_meta(&mut self, epoch: u64, max_tag_radius_m: f64) {
+        self.index.restore_meta(epoch, max_tag_radius_m);
+    }
 }
 
 #[cfg(test)]

@@ -26,7 +26,7 @@ pub struct Transmitter {
 /// The coverage map of the broadcast network.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct CoverageMap {
-    transmitters: Vec<Transmitter>,
+    pub(crate) transmitters: Vec<Transmitter>,
 }
 
 impl CoverageMap {
@@ -86,11 +86,11 @@ pub enum BearerClass {
 /// `-hysteresis_m` and only returns when it exceeds `+hysteresis_m`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BearerSelector {
-    coverage: CoverageMap,
+    pub(crate) coverage: CoverageMap,
     /// Hysteresis band half-width, meters.
     pub hysteresis_m: f64,
-    current: BearerClass,
-    switches: u32,
+    pub(crate) current: BearerClass,
+    pub(crate) switches: u32,
 }
 
 impl BearerSelector {

@@ -203,16 +203,16 @@ impl std::error::Error for PublishError {}
 /// The bus.
 #[derive(Debug, Clone)]
 pub struct Bus {
-    transport: Box<dyn Transport>,
-    queues: HashMap<Topic, VecDeque<Envelope>>,
-    policies: HashMap<Topic, QueuePolicy>,
-    dead_letters: Vec<DeadLetter>,
-    published: u64,
-    delivered: u64,
-    overflowed: u64,
-    rejected: u64,
-    next_seq: u64,
-    clock: TimePoint,
+    pub(crate) transport: Box<dyn Transport>,
+    pub(crate) queues: HashMap<Topic, VecDeque<Envelope>>,
+    pub(crate) policies: HashMap<Topic, QueuePolicy>,
+    pub(crate) dead_letters: Vec<DeadLetter>,
+    pub(crate) published: u64,
+    pub(crate) delivered: u64,
+    pub(crate) overflowed: u64,
+    pub(crate) rejected: u64,
+    pub(crate) next_seq: u64,
+    pub(crate) clock: TimePoint,
 }
 
 impl Default for Bus {

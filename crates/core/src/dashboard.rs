@@ -266,6 +266,9 @@ impl Dashboard {
             obs.verdicts.1,
             obs.verdicts.2,
         );
+        if let Some(banner) = engine.recovery_banner() {
+            let _ = writeln!(out, "-- recovery: {banner}");
+        }
         out
     }
 }

@@ -174,10 +174,10 @@ pub struct DecisionRecord {
 
 /// Per-user trip detection state.
 #[derive(Debug, Clone, Default)]
-struct TripTracker {
-    driving_since: Option<TimePoint>,
-    origin_stay: Option<u32>,
-    path: Vec<ProjectedPoint>,
+pub(crate) struct TripTracker {
+    pub(crate) driving_since: Option<TimePoint>,
+    pub(crate) origin_stay: Option<u32>,
+    pub(crate) path: Vec<ProjectedPoint>,
 }
 
 /// Cache key for a user's ranked candidate list. Every input that can
@@ -194,12 +194,12 @@ struct TripTracker {
 /// * `now` — the evaluation instant (freshness window, preference
 ///   decay, context).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct CandidateCacheKey {
-    epoch: u64,
-    feedback_events: usize,
-    heard_len: usize,
-    fixes: usize,
-    now: TimePoint,
+pub(crate) struct CandidateCacheKey {
+    pub(crate) epoch: u64,
+    pub(crate) feedback_events: usize,
+    pub(crate) heard_len: usize,
+    pub(crate) fixes: usize,
+    pub(crate) now: TimePoint,
 }
 
 /// A memoized ranked candidate list plus the key it was computed under
@@ -207,10 +207,10 @@ struct CandidateCacheKey {
 /// the decision trace on cache hits, so a warmed tick traces the same
 /// numbers as a cold one).
 #[derive(Debug, Clone)]
-struct CachedCandidates {
-    key: CandidateCacheKey,
-    ranked: Vec<ScoredClip>,
-    stats: RetrievalStats,
+pub(crate) struct CachedCandidates {
+    pub(crate) key: CandidateCacheKey,
+    pub(crate) ranked: Vec<ScoredClip>,
+    pub(crate) stats: RetrievalStats,
 }
 
 /// One consolidated engine-step request: the single entry point behind
@@ -357,26 +357,33 @@ pub struct Engine {
     /// The unicast clip-fetch link (perfect by default; swap in a
     /// flaky one for chaos runs).
     pub unicast: UnicastLink,
-    config: EngineConfig,
-    vocab: Vocabulary,
-    classifier: NaiveBayes,
-    classifier_docs: u64,
-    road_network: Option<RoadNetwork>,
-    gazetteer: Option<Gazetteer>,
-    players: HashMap<UserId, Player>,
-    proactivity: HashMap<UserId, ProactivityModel>,
-    trips: HashMap<UserId, TripTracker>,
-    heard: HashMap<UserId, HashSet<ClipId>>,
-    decisions: Vec<DecisionRecord>,
-    next_clip_id: u64,
-    chaos_rng: ChaosRng,
-    health: HashMap<UserId, UserHealth>,
-    last_acked: HashMap<UserId, SlotSchedule>,
-    coverage: Option<CoverageMap>,
-    bearers: HashMap<UserId, BearerSelector>,
-    candidate_cache: HashMap<UserId, CachedCandidates>,
-    obs: Registry,
-    obs_trace: DecisionTrace,
+    pub(crate) config: EngineConfig,
+    pub(crate) vocab: Vocabulary,
+    pub(crate) classifier: NaiveBayes,
+    pub(crate) classifier_docs: u64,
+    pub(crate) road_network: Option<RoadNetwork>,
+    pub(crate) gazetteer: Option<Gazetteer>,
+    pub(crate) players: HashMap<UserId, Player>,
+    pub(crate) proactivity: HashMap<UserId, ProactivityModel>,
+    pub(crate) trips: HashMap<UserId, TripTracker>,
+    pub(crate) heard: HashMap<UserId, HashSet<ClipId>>,
+    pub(crate) decisions: Vec<DecisionRecord>,
+    pub(crate) next_clip_id: u64,
+    pub(crate) chaos_rng: ChaosRng,
+    pub(crate) health: HashMap<UserId, UserHealth>,
+    pub(crate) last_acked: HashMap<UserId, SlotSchedule>,
+    pub(crate) coverage: Option<CoverageMap>,
+    pub(crate) bearers: HashMap<UserId, BearerSelector>,
+    pub(crate) candidate_cache: HashMap<UserId, CachedCandidates>,
+    pub(crate) obs: Registry,
+    pub(crate) obs_trace: DecisionTrace,
+    /// Recovery banner surfaced on the dashboard after a restore
+    /// ("recovered at seq N, dropped M torn bytes"). Kept outside the
+    /// obs registry and the platform snapshot on purpose: recovery is
+    /// an operational fact about *this* process, and folding it into
+    /// replayable state would break byte-identity with the unkilled
+    /// run.
+    pub(crate) recovery_banner: Option<String>,
 }
 
 impl Engine {
@@ -416,8 +423,17 @@ impl Engine {
             candidate_cache: HashMap::new(),
             obs: if config.obs_enabled { Registry::new() } else { Registry::disabled() },
             obs_trace: DecisionTrace::with_capacity(config.trace_capacity),
+            recovery_banner: None,
             config,
         }
+    }
+
+    /// The dashboard's recovery banner, set by
+    /// [`crate::persist::restore_engine`] ("recovered at seq N, dropped
+    /// M torn bytes"). `None` for an engine that never restarted.
+    #[must_use]
+    pub fn recovery_banner(&self) -> Option<&str> {
+        self.recovery_banner.as_deref()
     }
 
     /// Starts a fluent [`EngineBuilder`] — the consolidated way to

@@ -28,6 +28,19 @@ impl ChaosRng {
         ChaosRng(seed)
     }
 
+    /// The generator's current internal state, for persistence.
+    #[must_use]
+    pub fn state(&self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds a generator mid-stream from a persisted state word.
+    /// `from_state(r.state())` continues exactly where `r` was.
+    #[must_use]
+    pub fn from_state(state: u64) -> Self {
+        ChaosRng(state)
+    }
+
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
         self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -146,6 +159,63 @@ pub struct WireStats {
     pub delayed: u64,
 }
 
+/// A transport's complete wire state, exported for persistence and
+/// rebuilt with [`transport_from_state`]. Per-topic collections are
+/// sorted by a stable topic order so the encoding is deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransportState {
+    /// State of a [`PerfectTransport`]: queued envelopes per topic.
+    Perfect {
+        /// Per-topic queues in wire order.
+        queues: Vec<(Topic, Vec<Envelope>)>,
+    },
+    /// State of a [`FaultyTransport`].
+    Faulty {
+        /// The fault profile.
+        profile: FaultProfile,
+        /// Internal state word of the seeded generator.
+        rng_state: u64,
+        /// Per-topic in-flight messages with their arrival instants,
+        /// in wire order.
+        in_flight: Vec<(Topic, Vec<(Envelope, TimePoint)>)>,
+        /// Cumulative fault counters.
+        stats: WireStats,
+    },
+}
+
+/// Stable topic order used when exporting per-topic transport state.
+pub(crate) const TOPIC_ORDER: [Topic; 5] =
+    [Topic::Tracking, Topic::Feedback, Topic::Recommendation, Topic::Editorial, Topic::Ingest];
+
+/// Rebuilds a boxed transport from an exported [`TransportState`].
+#[must_use]
+pub fn transport_from_state(state: TransportState) -> Box<dyn Transport> {
+    match state {
+        TransportState::Perfect { queues } => {
+            let mut t = PerfectTransport::new();
+            for (topic, envelopes) in queues {
+                t.queues.insert(topic, envelopes.into());
+            }
+            Box::new(t)
+        }
+        TransportState::Faulty { profile, rng_state, in_flight, stats } => {
+            let mut t = FaultyTransport::new(profile, 0);
+            t.rng = ChaosRng::from_state(rng_state);
+            t.stats = stats;
+            for (topic, flights) in in_flight {
+                t.in_flight.insert(
+                    topic,
+                    flights
+                        .into_iter()
+                        .map(|(envelope, arrives_at)| Flight { envelope, arrives_at })
+                        .collect(),
+                );
+            }
+            Box::new(t)
+        }
+    }
+}
+
 /// The wire between publishers and topic queues.
 ///
 /// `send` accepts a message at `now`; `receive` returns the messages
@@ -166,6 +236,14 @@ pub trait Transport: std::fmt::Debug {
 
     /// Clones the transport behind the object-safe interface.
     fn boxed_clone(&self) -> Box<dyn Transport>;
+
+    /// Exports the transport's state for persistence. `None` (the
+    /// default) marks a transport the durability layer cannot
+    /// serialize; snapshotting an engine over such a wire fails with a
+    /// typed error rather than silently losing in-flight traffic.
+    fn export_state(&self) -> Option<TransportState> {
+        None
+    }
 }
 
 impl Clone for Box<dyn Transport> {
@@ -207,6 +285,17 @@ impl Transport for PerfectTransport {
 
     fn boxed_clone(&self) -> Box<dyn Transport> {
         Box::new(self.clone())
+    }
+
+    fn export_state(&self) -> Option<TransportState> {
+        let queues = TOPIC_ORDER
+            .iter()
+            .filter_map(|topic| {
+                let q = self.queues.get(topic)?;
+                (!q.is_empty()).then(|| (*topic, q.iter().cloned().collect()))
+            })
+            .collect();
+        Some(TransportState::Perfect { queues })
     }
 }
 
@@ -318,6 +407,24 @@ impl Transport for FaultyTransport {
 
     fn boxed_clone(&self) -> Box<dyn Transport> {
         Box::new(self.clone())
+    }
+
+    fn export_state(&self) -> Option<TransportState> {
+        let in_flight = TOPIC_ORDER
+            .iter()
+            .filter_map(|topic| {
+                let flights = self.in_flight.get(topic)?;
+                (!flights.is_empty()).then(|| {
+                    (*topic, flights.iter().map(|f| (f.envelope.clone(), f.arrives_at)).collect())
+                })
+            })
+            .collect();
+        Some(TransportState::Faulty {
+            profile: self.profile.clone(),
+            rng_state: self.rng.state(),
+            in_flight,
+            stats: self.stats,
+        })
     }
 }
 

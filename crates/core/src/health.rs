@@ -89,9 +89,9 @@ impl HealthCounts {
 /// resilience counters surfaced on the dashboard.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UserHealth {
-    state: HealthState,
-    fail_streak: u32,
-    ok_streak: u32,
+    pub(crate) state: HealthState,
+    pub(crate) fail_streak: u32,
+    pub(crate) ok_streak: u32,
     /// When the state last changed.
     pub since: TimePoint,
     /// Unicast fetch failures or timeouts observed.

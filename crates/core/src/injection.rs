@@ -28,9 +28,9 @@ pub struct PendingInjection {
 /// Per-listener injection queues.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct InjectionQueue {
-    queues: HashMap<UserId, Vec<PendingInjection>>,
-    total_submitted: u64,
-    total_delivered: u64,
+    pub(crate) queues: HashMap<UserId, Vec<PendingInjection>>,
+    pub(crate) total_submitted: u64,
+    pub(crate) total_delivered: u64,
 }
 
 impl InjectionQueue {

@@ -373,6 +373,13 @@ impl JsonWriter {
         self
     }
 
+    /// Writes a `"key": true|false` field.
+    pub fn field_bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.before_item();
+        self.out.push_str(&format!("\"{key}\": {value}"));
+        self
+    }
+
     /// Writes a bare unsigned array element.
     pub fn item_u64(&mut self, value: u64) -> &mut Self {
         self.before_item();

@@ -24,6 +24,7 @@ pub mod health;
 pub mod injection;
 pub mod json;
 pub mod netcost;
+pub mod persist;
 pub mod player;
 pub mod replacement;
 pub mod retry;
@@ -37,10 +38,17 @@ pub use dashboard::{Dashboard, ObservabilityView};
 pub use engine::{
     Engine, EngineBuilder, EngineConfig, EngineError, EngineEvent, TickReport, TickRequest,
 };
-pub use fault::{ChaosRng, FaultProfile, FaultyTransport, PerfectTransport, Transport, WireStats};
+pub use fault::{
+    transport_from_state, ChaosRng, FaultProfile, FaultyTransport, PerfectTransport, Transport,
+    TransportState, WireStats,
+};
 pub use health::{HealthCounts, HealthState, UserHealth};
 pub use injection::{InjectionQueue, PendingInjection};
 pub use netcost::{DeliveryPlanKind, FetchOutcome, NetworkCostModel, TrafficReport, UnicastLink};
+pub use persist::{
+    restore_engine, ApplyResult, DurableEngine, FileWal, MemWal, PersistError, RecoveryReport,
+    WalOp, WalRecord, WalStorage,
+};
 pub use player::{PlaybackMode, Player, PlayerEvent};
 pub use replacement::{ReplacementPlanner, ReplacementTimeline, TimelineEntry};
 pub use retry::{BackoffPolicy, DeliveryTracker};

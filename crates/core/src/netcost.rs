@@ -224,7 +224,7 @@ pub struct UnicastLink {
     pub timeout: TimeSpan,
     /// Mean fetch latency of the modelled link.
     pub mean_latency: TimeSpan,
-    rng: ChaosRng,
+    pub(crate) rng: ChaosRng,
 }
 
 impl UnicastLink {

@@ -1,0 +1,256 @@
+//! Little-endian byte codec and CRC32 used by the WAL and snapshots.
+//!
+//! Hand-rolled on purpose: the wire format must stay stable across
+//! toolchain upgrades and must decode hostile bytes without panicking,
+//! so every read returns a `Result` and nothing indexes a slice.
+
+use super::PersistError;
+
+/// CRC32 (IEEE 802.3, reflected) lookup table, built at compile time.
+const CRC_TABLE: [u32; 256] = crc_table();
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC32 (IEEE) of `bytes`.
+#[must_use]
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        let idx = ((crc ^ u32::from(b)) & 0xFF) as usize;
+        let entry = CRC_TABLE.get(idx).copied().unwrap_or(0);
+        crc = (crc >> 8) ^ entry;
+    }
+    !crc
+}
+
+/// Append-only little-endian writer.
+#[derive(Debug, Default)]
+pub(crate) struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    pub(crate) fn new() -> Self {
+        ByteWriter::default()
+    }
+
+    pub(crate) fn into_inner(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub(crate) fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub(crate) fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// f64 as raw IEEE-754 bits: bit-exact round-trip, NaN included.
+    pub(crate) fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    pub(crate) fn put_bool(&mut self, v: bool) {
+        self.put_u8(u8::from(v));
+    }
+
+    pub(crate) fn put_bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub(crate) fn put_str(&mut self, v: &str) {
+        self.put_u32(v.len() as u32);
+        self.buf.extend_from_slice(v.as_bytes());
+    }
+
+    /// `Some` as 1 + payload (written by `f`), `None` as 0.
+    pub(crate) fn put_opt<T>(&mut self, v: Option<&T>, f: impl FnOnce(&mut Self, &T)) {
+        match v {
+            Some(inner) => {
+                self.put_u8(1);
+                f(self, inner);
+            }
+            None => self.put_u8(0),
+        }
+    }
+}
+
+/// Bounds-checked little-endian reader over a borrowed slice.
+#[derive(Debug)]
+pub(crate) struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        let end = self.pos.checked_add(n).ok_or(PersistError::Truncated)?;
+        let slice = self.buf.get(self.pos..end).ok_or(PersistError::Truncated)?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, PersistError> {
+        let b = self.take(1)?;
+        b.first().copied().ok_or(PersistError::Truncated)
+    }
+
+    pub(crate) fn u16(&mut self) -> Result<u16, PersistError> {
+        let b = self.take(2)?;
+        let arr: [u8; 2] = b.try_into().map_err(|_| PersistError::Truncated)?;
+        Ok(u16::from_le_bytes(arr))
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, PersistError> {
+        let b = self.take(4)?;
+        let arr: [u8; 4] = b.try_into().map_err(|_| PersistError::Truncated)?;
+        Ok(u32::from_le_bytes(arr))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, PersistError> {
+        let b = self.take(8)?;
+        let arr: [u8; 8] = b.try_into().map_err(|_| PersistError::Truncated)?;
+        Ok(u64::from_le_bytes(arr))
+    }
+
+    pub(crate) fn i64(&mut self) -> Result<i64, PersistError> {
+        let b = self.take(8)?;
+        let arr: [u8; 8] = b.try_into().map_err(|_| PersistError::Truncated)?;
+        Ok(i64::from_le_bytes(arr))
+    }
+
+    pub(crate) fn f64(&mut self) -> Result<f64, PersistError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    pub(crate) fn bool(&mut self) -> Result<bool, PersistError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(PersistError::Corrupt { what: "bool tag" }),
+        }
+    }
+
+    /// Length-prefixed UTF-8 string; rejects over-long prefixes and
+    /// invalid UTF-8 without panicking.
+    pub(crate) fn string(&mut self) -> Result<String, PersistError> {
+        let len = self.u32()? as usize;
+        if len > self.remaining() {
+            return Err(PersistError::Truncated);
+        }
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| PersistError::Corrupt { what: "utf-8" })
+    }
+
+    /// Bounded element count for `Vec` prefixes: a corrupted length must
+    /// not trigger a huge allocation, so the count is capped by the
+    /// bytes actually remaining (each element takes >= 1 byte).
+    pub(crate) fn seq_len(&mut self) -> Result<usize, PersistError> {
+        let n = self.u32()? as usize;
+        if n > self.remaining() {
+            return Err(PersistError::Truncated);
+        }
+        Ok(n)
+    }
+
+    pub(crate) fn opt<T>(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> Result<T, PersistError>,
+    ) -> Result<Option<T>, PersistError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(f(self)?)),
+            _ => Err(PersistError::Corrupt { what: "option tag" }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc_known_vector() {
+        // The canonical check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn round_trip_scalars() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u16(0x1234);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX);
+        w.put_i64(-42);
+        w.put_f64(-0.125);
+        w.put_bool(true);
+        w.put_str("ciao");
+        w.put_opt(Some(&9u64), |w, v| w.put_u64(*v));
+        w.put_opt::<u64>(None, |w, v| w.put_u64(*v));
+        let bytes = w.into_inner();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 0x1234);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.i64().unwrap(), -42);
+        assert_eq!(r.f64().unwrap(), -0.125);
+        assert!(r.bool().unwrap());
+        assert_eq!(r.string().unwrap(), "ciao");
+        assert_eq!(r.opt(ByteReader::u64).unwrap(), Some(9));
+        assert_eq!(r.opt(ByteReader::u64).unwrap(), None);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn truncated_reads_error() {
+        let mut r = ByteReader::new(&[1, 2]);
+        assert_eq!(r.u64(), Err(PersistError::Truncated));
+        let mut r = ByteReader::new(&[0xFF, 0xFF, 0xFF, 0xFF]);
+        assert_eq!(r.string(), Err(PersistError::Truncated));
+        let mut r = ByteReader::new(&[2]);
+        assert_eq!(r.bool(), Err(PersistError::Corrupt { what: "bool tag" }));
+    }
+}

@@ -1,0 +1,97 @@
+//! The single apply path shared by live execution and crash recovery.
+//!
+//! [`apply_record`] is the *only* place a [`WalOp`] turns into engine
+//! mutations. The live [`DurableEngine`](super::DurableEngine) logs a
+//! record and then calls it; [`restore_engine`](super::restore_engine)
+//! replays the WAL suffix through the very same function. Replay-equals-
+//! original therefore holds by construction, not by parallel-maintained
+//! code paths.
+
+use super::wal::{WalOp, WalRecord};
+use crate::engine::{Engine, EngineEvent, TickRequest};
+
+/// What applying one WAL record produced.
+///
+/// Engine-level rejections (unknown user on an injection, a bus-rejected
+/// service change) are *recorded outcomes*, not apply failures: the
+/// original execution took the same path, mutated the same counters and
+/// dead-letter queues, and recovery must reproduce that exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApplyResult {
+    /// Sequence number of the applied record.
+    pub seq: u64,
+    /// Events emitted by the engine (ticks and skips produce these).
+    pub events: Vec<EngineEvent>,
+    /// Display form of the engine error when the operation was
+    /// rejected; `None` on success.
+    pub error: Option<String>,
+}
+
+impl ApplyResult {
+    /// Renders the result as stable one-line strings (one per event,
+    /// plus one for an error), used by the crash-recovery sweep to diff
+    /// a replayed run against the uninterrupted one.
+    #[must_use]
+    pub fn lines(&self) -> Vec<String> {
+        let mut out: Vec<String> =
+            self.events.iter().map(|e| format!("seq={} event={e:?}", self.seq)).collect();
+        if let Some(err) = &self.error {
+            out.push(format!("seq={} rejected={err}", self.seq));
+        }
+        out
+    }
+}
+
+/// Applies one WAL record to the engine through its public entry points.
+pub fn apply_record(engine: &mut Engine, record: &WalRecord) -> ApplyResult {
+    let mut events = Vec::new();
+    let mut error = None;
+    match &record.op {
+        WalOp::RegisterUser { profile, now } => {
+            engine.register_user(profile.clone(), *now);
+        }
+        WalOp::ChangeService { user, service, now } => {
+            if let Err(e) = engine.change_service(*user, *service, *now) {
+                error = Some(e.to_string());
+            }
+        }
+        WalOp::TrainClassifier { category, tokens } => {
+            engine.train_classifier(*category, tokens);
+        }
+        WalOp::IngestClip { title, kind, duration, published, geo, tokens, editorial } => {
+            let _ = engine.ingest_clip(
+                title.clone(),
+                *kind,
+                *duration,
+                *published,
+                *geo,
+                tokens,
+                *editorial,
+            );
+        }
+        WalOp::RecordFix { user, fix } => {
+            engine.record_fix(*user, *fix);
+        }
+        WalOp::RecordFeedback { event } => {
+            engine.record_feedback(*event);
+        }
+        WalOp::Inject { user, clip, at, note } => {
+            if let Err(e) = engine.inject(*user, *clip, *at, note.clone()) {
+                error = Some(e.to_string());
+            }
+        }
+        WalOp::Skip { user, now } => {
+            events = engine.skip(*user, *now);
+        }
+        WalOp::Tick { users, now, batch, workers } => {
+            let req = TickRequest {
+                users,
+                now: *now,
+                batch: *batch,
+                workers: workers.map(|w| w as usize),
+            };
+            events = engine.run_tick(&req).events;
+        }
+    }
+    ApplyResult { seq: record.seq, events, error }
+}

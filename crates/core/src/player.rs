@@ -70,15 +70,15 @@ pub enum PlayerEvent {
 pub struct Player {
     /// The listener.
     pub user: UserId,
-    service: ServiceIndex,
-    mode: PlaybackMode,
-    queue: VecDeque<QueuedClip>,
-    displacement: TimeSpan,
+    pub(crate) service: ServiceIndex,
+    pub(crate) mode: PlaybackMode,
+    pub(crate) queue: VecDeque<QueuedClip>,
+    pub(crate) displacement: TimeSpan,
     /// Implicit positive feedback cadence while listening.
-    feedback_period: TimeSpan,
-    last_feedback: TimePoint,
-    skips: u32,
-    surfs: u32,
+    pub(crate) feedback_period: TimeSpan,
+    pub(crate) last_feedback: TimePoint,
+    pub(crate) skips: u32,
+    pub(crate) surfs: u32,
 }
 
 impl Player {

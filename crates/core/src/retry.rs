@@ -82,11 +82,11 @@ pub struct OutstandingDelivery {
 /// receiver-side duplicate filter.
 #[derive(Debug, Clone, Default)]
 pub struct DeliveryTracker {
-    outstanding: HashMap<u64, OutstandingDelivery>,
-    seen: HashSet<u64>,
-    retries: u64,
-    exhausted: u64,
-    duplicates: u64,
+    pub(crate) outstanding: HashMap<u64, OutstandingDelivery>,
+    pub(crate) seen: HashSet<u64>,
+    pub(crate) retries: u64,
+    pub(crate) exhausted: u64,
+    pub(crate) duplicates: u64,
 }
 
 impl DeliveryTracker {

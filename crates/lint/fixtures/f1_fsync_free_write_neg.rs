@@ -1,0 +1,15 @@
+//! F1 negative: state handed to the persistence layer, which owns the
+//! fsync discipline; no direct file writes here.
+pub fn save(frame: &[u8], wal: &mut Vec<u8>) {
+    wal.extend_from_slice(frame);
+}
+
+#[cfg(test)]
+mod tests {
+    /// Test code may write scratch files freely.
+    #[test]
+    fn scratch() {
+        let dir = std::env::temp_dir().join("f1-neg");
+        let _ = std::fs::write(dir, b"scratch");
+    }
+}

@@ -1,0 +1,4 @@
+//! F1 positive: writing a file with no fsync outside core::persist.
+pub fn save(path: &std::path::Path, state: &[u8]) {
+    let _ = std::fs::write(path, state);
+}

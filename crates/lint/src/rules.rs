@@ -13,6 +13,9 @@
 //!   the engine-facing crates.
 //! * **B — boundedness** protects the backpressure design of PR 1:
 //!   no unbounded channels, no budget-less `loop` in bus/retry code.
+//! * **F — durability** protects the crash-recovery contract of the
+//!   persistence layer: file writes outside `core::persist` bypass the
+//!   WAL's fsync discipline and need an explicit pragma.
 
 use crate::lexer::{lex, LexedLine};
 
@@ -73,6 +76,12 @@ pub const RULES: &[RuleMeta] = &[
         id: "B2",
         name: "unbounded-loop",
         rationale: "a loop without break/return in bus/retry code can spin forever on faults",
+    },
+    RuleMeta {
+        id: "F1",
+        name: "fsync-free-write",
+        rationale: "file writes outside core::persist skip the WAL's fsync discipline; \
+                    durable state must go through FileWal or carry a pragma",
     },
 ];
 
@@ -142,6 +151,7 @@ struct Scope {
     hash_iter: bool,
     panic_free: bool,
     bounded_loop: bool,
+    durable_write: bool,
 }
 
 /// Crates whose non-test code must be panic-free (P rules). `trajectory`
@@ -156,9 +166,20 @@ const PANIC_FREE_CRATES: &[&str] = &[
     "crates/obs/",
 ];
 
-/// Files whose map iteration can feed the ordered event stream.
-const HASH_ITER_FILES: &[&str] =
-    &["crates/core/src/engine.rs", "crates/core/src/bus.rs", "crates/recommender/src/"];
+/// Files whose map iteration can feed the ordered event stream. The
+/// persist module is listed because snapshot bytes must be stable:
+/// hash-ordered serialization would make two snapshots of the same
+/// engine differ.
+const HASH_ITER_FILES: &[&str] = &[
+    "crates/core/src/engine.rs",
+    "crates/core/src/bus.rs",
+    "crates/core/src/persist/",
+    "crates/recommender/src/",
+];
+
+/// The one module allowed to write files without a pragma: it owns the
+/// fsync discipline (`FileWal`, group commit, `force_sync`).
+const PERSIST_ALLOWLIST: &[&str] = &["crates/core/src/persist/"];
 
 /// Bus/retry files where every `loop` needs an exit.
 const BOUNDED_LOOP_FILES: &[&str] = &["crates/core/src/bus.rs", "crates/core/src/retry.rs"];
@@ -176,6 +197,7 @@ fn scope_for(path: &str) -> Scope {
         hash_iter: HASH_ITER_FILES.iter().any(|f| norm.contains(f)),
         panic_free: PANIC_FREE_CRATES.iter().any(|c| norm.contains(c)),
         bounded_loop: BOUNDED_LOOP_FILES.iter().any(|f| norm.contains(f)),
+        durable_write: !PERSIST_ALLOWLIST.iter().any(|f| norm.contains(f)),
     }
 }
 
@@ -251,6 +273,16 @@ pub fn lint_source(path: &str, source: &str) -> Vec<Violation> {
         }
         if scope.bounded_loop && !in_test && opens_unbounded_loop(&lines, idx) {
             raw.push((rule(8), "`loop` without `break`/`return` in bus/retry code".to_string()));
+        }
+        if scope.durable_write && !in_test {
+            for needle in ["fs::write(", "File::create("] {
+                if code.contains(needle) {
+                    raw.push((
+                        rule(9),
+                        format!("`{needle}…)` writes a file without fsync outside core::persist"),
+                    ));
+                }
+            }
         }
 
         for (meta, message) in raw {

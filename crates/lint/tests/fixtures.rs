@@ -115,6 +115,22 @@ fn b2_does_not_apply_outside_bus_retry() {
 }
 
 #[test]
+fn f1_fsync_free_write() {
+    assert_fires(NEUTRAL_PATH, include_str!("../fixtures/f1_fsync_free_write_pos.rs"), "F1");
+    assert_silent(NEUTRAL_PATH, include_str!("../fixtures/f1_fsync_free_write_neg.rs"));
+}
+
+#[test]
+fn f1_does_not_apply_inside_persist() {
+    // The persistence layer owns the fsync discipline: the same write
+    // is legal in core::persist (and only there).
+    assert_silent(
+        "crates/core/src/persist/durable.rs",
+        include_str!("../fixtures/f1_fsync_free_write_pos.rs"),
+    );
+}
+
+#[test]
 fn diagnostics_render_file_line_rule() {
     let violations = run(ENGINE_PATH, include_str!("../fixtures/p1_unwrap_pos.rs"));
     let rendered = violations[0].render();

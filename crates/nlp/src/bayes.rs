@@ -134,6 +134,54 @@ impl NaiveBayes {
         let ids: Vec<u32> = tokens.iter().filter_map(|t| vocab.get(t)).collect();
         self.predict(&ids)
     }
+
+    /// The smoothing constant the classifier was built with.
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Raw training counts, for persistence: `(doc_counts,
+    /// category_tokens, token_counts)`. `token_counts[t][c]` is the
+    /// count of token `t` in category `c`.
+    #[must_use]
+    pub fn export_raw_counts(&self) -> (&[u64], &[u64], &[Vec<u64>]) {
+        (&self.doc_counts, &self.category_tokens, &self.token_counts)
+    }
+
+    /// Rebuilds a classifier from raw counts previously obtained via
+    /// [`NaiveBayes::export_raw_counts`]. Unlike [`NaiveBayes::new`]
+    /// this never panics: invalid shapes or parameters yield `None`,
+    /// so corrupt persisted state surfaces as a decode error instead
+    /// of a crash.
+    #[must_use]
+    pub fn from_raw_counts(
+        n_categories: u32,
+        alpha: f64,
+        doc_counts: Vec<u64>,
+        category_tokens: Vec<u64>,
+        token_counts: Vec<Vec<u64>>,
+    ) -> Option<Self> {
+        if n_categories == 0 || !alpha.is_finite() || alpha <= 0.0 {
+            return None;
+        }
+        let n = n_categories as usize;
+        if doc_counts.len() != n || category_tokens.len() != n {
+            return None;
+        }
+        if token_counts.iter().any(|row| row.len() != n) {
+            return None;
+        }
+        let total_docs: u64 = doc_counts.iter().sum();
+        Some(NaiveBayes {
+            n_categories,
+            doc_counts,
+            token_counts,
+            category_tokens,
+            total_docs,
+            alpha,
+        })
+    }
 }
 
 #[cfg(test)]

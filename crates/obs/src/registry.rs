@@ -73,6 +73,26 @@ impl Histogram {
         self.count += other.count;
         self.sum = self.sum.saturating_add(other.sum);
     }
+
+    /// Rebuilds a histogram from persisted parts: total count, sum, and
+    /// sparse `(bucket index, count)` pairs. `None` when an index is out
+    /// of range or the bucket counts do not add up to `count` — corrupt
+    /// persisted state must surface as a decode error, not a panic.
+    #[must_use]
+    pub fn from_parts(
+        count: u64,
+        sum: u64,
+        nonzero: impl IntoIterator<Item = (usize, u64)>,
+    ) -> Option<Self> {
+        let mut h = Histogram { buckets: [0; HISTOGRAM_BUCKETS], count, sum };
+        let mut total = 0u64;
+        for (i, c) in nonzero {
+            let slot = h.buckets.get_mut(i)?;
+            *slot = c;
+            total = total.checked_add(c)?;
+        }
+        (total == count).then_some(h)
+    }
 }
 
 /// Accumulated wall-clock time for one span stage. **Reported only**:
@@ -232,6 +252,27 @@ impl Registry {
                 (*now > then).then_some((*name, *now - then))
             })
             .collect()
+    }
+
+    /// Overwrites one counter with a persisted value (set, not add).
+    pub fn restore_counter(&mut self, name: &'static str, value: u64) {
+        if self.enabled {
+            self.counters.insert(name, value);
+        }
+    }
+
+    /// Overwrites one gauge with a persisted value.
+    pub fn restore_gauge(&mut self, name: &'static str, value: i64) {
+        if self.enabled {
+            self.gauges.insert(name, value);
+        }
+    }
+
+    /// Overwrites one histogram with a persisted one.
+    pub fn restore_histogram(&mut self, name: &'static str, histogram: Histogram) {
+        if self.enabled {
+            self.histograms.insert(name, histogram);
+        }
     }
 
     /// Merges another registry into this one: counters and histograms

@@ -136,6 +136,23 @@ impl ProactivityModel {
     pub fn last_delivery(&self) -> Option<TimePoint> {
         self.last_delivery
     }
+
+    /// When sustained driving began, if the model currently believes
+    /// the listener is driving.
+    #[must_use]
+    pub fn driving_since(&self) -> Option<TimePoint> {
+        self.driving_since
+    }
+
+    /// Restores the mutable trigger state after a snapshot reload.
+    pub fn restore_state(
+        &mut self,
+        driving_since: Option<TimePoint>,
+        last_delivery: Option<TimePoint>,
+    ) {
+        self.driving_since = driving_since;
+        self.last_delivery = last_delivery;
+    }
 }
 
 #[cfg(test)]

@@ -18,13 +18,16 @@
 //!   reproduces one experiment of `DESIGN.md` and returns printable
 //!   rows,
 //! * [`chaos`] — seeded end-to-end fault profiles (lossy wire, flaky
-//!   unicast) for the chaos suite and experiment E12.
+//!   unicast) for the chaos suite and experiment E12,
+//! * [`crash`] — the crash-recovery sweep: kill the platform at every
+//!   WAL boundary, restore, and diff against the uninterrupted run.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod chaos;
 pub mod corpus;
+pub mod crash;
 pub mod experiments;
 pub mod listener;
 pub mod population;
@@ -33,6 +36,7 @@ pub mod world;
 
 pub use chaos::ChaosProfile;
 pub use corpus::CorpusGenerator;
+pub use crash::{kill_point_sweep, SweepReport};
 pub use listener::{ListenerModel, ListeningOutcome};
 pub use population::{Commuter, Population};
 pub use world::SyntheticCity;

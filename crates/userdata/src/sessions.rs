@@ -141,6 +141,28 @@ impl SessionStore {
         self.closed.len()
     }
 
+    /// Open sessions in deterministic order (sorted by user id), for
+    /// persistence.
+    #[must_use]
+    pub fn export_open(&self) -> Vec<&ListeningSession> {
+        let mut open: Vec<&ListeningSession> = self.open.values().collect();
+        open.sort_by_key(|s| s.user);
+        open
+    }
+
+    /// Closed sessions in log order, for persistence.
+    #[must_use]
+    pub fn export_closed(&self) -> &[ListeningSession] {
+        &self.closed
+    }
+
+    /// Rebuilds the store from persisted sessions: `open` holds at most
+    /// one session per user, `closed` is the history in log order.
+    #[must_use]
+    pub fn restore(open: Vec<ListeningSession>, closed: Vec<ListeningSession>) -> Self {
+        SessionStore { open: open.into_iter().map(|s| (s.user, s)).collect(), closed }
+    }
+
     /// The fraction of a user's closed sessions that ended in a surf —
     /// the paper's "propensity to channel-surf" as a per-listener
     /// statistic.

@@ -91,6 +91,15 @@ impl TrackingStore {
         self.dropped_invalid
     }
 
+    /// Restores the invalid-fix counter after a snapshot reload.
+    /// Stored fixes are re-recorded through [`TrackingStore::record`]
+    /// (they were validated on first ingest, so none are re-dropped),
+    /// but the drop counter itself is history that cannot be rebuilt
+    /// from surviving state.
+    pub fn restore_dropped_invalid(&mut self, dropped: u64) {
+        self.dropped_invalid = dropped;
+    }
+
     /// The user's full raw trace.
     #[must_use]
     pub fn trace(&self, user: UserId) -> Option<&Trace> {
