@@ -11,6 +11,7 @@ use crate::bearer::{BearerClass, BearerSelector, CoverageMap};
 use crate::bus::{Bus, BusMessage, PublishError, Topic};
 use crate::fault::ChaosRng;
 use crate::health::{HealthCounts, HealthState, UserHealth};
+use crate::hotstate::HotState;
 use crate::injection::InjectionQueue;
 use crate::netcost::UnicastLink;
 use crate::player::{Player, PlayerEvent, QueuedClip};
@@ -21,22 +22,66 @@ use pphcr_catalog::{
     CATEGORY_COUNT,
 };
 use pphcr_geo::{
-    DistractionZone, GeoPoint, NodeKind, Polyline, ProjectedPoint, RoadNetwork, TimePoint, TimeSpan,
+    DistractionZone, GeoPoint, LocalProjection, NodeKind, Polyline, ProjectedPoint, RoadNetwork,
+    TimePoint, TimeSpan,
 };
 use pphcr_nlp::{NaiveBayes, Vocabulary};
 use pphcr_obs::{
     DecisionTrace, DecisionTraceEntry, ObsSnapshot, Registry, Span, Verdict, DEFAULT_TRACE_CAPACITY,
 };
 use pphcr_recommender::{
-    Ambient, DriveContext, ListenerContext, ProactivityModel, Recommender, RetrievalStats,
-    ScoredClip, SlotSchedule, Trigger,
+    Activity, Ambient, DriveContext, ListenerContext, ProactivityModel, Recommender,
+    RetrievalStats, ScoredClip, SlotSchedule, Trigger, Weather,
 };
-use pphcr_trajectory::{GpsFix, TripPredictor};
+use pphcr_trajectory::model::ModelConfig;
+use pphcr_trajectory::{GpsFix, MobilityModel, Trace, TripPredictor};
 use pphcr_userdata::{
     FeedbackEvent, FeedbackKind, FeedbackStore, ProfileStore, SessionEnd, SessionStore,
     TrackingStore, UserId, UserProfile,
 };
 use std::collections::{HashMap, HashSet};
+
+/// Quantization grid for the time- and context-dependent components of
+/// the candidate-cache key.
+///
+/// The cache key used to embed the raw tick instant, so a warmed entry
+/// could never survive to the next tick and every tick recomputed every
+/// user from scratch. Instead, each time-dependent input is bucketed at
+/// the grain below which the ranked list is considered equivalent; a
+/// cached entry stays valid until a bucket boundary is actually
+/// crossed. Equal keys therefore guarantee a list whose inputs moved by
+/// *less than one bucket* — bounded staleness, chosen per deployment —
+/// rather than bit-equal inputs. Every serve path shares the same key
+/// function, so worker count and batch shape cannot change which
+/// entries are considered valid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheQuanta {
+    /// Freshness-window bucket: the freshness revision is `now` divided
+    /// by this span, so ranked lists are recomputed when the
+    /// publication-age scores have drifted by at most one bucket.
+    pub freshness: TimeSpan,
+    /// Preference-decay bucket: preferences decay with a half-life of
+    /// days, so their revision advances at this much coarser grain.
+    pub decay: TimeSpan,
+    /// Trip-phase bucket: the predicted remaining time ΔT is quantized
+    /// at this grain inside the context revision.
+    pub phase: TimeSpan,
+    /// Position grid pitch in meters for the context revision; route
+    /// corridors and geo kernels drift with position, so a listener
+    /// crossing a grid line invalidates their entry.
+    pub position_m: f64,
+}
+
+impl Default for CacheQuanta {
+    fn default() -> Self {
+        CacheQuanta {
+            freshness: TimeSpan::minutes(5),
+            decay: TimeSpan::hours(1),
+            phase: TimeSpan::minutes(2),
+            position_m: 500.0,
+        }
+    }
+}
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -68,6 +113,9 @@ pub struct EngineConfig {
     pub obs_enabled: bool,
     /// Capacity of the bounded decision-trace ring buffer.
     pub trace_capacity: usize,
+    /// Quantization grid for the candidate-cache key's time-dependent
+    /// components (see [`CacheQuanta`]).
+    pub cache_quanta: CacheQuanta,
 }
 
 impl Default for EngineConfig {
@@ -84,6 +132,7 @@ impl Default for EngineConfig {
             worker_threads: std::thread::available_parallelism().map_or(1, |n| n.get().min(8)),
             obs_enabled: true,
             trace_capacity: DEFAULT_TRACE_CAPACITY,
+            cache_quanta: CacheQuanta::default(),
         }
     }
 }
@@ -181,36 +230,121 @@ pub(crate) struct TripTracker {
 }
 
 /// Cache key for a user's ranked candidate list. Every input that can
-/// change the list is represented by a monotonic revision counter (or
-/// the instant itself), so equal keys guarantee an identical result:
+/// change the list is represented by a component-wise revision, so the
+/// entry is invalidated only when a component it actually depends on
+/// moves:
 ///
 /// * `epoch` — repository index epoch, bumped on every ingest;
-/// * `feedback_events` — the user's feedback log length (preferences
-///   are a function of the log and `now`);
+/// * `feedback_events` — the user's feedback log length;
 /// * `heard_len` — the user's heard-set size (the set only grows, so
 ///   its size doubles as a revision);
-/// * `fixes` — the user's stored GPS fix count (trip state and the
-///   mobility model are deterministic functions of the fix sequence);
-/// * `now` — the evaluation instant (freshness window, preference
-///   decay, context).
+/// * `freshness_rev` — `now` quantized by [`CacheQuanta::freshness`]
+///   (publication-age scores drift with the clock);
+/// * `decay_rev` — `now` quantized by [`CacheQuanta::decay`]
+///   (preference decay has a half-life of days);
+/// * `context_rev` — a digest of the quantized listener context:
+///   activity, hour of day, weather, position grid cell, predicted
+///   destination and trip-phase bucket.
+///
+/// The key deliberately does **not** embed the raw tick instant or the
+/// raw fix count: a new fix that leaves every quantized context
+/// component in place keeps the entry valid. Equal keys guarantee a
+/// list whose inputs moved by less than one [`CacheQuanta`] bucket.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct CandidateCacheKey {
     pub(crate) epoch: u64,
     pub(crate) feedback_events: usize,
     pub(crate) heard_len: usize,
-    pub(crate) fixes: usize,
-    pub(crate) now: TimePoint,
+    pub(crate) freshness_rev: u64,
+    pub(crate) decay_rev: u64,
+    pub(crate) context_rev: u64,
+}
+
+impl CandidateCacheKey {
+    /// Composes the key from its already-gathered inputs. Free of
+    /// `&Engine` so the parallel warm phase and the sequential serve
+    /// path share one definition by construction.
+    pub(crate) fn compose(
+        epoch: u64,
+        feedback_events: usize,
+        heard_len: usize,
+        now: TimePoint,
+        ctx: &ListenerContext,
+        quanta: &CacheQuanta,
+    ) -> Self {
+        CandidateCacheKey {
+            epoch,
+            feedback_events,
+            heard_len,
+            freshness_rev: now.seconds() / quanta.freshness.as_seconds().max(1),
+            decay_rev: now.seconds() / quanta.decay.as_seconds().max(1),
+            context_rev: context_rev(ctx, quanta),
+        }
+    }
+}
+
+/// Digest of the quantized listener context for the cache key: a
+/// `SplitMix64` chain over each discretized component. Chaining (rather
+/// than a symmetric XOR of parts) keeps distinct component sequences
+/// from cancelling each other out.
+fn context_rev(ctx: &ListenerContext, quanta: &CacheQuanta) -> u64 {
+    fn chain(h: u64, v: u64) -> u64 {
+        splitmix64(h ^ v)
+    }
+    fn grid(coord_m: f64, pitch_m: f64) -> u64 {
+        // Bit-stable floor-division bucket; sign-extends through i64 so
+        // negative coordinates get their own buckets.
+        (coord_m / pitch_m.max(1.0)).floor() as i64 as u64
+    }
+    let mut h = chain(
+        0,
+        match ctx.activity() {
+            Activity::Still => 1,
+            Activity::Walking => 2,
+            Activity::Driving => 3,
+        },
+    );
+    h = chain(h, ctx.hour());
+    h = chain(
+        h,
+        match ctx.ambient.weather {
+            Weather::Clear => 0,
+            Weather::Rain => 1,
+            Weather::Fog => 2,
+            Weather::Snow => 3,
+        },
+    );
+    match ctx.position {
+        Some(p) => {
+            h = chain(h, 1);
+            h = chain(h, grid(p.x, quanta.position_m));
+            h = chain(h, grid(p.y, quanta.position_m));
+        }
+        None => h = chain(h, 2),
+    }
+    match ctx.drive.as_ref() {
+        Some(drive) => {
+            h = chain(h, 1);
+            h = chain(h, u64::from(drive.prediction.destination));
+            h = chain(h, drive.delta_t().as_seconds() / quanta.phase.as_seconds().max(1));
+        }
+        None => h = chain(h, 2),
+    }
+    h
 }
 
 /// A memoized ranked candidate list plus the key it was computed under
 /// and the retrieval-stage counters of that computation (replayed into
 /// the decision trace on cache hits, so a warmed tick traces the same
-/// numbers as a cold one).
+/// numbers as a cold one). `warmed_at` records the engine tick sequence
+/// at fill time, separating same-tick serves (`candidates.warm_serve`)
+/// from genuine cross-tick reuse (`candidates.cross_tick_hit`).
 #[derive(Debug, Clone)]
 pub(crate) struct CachedCandidates {
     pub(crate) key: CandidateCacheKey,
     pub(crate) ranked: Vec<ScoredClip>,
     pub(crate) stats: RetrievalStats,
+    pub(crate) warmed_at: u64,
 }
 
 /// One consolidated engine-step request: the single entry point behind
@@ -328,6 +462,120 @@ fn splitmix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// Distraction zones where non-plain junctions lie near the route —
+/// free of `&Engine` so the parallel warm phase shares the exact
+/// definition [`Engine::zones_for`] uses.
+fn zones_for_route(
+    net: Option<&RoadNetwork>,
+    snap_m: f64,
+    route: &Polyline,
+) -> Vec<DistractionZone> {
+    let Some(net) = net else { return Vec::new() };
+    let mut zones = Vec::new();
+    for node in net.nodes() {
+        if node.kind == NodeKind::Plain {
+            continue;
+        }
+        let Some(projection) = route.project_point(node.pos) else { continue };
+        if projection.distance_m <= snap_m {
+            let r = node.kind.distraction_radius_m();
+            zones.push(DistractionZone {
+                node: node.id,
+                kind: node.kind,
+                start_m: (projection.along_m - r).max(0.0),
+                end_m: (projection.along_m + r).min(route.length_m()),
+            });
+        }
+    }
+    zones.sort_by(|a, b| a.start_m.total_cmp(&b.start_m));
+    zones
+}
+
+/// The pure core of [`Engine::context_for`]: builds one listener
+/// context from already-borrowed tracking state, so the parallel warm
+/// phase can run it off-thread against `&` borrows and hand the result
+/// (plus the memoizations a sequential build would have committed —
+/// a newly resolved trip origin and a freshly compacted mobility model)
+/// back to the apply-only commit.
+///
+/// [`MobilityModel::build`] is pure, so a model rebuilt here from the
+/// user's trace is indistinguishable from one the tracking store would
+/// have built and cached itself — which is what keeps the batch event
+/// stream bit-identical to the sequential one.
+#[allow(clippy::too_many_arguments)]
+fn build_context(
+    now: TimePoint,
+    fix: Option<GpsFix>,
+    proj: &LocalProjection,
+    tracker: Option<&TripTracker>,
+    cached_model: Option<&MobilityModel>,
+    trace: Option<&Trace>,
+    model_config: &ModelConfig,
+    predictor: &TripPredictor,
+    net: Option<&RoadNetwork>,
+    snap_m: f64,
+) -> (ListenerContext, Option<u32>, Option<MobilityModel>) {
+    let (position, speed) = match fix {
+        Some(f) => (Some(proj.project(f.point)), f.speed_mps),
+        None => (None, 0.0),
+    };
+    let mut ctx = ListenerContext {
+        now,
+        position,
+        speed_mps: speed,
+        drive: None,
+        ambient: Ambient::default(),
+    };
+    // Resolve trip state.
+    let Some(tracker) = tracker else { return (ctx, None, None) };
+    let Some(departure) = tracker.driving_since else { return (ctx, None, None) };
+    // Reuse the store's cached model when it is current; rebuild from
+    // the trace otherwise, handing the fresh model back for install.
+    let mut fresh_model: Option<MobilityModel> = None;
+    let model: Option<&MobilityModel> = match cached_model {
+        Some(m) => Some(m),
+        None => match trace {
+            Some(t) if !t.is_empty() => {
+                fresh_model = Some(MobilityModel::build(t, proj, model_config));
+                fresh_model.as_ref()
+            }
+            _ => None,
+        },
+    };
+    let mut origin_resolved = None;
+    let origin_stay = match tracker.origin_stay {
+        Some(o) => Some(o),
+        None => {
+            let start_pos = tracker.path.first().copied();
+            let resolved = model
+                .and_then(|m| start_pos.and_then(|p| m.stay_near(p, proj, 400.0)).map(|s| s.id));
+            origin_resolved = resolved;
+            resolved
+        }
+    };
+    if let Some(origin) = origin_stay {
+        if let Some(model) = model {
+            if let Some(prediction) =
+                predictor.predict(model, origin, departure, now, &tracker.path)
+            {
+                let route = Polyline::new(prediction.route_ahead.clone());
+                let zones = zones_for_route(net, snap_m, &route);
+                ctx.drive = Some(DriveContext::new(prediction, zones));
+            }
+        }
+    }
+    (ctx, origin_resolved, fresh_model)
+}
+
+/// Per-user output of the parallel warm phase, consumed slot-by-slot by
+/// the sequential user loop: the listener context the worker built.
+/// Identical to what [`Engine::context_for`] would compute at the same
+/// point, because no telemetry can arrive between the batch preamble
+/// and the user's sequential turn.
+struct Warmed {
+    ctx: ListenerContext,
+}
+
 /// The engine.
 pub struct Engine {
     /// Service line-up.
@@ -366,7 +614,10 @@ pub struct Engine {
     pub(crate) players: HashMap<UserId, Player>,
     pub(crate) proactivity: HashMap<UserId, ProactivityModel>,
     pub(crate) trips: HashMap<UserId, TripTracker>,
-    pub(crate) heard: HashMap<UserId, HashSet<ClipId>>,
+    /// Struct-of-arrays per-user hot state (heard sets, revision
+    /// mirrors, candidate cache) — everything the warm phase reads
+    /// per-user without cloning.
+    pub(crate) hot: HotState,
     pub(crate) decisions: Vec<DecisionRecord>,
     pub(crate) next_clip_id: u64,
     pub(crate) chaos_rng: ChaosRng,
@@ -374,7 +625,11 @@ pub struct Engine {
     pub(crate) last_acked: HashMap<UserId, SlotSchedule>,
     pub(crate) coverage: Option<CoverageMap>,
     pub(crate) bearers: HashMap<UserId, BearerSelector>,
-    pub(crate) candidate_cache: HashMap<UserId, CachedCandidates>,
+    /// Monotonic count of completed [`Engine::run_tick`] calls; cache
+    /// entries stamp it at fill time to classify later hits as same-
+    /// tick serves vs cross-tick reuse. Persisted, so recovery replays
+    /// the same counter classifications.
+    pub(crate) tick_seq: u64,
     pub(crate) obs: Registry,
     pub(crate) obs_trace: DecisionTrace,
     /// Recovery banner surfaced on the dashboard after a restore
@@ -410,7 +665,7 @@ impl Engine {
             players: HashMap::new(),
             proactivity: HashMap::new(),
             trips: HashMap::new(),
-            heard: HashMap::new(),
+            hot: HotState::new(),
             decisions: Vec::new(),
             next_clip_id: 0,
             delivery: DeliveryTracker::new(),
@@ -420,7 +675,7 @@ impl Engine {
             last_acked: HashMap::new(),
             coverage: None,
             bearers: HashMap::new(),
-            candidate_cache: HashMap::new(),
+            tick_seq: 0,
             obs: if config.obs_enabled { Registry::new() } else { Registry::disabled() },
             obs_trace: DecisionTrace::with_capacity(config.trace_capacity),
             recovery_banner: None,
@@ -630,6 +885,9 @@ impl Engine {
     /// tracker.
     fn apply_fix(&mut self, user: UserId, fix: GpsFix) {
         self.tracking.record(user, fix);
+        // Keep the hot-state revision mirror in sync (reading the count
+        // back rather than incrementing: invalid fixes are dropped).
+        self.hot.note_fix_count(user, self.tracking.fix_count(user));
         let proj = *self.tracking.projection();
         let pos = proj.project(fix.point);
         if fix.validate().is_ok() {
@@ -669,7 +927,23 @@ impl Engine {
         for envelope in self.bus.drain(Topic::Feedback) {
             if let BusMessage::Feedback(event) = envelope.message {
                 self.feedback.record(event);
+                self.hot.note_feedback_len(event.user, self.feedback.event_count(event.user));
             }
+        }
+    }
+
+    /// Re-derives the hot-state revision mirrors (fix counts,
+    /// feedback-log lengths) from the authoritative stores. Called once
+    /// after a snapshot restore, which rebuilds the stores wholesale
+    /// instead of going through the per-event mirror updates.
+    pub(crate) fn rebuild_hot_mirrors(&mut self) {
+        for user in self.tracking.known_users() {
+            let count = self.tracking.fix_count(user);
+            self.hot.note_fix_count(user, count);
+        }
+        for user in self.feedback.known_users() {
+            let len = self.feedback.event_count(user);
+            self.hot.note_feedback_len(user, len);
         }
     }
 
@@ -708,7 +982,7 @@ impl Engine {
     #[must_use]
     pub fn heard(&self, user: UserId) -> Vec<ClipId> {
         let mut out: Vec<ClipId> =
-            self.heard.get(&user).map_or_else(Vec::new, |set| set.iter().copied().collect());
+            self.hot.heard_ref(user).map_or_else(Vec::new, |set| set.iter().copied().collect());
         out.sort_unstable();
         out
     }
@@ -733,7 +1007,7 @@ impl Engine {
                     self.record_feedback(*f);
                 }
                 PlayerEvent::ClipStarted(clip) => {
-                    self.heard.entry(user).or_default().insert(*clip);
+                    self.hot.heard_insert(user, *clip);
                     // Player events carry no timestamp of their own; the
                     // epoch is a no-op for the session's end marker
                     // (which advances on timestamped feedback instead).
@@ -747,69 +1021,35 @@ impl Engine {
     /// Distraction zones where non-plain junctions lie near the route.
     #[must_use]
     pub fn zones_for(&self, route: &Polyline) -> Vec<DistractionZone> {
-        let Some(net) = self.road_network.as_ref() else { return Vec::new() };
-        let mut zones = Vec::new();
-        for node in net.nodes() {
-            if node.kind == NodeKind::Plain {
-                continue;
-            }
-            let Some(projection) = route.project_point(node.pos) else { continue };
-            if projection.distance_m <= self.config.junction_snap_m {
-                let r = node.kind.distraction_radius_m();
-                zones.push(DistractionZone {
-                    node: node.id,
-                    kind: node.kind,
-                    start_m: (projection.along_m - r).max(0.0),
-                    end_m: (projection.along_m + r).min(route.length_m()),
-                });
-            }
-        }
-        zones.sort_by(|a, b| a.start_m.total_cmp(&b.start_m));
-        zones
+        zones_for_route(self.road_network.as_ref(), self.config.junction_snap_m, route)
     }
 
-    /// Builds the listener context at `now` from tracking state.
+    /// Builds the listener context at `now` from tracking state, then
+    /// commits the memoizations the build produced (resolved trip
+    /// origin, freshly compacted mobility model) back into the stores.
+    /// The pure build itself lives in [`build_context`], which the
+    /// parallel warm phase calls directly off-thread.
     pub fn context_for(&mut self, user: UserId, now: TimePoint) -> ListenerContext {
-        let recent = self.tracking.recent_fixes(user, 1);
         let proj = *self.tracking.projection();
-        let (position, speed) = match recent.last() {
-            Some(f) => (Some(proj.project(f.point)), f.speed_mps),
-            None => (None, 0.0),
-        };
-        let mut ctx = ListenerContext {
+        let fix = self.tracking.recent_fixes(user, 1).last().copied();
+        let (ctx, origin_resolved, fresh_model) = build_context(
             now,
-            position,
-            speed_mps: speed,
-            drive: None,
-            ambient: Ambient::default(),
-        };
-        // Resolve trip state.
-        let Some(tracker) = self.trips.get(&user) else { return ctx };
-        let Some(departure) = tracker.driving_since else { return ctx };
-        let path = tracker.path.clone();
-        let origin_stay = match tracker.origin_stay {
-            Some(o) => Some(o),
-            None => {
-                let start_pos = path.first().copied();
-                match self.tracking.mobility_model(user) {
-                    Ok(model) => {
-                        start_pos.and_then(|p| model.stay_near(p, &proj, 400.0)).map(|s| s.id)
-                    }
-                    Err(_) => None,
-                }
-            }
-        };
-        if let Some(origin) = origin_stay {
+            fix,
+            &proj,
+            self.trips.get(&user),
+            self.tracking.cached_model(user),
+            self.tracking.trace(user),
+            self.tracking.model_config(),
+            &self.config.predictor,
+            self.road_network.as_ref(),
+            self.config.junction_snap_m,
+        );
+        if let Some(model) = fresh_model {
+            self.tracking.install_model(user, model);
+        }
+        if let Some(origin) = origin_resolved {
             if let Some(t) = self.trips.get_mut(&user) {
                 t.origin_stay = Some(origin);
-            }
-            let predictor = self.config.predictor.clone();
-            if let Ok(model) = self.tracking.mobility_model(user) {
-                if let Some(prediction) = predictor.predict(model, origin, departure, now, &path) {
-                    let route = Polyline::new(prediction.route_ahead.clone());
-                    let zones = self.zones_for(&route);
-                    ctx.drive = Some(DriveContext::new(prediction, zones));
-                }
             }
         }
         ctx
@@ -819,17 +1059,28 @@ impl Engine {
     ///
     /// **Deprecated-style wrapper**: prefer [`Engine::run_tick`] with
     /// [`TickRequest::single`], which also returns the tick's
-    /// observability deltas. Kept (and kept bit-identical) for the
-    /// existing call sites.
-    pub fn tick(&mut self, user: UserId, now: TimePoint) -> Vec<EngineEvent> {
-        self.run_tick(&TickRequest::single(&user, now)).events
+    /// observability deltas. Kept for the existing call sites.
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownUser`] if the listener was never
+    /// registered (same contract as the batch path).
+    pub fn tick(&mut self, user: UserId, now: TimePoint) -> Result<Vec<EngineEvent>, EngineError> {
+        Ok(self.run_tick(&TickRequest::single(&user, now))?.events)
     }
 
     /// The single-user step body: advance the player, learn from its
     /// events, send editorial injections and proactive schedules as
     /// acknowledged deliveries over the bus, and sweep the retry
-    /// ledger. Total for unregistered users (returns no events).
-    fn tick_user(&mut self, user: UserId, now: TimePoint) -> Vec<EngineEvent> {
+    /// ledger. A batch tick hands in the context its warm phase already
+    /// built via `warmed`; [`Engine::run_tick`] guarantees the user is
+    /// registered before this runs.
+    fn tick_user(
+        &mut self,
+        user: UserId,
+        now: TimePoint,
+        warmed: Option<Warmed>,
+        sweep: bool,
+    ) -> Vec<EngineEvent> {
         let mut out = Vec::new();
         self.bus.advance_clock(now);
         // 0. Collect telemetry that was still on the wire.
@@ -847,7 +1098,7 @@ impl Engine {
                 if self.players.contains_key(&user) {
                     // Sender-side heard bookkeeping: never re-recommend a
                     // clip an editor already pushed, delivered or not.
-                    self.heard.entry(user).or_default().insert(meta.id);
+                    self.hot.heard_insert(user, meta.id);
                     self.obs.inc("injection.sent");
                     self.send_tracked(
                         user,
@@ -858,8 +1109,14 @@ impl Engine {
             }
         }
         self.pump_recommendations(now, &mut out);
-        // 3. Proactive loop.
-        let ctx = self.context_for(user, now);
+        // 3. Proactive loop. A warm-phase context is identical to what
+        // `context_for` would compute here — nothing that feeds it can
+        // change between the batch preamble and this user's turn — so
+        // reusing it is pure memoization, not a behavioral fork.
+        let ctx = match warmed {
+            Some(w) => w.ctx,
+            None => self.context_for(user, now),
+        };
         self.note_stale_model(user, &ctx, now);
         if let Some(drive) = ctx.drive.as_ref() {
             self.obs.inc("trip.predicted");
@@ -883,9 +1140,8 @@ impl Engine {
                     self.obs.inc("schedule.delivered");
                     self.obs.observe("schedule.items", entry.scheduled);
                     if self.players.contains_key(&user) {
-                        let hs = self.heard.entry(user).or_default();
                         for item in &schedule.items {
-                            hs.insert(item.clip);
+                            self.hot.heard_insert(user, item.clip);
                         }
                         self.send_tracked(
                             user,
@@ -913,19 +1169,33 @@ impl Engine {
         }
         self.pump_recommendations(now, &mut out);
         // 4. Retry sweep: re-send unacknowledged deliveries whose
-        // backoff timer fired; dead-letter the ones out of budget.
-        self.sweep_retries(now);
+        // backoff timer fired; dead-letter the ones out of budget. The
+        // first sweep at a given `now` re-arms everything due, so a
+        // batch runs it for its first user only — per-user sweeps were
+        // guaranteed no-ops that still scanned the whole ledger,
+        // O(users × outstanding) per batch tick.
+        if sweep {
+            self.sweep_retries(now);
+        }
         out
     }
 
     /// One engine step for a whole population, sharing the telemetry
-    /// pump and warming the per-user candidate cache with a sharded
-    /// worker pool before the (authoritative) sequential user loop.
+    /// pump and warming contexts + candidate lists with a sharded
+    /// worker pool before the (authoritative) sequential commit loop.
     ///
     /// **Deprecated-style wrapper**: prefer [`Engine::run_tick`] with
     /// [`TickRequest::batch`].
-    pub fn tick_batch(&mut self, users: &[UserId], now: TimePoint) -> Vec<EngineEvent> {
-        self.run_tick(&TickRequest::batch(users, now)).events
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownUser`] for the first unregistered user in
+    /// the batch; nothing is mutated in that case.
+    pub fn tick_batch(
+        &mut self,
+        users: &[UserId],
+        now: TimePoint,
+    ) -> Result<Vec<EngineEvent>, EngineError> {
+        Ok(self.run_tick(&TickRequest::batch(users, now))?.events)
     }
 
     /// [`Self::tick_batch`] with an explicit worker count (`1` runs the
@@ -933,13 +1203,17 @@ impl Engine {
     ///
     /// **Deprecated-style wrapper**: prefer [`Engine::run_tick`] with
     /// [`TickRequest::batch`] + [`TickRequest::with_workers`].
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownUser`] for the first unregistered user in
+    /// the batch; nothing is mutated in that case.
     pub fn tick_batch_with(
         &mut self,
         users: &[UserId],
         now: TimePoint,
         workers: usize,
-    ) -> Vec<EngineEvent> {
-        self.run_tick(&TickRequest::batch(users, now).with_workers(workers)).events
+    ) -> Result<Vec<EngineEvent>, EngineError> {
+        Ok(self.run_tick(&TickRequest::batch(users, now).with_workers(workers))?.events)
     }
 
     /// The consolidated engine step: every historical tick entry point
@@ -948,46 +1222,66 @@ impl Engine {
     /// For batch requests the telemetry is drained once for the whole
     /// batch — exactly what the first sequential step would do, so
     /// contexts are stable from here through the user loop — and the
-    /// candidate cache is warmed by the sharded worker pool. The event
-    /// stream is bit-identical to stepping each user in order: the
-    /// parallel phase only *memoizes* — it computes ranked candidate
-    /// lists for users whose proactivity model is about to fire and
-    /// stores them under an exact cache key; the sequential loop
-    /// recomputes anything the key cannot vouch for. Worker count
-    /// therefore cannot change observable behavior, only wall-clock
-    /// time — and because per-shard metric registries merge by exact
-    /// integer addition, it cannot change the observability snapshot
-    /// either.
-    pub fn run_tick(&mut self, request: &TickRequest<'_>) -> TickReport {
+    /// listener contexts plus ranked candidate lists are computed by
+    /// the sharded worker pool. The event stream is bit-identical to
+    /// stepping each user in order: the parallel phase only *memoizes*
+    /// — workers hand back fully built contexts and scored lists keyed
+    /// by component-wise revisions, and the sequential loop becomes
+    /// apply-only, recomputing anything the key cannot vouch for.
+    /// Worker count therefore cannot change observable behavior, only
+    /// wall-clock time — and because per-shard metric registries merge
+    /// by exact integer addition, it cannot change the observability
+    /// snapshot either.
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownUser`] for the first unregistered user in
+    /// request order. Validation happens up front, before any clock
+    /// advance, pump, or tick-sequence bump — a rejected request leaves
+    /// the engine untouched, so batch and single-user callers see one
+    /// typed contract instead of the old silent skip.
+    pub fn run_tick(&mut self, request: &TickRequest<'_>) -> Result<TickReport, EngineError> {
+        if let Some(&user) = request.users.iter().find(|u| !self.players.contains_key(u)) {
+            return Err(EngineError::UnknownUser(user));
+        }
+        self.tick_seq += 1;
         let before = self.obs.is_enabled().then(|| self.obs.clone());
         let span = Span::enter("engine.tick");
+        let mut warmed: Vec<Option<Warmed>> = Vec::new();
         if request.batch {
             self.bus.advance_clock(request.now);
             self.pump_tracking();
             self.pump_feedback();
             let workers = request.workers.unwrap_or(self.config.worker_threads).max(1);
-            self.warm_candidate_cache(request.users, request.now, workers);
+            warmed = self.warm_users(request.users, request.now, workers);
         }
         let mut events = Vec::new();
-        for &user in request.users {
-            events.extend(self.tick_user(user, request.now));
+        for (idx, &user) in request.users.iter().enumerate() {
+            let warm = warmed.get_mut(idx).and_then(Option::take);
+            events.extend(self.tick_user(user, request.now, warm, idx == 0));
         }
         span.finish(&mut self.obs);
         self.obs.inc("engine.ticks");
         self.obs.add("engine.tick_users", request.users.len() as u64);
         let obs_deltas = before.map_or_else(Vec::new, |b| self.obs.counter_deltas(&b));
-        TickReport { events, obs_deltas }
+        Ok(TickReport { events, obs_deltas })
     }
 
-    /// The cache key for `user`'s ranked candidates at `now`.
-    fn candidate_cache_key(&self, user: UserId, now: TimePoint) -> CandidateCacheKey {
-        CandidateCacheKey {
-            epoch: self.repo.epoch(),
-            feedback_events: self.feedback.event_count(user),
-            heard_len: self.heard.get(&user).map_or(0, HashSet::len),
-            fixes: self.tracking.fix_count(user),
+    /// The cache key for `user`'s ranked candidates at `now` under
+    /// context `ctx` (see [`CandidateCacheKey`] for the components).
+    fn candidate_cache_key(
+        &self,
+        user: UserId,
+        ctx: &ListenerContext,
+        now: TimePoint,
+    ) -> CandidateCacheKey {
+        CandidateCacheKey::compose(
+            self.repo.epoch(),
+            self.hot.feedback_len(user),
+            self.hot.heard_len(user),
             now,
-        }
+            ctx,
+            &self.config.cache_quanta,
+        )
     }
 
     /// The user's ranked candidate list: served from the per-user cache
@@ -1012,117 +1306,230 @@ impl Engine {
         ctx: &ListenerContext,
         now: TimePoint,
     ) -> (Vec<ScoredClip>, RetrievalStats) {
-        let key = self.candidate_cache_key(user, now);
-        if let Some(entry) = self.candidate_cache.get(&user) {
+        let key = self.candidate_cache_key(user, ctx, now);
+        if let Some(entry) = self.hot.cache(user) {
             if entry.key == key {
                 let hit = (entry.ranked.clone(), entry.stats);
-                self.obs.inc("candidates.cache_hits");
+                // Same-tick serves of a just-warmed entry and genuine
+                // cross-tick reuse are different claims; count them
+                // apart (the old blended "cache_hits" read as reuse
+                // even when nothing survived a tick).
+                if entry.warmed_at == self.tick_seq {
+                    self.obs.inc("candidates.warm_serve");
+                } else {
+                    self.obs.inc("candidates.cross_tick_hit");
+                }
                 return hit;
             }
         }
         self.obs.inc("candidates.cache_misses");
-        let heard = self.heard.get(&user).cloned().unwrap_or_default();
         let prefs = self.feedback.preferences(user, now);
+        let empty = HashSet::new();
+        let heard = self.hot.heard_ref(user).unwrap_or(&empty);
         let (ranked, stats) = self.recommender.filter.candidates_indexed_excluding_stats(
             &self.repo,
             &prefs,
             ctx,
             &self.recommender.weights,
-            &heard,
+            heard,
         );
         self.obs.observe("candidates.ranked_len", ranked.len() as u64);
-        self.candidate_cache.insert(user, CachedCandidates { key, ranked: ranked.clone(), stats });
+        let warmed_at = self.tick_seq;
+        self.hot
+            .insert_cache(user, CachedCandidates { key, ranked: ranked.clone(), stats, warmed_at });
         (ranked, stats)
     }
 
-    /// Speculatively fills the candidate cache for every user whose
-    /// proactivity model would fire at `now`, scoring in parallel.
+    /// The parallel warm phase: builds every registered user's listener
+    /// context off-thread — mobility-model compaction, trip prediction,
+    /// distraction zones — and, for users whose proactivity model is
+    /// about to fire, a fully scored ranked candidate list, unless a
+    /// cached entry's component-wise key already vouches for one.
     ///
-    /// Contexts are built sequentially first (context building memoizes
-    /// trip origins and mobility models behind `&mut self`), then the
-    /// pure retrieval+scoring work fans out over `workers` threads.
-    /// Users are assigned to one of [`USER_SHARDS`] logical shards by a
-    /// `UserId` hash and each worker owns the shards congruent to its
-    /// slot, so the user→worker placement is deterministic and
-    /// independent of batch composition. Results are merged back in
-    /// user order.
-    fn warm_candidate_cache(&mut self, users: &[UserId], now: TimePoint, workers: usize) {
-        type WorkItem = (usize, UserId, ListenerContext, CandidateCacheKey, HashSet<ClipId>);
-        let mut work: Vec<WorkItem> = Vec::new();
-        for (idx, &user) in users.iter().enumerate() {
-            if !self.players.contains_key(&user) {
-                continue;
-            }
-            let ctx = self.context_for(user, now);
-            let fires = match self.proactivity.get(&user) {
-                Some(model) => model.would_trigger(&ctx),
-                None => ProactivityModel::default().would_trigger(&ctx),
-            };
-            if !fires {
-                continue;
-            }
-            let key = self.candidate_cache_key(user, now);
-            if self.candidate_cache.get(&user).is_some_and(|e| e.key == key) {
-                continue;
-            }
-            let heard = self.heard.get(&user).cloned().unwrap_or_default();
-            work.push((idx, user, ctx, key, heard));
+    /// Workers only read (`&` borrows of the stores plus the hot-state
+    /// columns — no heard-set cloning); everything they produce comes
+    /// back as a [`WarmOutcome`] and is committed by this thread in
+    /// request order, so the sequential loop is apply-only. Users are
+    /// assigned to one of [`USER_SHARDS`] logical shards by a `UserId`
+    /// hash and each worker owns the shards congruent to its slot, so
+    /// user→worker placement is deterministic and independent of batch
+    /// composition; per-shard metric registries merge by exact integer
+    /// addition in slot order.
+    ///
+    /// Returns one slot per requested user, `Some` for registered ones.
+    fn warm_users(
+        &mut self,
+        users: &[UserId],
+        now: TimePoint,
+        workers: usize,
+    ) -> Vec<Option<Warmed>> {
+        /// Read-only inputs for one user's warm job, borrowed from the
+        /// stores for the lifetime of the scoped workers.
+        struct WarmJob<'a> {
+            idx: usize,
+            user: UserId,
+            fix: Option<GpsFix>,
+            tracker: Option<&'a TripTracker>,
+            cached_model: Option<&'a MobilityModel>,
+            trace: Option<&'a Trace>,
+            proactivity: Option<&'a ProactivityModel>,
+            heard: Option<&'a HashSet<ClipId>>,
+            feedback_events: usize,
+            heard_len: usize,
+            existing_key: Option<CandidateCacheKey>,
         }
-        if work.is_empty() {
-            return;
+        /// Everything a worker hands back for the apply-only commit.
+        struct WarmOutcome {
+            idx: usize,
+            user: UserId,
+            ctx: ListenerContext,
+            origin_resolved: Option<u32>,
+            fresh_model: Option<MobilityModel>,
+            cache_fill: Option<CachedCandidates>,
         }
-        let repo = &self.repo;
-        let feedback = &self.feedback;
-        let weights = self.recommender.weights;
-        let filter = self.recommender.filter;
-        let obs_enabled = self.obs.is_enabled();
-        let shard_registry =
-            move || if obs_enabled { Registry::new() } else { Registry::disabled() };
-        let score_item = |(idx, user, ctx, key, heard): &WorkItem, reg: &mut Registry| {
-            let prefs = feedback.preferences(*user, now);
-            let (ranked, stats) =
-                filter.candidates_indexed_excluding_stats(repo, &prefs, ctx, &weights, heard);
-            reg.inc("candidates.warmed");
-            reg.observe("candidates.ranked_len", ranked.len() as u64);
-            (*idx, *user, *key, ranked, stats)
-        };
-        type Scored = (usize, UserId, CandidateCacheKey, Vec<ScoredClip>, RetrievalStats);
-        let (mut results, shard_registries): (Vec<Scored>, Vec<Registry>) = if workers <= 1 {
-            let mut reg = shard_registry();
-            let scored = work.iter().map(|item| score_item(item, &mut reg)).collect();
-            (scored, vec![reg])
-        } else {
-            std::thread::scope(|s| {
-                let work = &work;
-                let score_item = &score_item;
-                let handles: Vec<_> = (0..workers)
-                    .map(|slot| {
-                        s.spawn(move || {
-                            let mut reg = shard_registry();
-                            let scored = work
-                                .iter()
-                                .filter(|(_, user, ..)| {
-                                    let shard = splitmix64(user.0) % USER_SHARDS;
-                                    shard % workers as u64 == slot as u64
-                                })
-                                .map(|item| score_item(item, &mut reg))
-                                .collect::<Vec<_>>();
-                            (scored, reg)
-                        })
-                    })
-                    .collect();
-                let mut all = Vec::new();
-                let mut registries = Vec::new();
-                for h in handles {
-                    // lint: allow(expect) — re-raising a worker panic; the closure runs lint-clean code
-                    let (scored, reg) = h.join().expect("candidate worker panicked");
-                    all.extend(scored);
-                    registries.push(reg);
+        let mut warmed: Vec<Option<Warmed>> = Vec::new();
+        warmed.resize_with(users.len(), || None);
+        let (outcomes, shard_registries, warm_span) = {
+            let repo = &self.repo;
+            let feedback = &self.feedback;
+            let tracking = &self.tracking;
+            let trips = &self.trips;
+            let proactivity = &self.proactivity;
+            let players = &self.players;
+            let hot = &self.hot;
+            let weights = self.recommender.weights;
+            let filter = self.recommender.filter;
+            let predictor = &self.config.predictor;
+            let net = self.road_network.as_ref();
+            let snap_m = self.config.junction_snap_m;
+            let quanta = self.config.cache_quanta;
+            let epoch = repo.epoch();
+            let tick_seq = self.tick_seq;
+            let proj = *tracking.projection();
+            let model_config = tracking.model_config();
+            let obs_enabled = self.obs.is_enabled();
+            let mut jobs: Vec<WarmJob<'_>> = Vec::with_capacity(users.len());
+            for (idx, &user) in users.iter().enumerate() {
+                if !players.contains_key(&user) {
+                    continue;
                 }
-                (all, registries)
-            })
+                // The hot fix-count column answers "any GPS at all?"
+                // without probing the tracking store's maps; fixless
+                // users (the stationary bulk of a large fleet) skip
+                // them entirely.
+                let has_fixes = hot.fix_count(user) > 0;
+                jobs.push(WarmJob {
+                    idx,
+                    user,
+                    fix: if has_fixes {
+                        tracking.recent_fixes(user, 1).last().copied()
+                    } else {
+                        None
+                    },
+                    tracker: trips.get(&user),
+                    cached_model: if has_fixes { tracking.cached_model(user) } else { None },
+                    trace: if has_fixes { tracking.trace(user) } else { None },
+                    proactivity: proactivity.get(&user),
+                    heard: hot.heard_ref(user),
+                    feedback_events: hot.feedback_len(user),
+                    heard_len: hot.heard_len(user),
+                    existing_key: hot.cache(user).map(|e| e.key),
+                });
+            }
+            let shard_registry =
+                move || if obs_enabled { Registry::new() } else { Registry::disabled() };
+            let warm_one = |job: &WarmJob<'_>, reg: &mut Registry| -> WarmOutcome {
+                let (ctx, origin_resolved, fresh_model) = build_context(
+                    now,
+                    job.fix,
+                    &proj,
+                    job.tracker,
+                    job.cached_model,
+                    job.trace,
+                    model_config,
+                    predictor,
+                    net,
+                    snap_m,
+                );
+                let fires = match job.proactivity {
+                    Some(model) => model.would_trigger(&ctx),
+                    None => ProactivityModel::default().would_trigger(&ctx),
+                };
+                let mut cache_fill = None;
+                if fires {
+                    let key = CandidateCacheKey::compose(
+                        epoch,
+                        job.feedback_events,
+                        job.heard_len,
+                        now,
+                        &ctx,
+                        &quanta,
+                    );
+                    if job.existing_key != Some(key) {
+                        let prefs = feedback.preferences(job.user, now);
+                        let empty = HashSet::new();
+                        let heard = job.heard.unwrap_or(&empty);
+                        let (ranked, stats) = filter.candidates_indexed_excluding_stats(
+                            repo, &prefs, &ctx, &weights, heard,
+                        );
+                        reg.inc("candidates.warmed");
+                        reg.observe("candidates.ranked_len", ranked.len() as u64);
+                        cache_fill =
+                            Some(CachedCandidates { key, ranked, stats, warmed_at: tick_seq });
+                    }
+                }
+                WarmOutcome {
+                    idx: job.idx,
+                    user: job.user,
+                    ctx,
+                    origin_resolved,
+                    fresh_model,
+                    cache_fill,
+                }
+            };
+            let warm_span = Span::enter("engine.warm");
+            let (mut outcomes, registries): (Vec<WarmOutcome>, Vec<Registry>) = if workers <= 1 {
+                let mut reg = shard_registry();
+                let out = jobs.iter().map(|job| warm_one(job, &mut reg)).collect();
+                (out, vec![reg])
+            } else {
+                std::thread::scope(|s| {
+                    let jobs = &jobs;
+                    let warm_one = &warm_one;
+                    let handles: Vec<_> = (0..workers)
+                        .map(|slot| {
+                            s.spawn(move || {
+                                let mut reg = shard_registry();
+                                let out = jobs
+                                    .iter()
+                                    .filter(|job| {
+                                        let shard = splitmix64(job.user.0) % USER_SHARDS;
+                                        shard % workers as u64 == slot as u64
+                                    })
+                                    .map(|job| warm_one(job, &mut reg))
+                                    .collect::<Vec<_>>();
+                                (out, reg)
+                            })
+                        })
+                        .collect();
+                    let mut all = Vec::new();
+                    let mut registries = Vec::new();
+                    for h in handles {
+                        // lint: allow(expect) — re-raising a worker panic; the closure runs lint-clean code
+                        let (out, reg) = h.join().expect("warm worker panicked");
+                        all.extend(out);
+                        registries.push(reg);
+                    }
+                    (all, registries)
+                })
+            };
+            outcomes.sort_by_key(|o| o.idx);
+            (outcomes, registries, warm_span)
         };
-        results.sort_by_key(|&(idx, ..)| idx);
+        // The span brackets exactly the worker fan-out — the
+        // parallelizable region; its wall-clock share of the tick is
+        // the Amdahl parallel fraction the e13 bench reports.
+        warm_span.finish(&mut self.obs);
         // Commit per-shard registries in slot order. Counter and
         // histogram merging is exact integer addition — commutative and
         // associative — so the merged totals are identical for any
@@ -1130,9 +1537,24 @@ impl Engine {
         for reg in &shard_registries {
             self.obs.merge_from(reg);
         }
-        for (_, user, key, ranked, stats) in results {
-            self.candidate_cache.insert(user, CachedCandidates { key, ranked, stats });
+        // Apply-only commit, in request order: install memoized models
+        // and trip origins, fill the candidate cache, hand contexts to
+        // the sequential loop.
+        for o in outcomes {
+            if let Some(model) = o.fresh_model {
+                self.tracking.install_model(o.user, model);
+            }
+            if let Some(origin) = o.origin_resolved {
+                if let Some(t) = self.trips.get_mut(&o.user) {
+                    t.origin_stay = Some(origin);
+                }
+            }
+            if let Some(fill) = o.cache_fill {
+                self.hot.insert_cache(o.user, fill);
+            }
+            warmed[o.idx] = Some(Warmed { ctx: o.ctx });
         }
+        warmed
     }
 
     /// Publishes a message on the Recommendation topic and registers it
@@ -1256,7 +1678,7 @@ impl Engine {
                         };
                         if let Some(player) = self.players.get_mut(&user) {
                             player.enqueue_front(queued);
-                            self.heard.entry(user).or_default().insert(clip);
+                            self.hot.heard_insert(user, clip);
                             // Editorial → Recommendation is one forward hop.
                             out.push(EngineEvent::InjectionDelivered {
                                 user,
@@ -1279,9 +1701,8 @@ impl Engine {
                         })
                         .collect();
                     if let Some(player) = self.players.get_mut(&user) {
-                        let hs = self.heard.entry(user).or_default();
                         for q in &queued {
-                            hs.insert(q.clip);
+                            self.hot.heard_insert(user, q.clip);
                         }
                         player.enqueue(queued);
                     }
@@ -1369,7 +1790,7 @@ impl Engine {
                             duration: meta.duration,
                             category: meta.category,
                         }]);
-                        self.heard.entry(user).or_default().insert(meta.id);
+                        self.hot.heard_insert(user, meta.id);
                         out.push(EngineEvent::ReactiveQueued { user, clip: meta.id });
                     }
                 }
@@ -1609,7 +2030,7 @@ mod tests {
             Some(CategoryId::new(2)),
         );
         e.inject(UserId(1), clip, t, "try this").unwrap();
-        let events = e.tick(UserId(1), t.advance(TimeSpan::seconds(30)));
+        let events = e.tick(UserId(1), t.advance(TimeSpan::seconds(30))).expect("registered");
         assert!(events
             .iter()
             .any(|ev| matches!(ev, EngineEvent::InjectionDelivered { clip: c, .. } if *c == clip)));
@@ -1759,7 +2180,7 @@ mod tests {
     }
 
     #[test]
-    fn candidate_cache_hits_then_invalidates_on_each_revision() {
+    fn candidate_cache_invalidates_component_wise() {
         let mut e = engine();
         let t = TimePoint::at(0, 9, 0, 0);
         e.register_user(profile(1), t);
@@ -1777,9 +2198,9 @@ mod tests {
         let ctx = e.context_for(UserId(1), t);
         let first = e.ranked_candidates(UserId(1), &ctx, t);
         assert_eq!(first.len(), 5);
-        let cached_key = e.candidate_cache.get(&UserId(1)).unwrap().key;
+        let cached_key = e.hot.cache(UserId(1)).unwrap().key;
         assert_eq!(e.ranked_candidates(UserId(1), &ctx, t), first, "cache hit");
-        assert_eq!(e.candidate_cache.get(&UserId(1)).unwrap().key, cached_key);
+        assert_eq!(e.hot.cache(UserId(1)).unwrap().key, cached_key);
         // Ingest bumps the repo epoch: the new clip must appear.
         e.ingest_clip(
             "new clip",
@@ -1792,7 +2213,7 @@ mod tests {
         );
         assert_eq!(e.ranked_candidates(UserId(1), &ctx, t).len(), 6, "epoch invalidates");
         // A feedback write changes the user's event count.
-        let key_before = e.candidate_cache.get(&UserId(1)).unwrap().key;
+        let key_before = e.hot.cache(UserId(1)).unwrap().key;
         e.record_feedback(FeedbackEvent {
             user: UserId(1),
             clip: None,
@@ -1801,23 +2222,83 @@ mod tests {
             time: t,
         });
         let _ = e.ranked_candidates(UserId(1), &ctx, t);
-        assert_ne!(e.candidate_cache.get(&UserId(1)).unwrap().key, key_before, "feedback");
-        // A new GPS fix changes the user's fix count.
-        let key_before = e.candidate_cache.get(&UserId(1)).unwrap().key;
+        assert_ne!(e.hot.cache(UserId(1)).unwrap().key, key_before, "feedback");
+        // A GPS fix alone moves no key component: same context, same
+        // ranked list, same key. (The old key hashed the raw fix count,
+        // which forced a re-rank on every 1 Hz fix — the flat-scaling
+        // bug this key replaced.)
+        let key_before = e.hot.cache(UserId(1)).unwrap().key;
+        let misses_before = e.obs.counter("candidates.cache_misses");
         e.record_fix(UserId(1), GpsFix::new(torino(), t, 0.1));
         let _ = e.ranked_candidates(UserId(1), &ctx, t);
-        assert_ne!(e.candidate_cache.get(&UserId(1)).unwrap().key, key_before, "fix");
-        // A different `now` is a different key.
-        let key_before = e.candidate_cache.get(&UserId(1)).unwrap().key;
+        assert_eq!(e.hot.cache(UserId(1)).unwrap().key, key_before, "fix alone keeps key");
+        assert_eq!(e.obs.counter("candidates.cache_misses"), misses_before);
+        // A `now` step inside the freshness quantum keeps the key…
         let _ = e.ranked_candidates(UserId(1), &ctx, t.advance(TimeSpan::seconds(30)));
-        assert_ne!(e.candidate_cache.get(&UserId(1)).unwrap().key, key_before, "now");
+        assert_eq!(e.hot.cache(UserId(1)).unwrap().key, key_before, "sub-quantum step");
+        // …and crossing the quantum boundary invalidates.
+        let _ = e.ranked_candidates(UserId(1), &ctx, t.advance(e.config.cache_quanta.freshness));
+        assert_ne!(e.hot.cache(UserId(1)).unwrap().key, key_before, "freshness quantum");
+        // A context change (position appears) moves the context digest.
+        let key_before = e.hot.cache(UserId(1)).unwrap().key;
+        let moved =
+            ListenerContext { position: Some(ProjectedPoint::new(5_000.0, 0.0)), ..ctx.clone() };
+        let _ = e.ranked_candidates(UserId(1), &moved, t);
+        assert_ne!(e.hot.cache(UserId(1)).unwrap().key, key_before, "context rev");
     }
 
     #[test]
-    fn tick_batch_ignores_unregistered_users() {
+    fn cache_entry_survives_across_ticks_when_quanta_hold() {
+        // Regression for the all-or-nothing `now`-keyed cache: with no
+        // revision component moving between two consecutive ticks, the
+        // second serve must come from the cross-tick cache, not a miss.
         let mut e = engine();
-        let events = e.tick_batch(&[UserId(1), UserId(2)], TimePoint::at(0, 9, 0, 0));
-        assert!(events.is_empty());
+        let t = TimePoint::at(0, 9, 0, 0);
+        e.register_user(profile(1), t);
+        for i in 0..5u64 {
+            e.ingest_clip(
+                format!("clip {i}"),
+                ClipKind::Podcast,
+                TimeSpan::minutes(5),
+                t,
+                None,
+                &[],
+                Some(CategoryId::new(9)),
+            );
+        }
+        let ctx = e.context_for(UserId(1), t);
+        // Tick once so tick_seq advances past the warm epoch of the
+        // first fill, then fill the cache.
+        let _ = e.tick(UserId(1), t).expect("registered");
+        let _ = e.ranked_candidates(UserId(1), &ctx, t);
+        assert_eq!(e.obs.counter("candidates.cache_misses"), 1);
+        // Next tick: tick_seq moves, the entry does not.
+        let _ = e.tick(UserId(1), t.advance(TimeSpan::seconds(30))).expect("registered");
+        let hits_before = e.obs.counter("candidates.cross_tick_hit");
+        let _ = e.ranked_candidates(UserId(1), &ctx, t.advance(TimeSpan::seconds(30)));
+        assert_eq!(e.obs.counter("candidates.cache_misses"), 1, "no new miss");
+        assert_eq!(
+            e.obs.counter("candidates.cross_tick_hit"),
+            hits_before + 1,
+            "the surviving entry is a cross-tick hit"
+        );
+    }
+
+    #[test]
+    fn tick_batch_rejects_unregistered_users() {
+        let mut e = engine();
+        let t = TimePoint::at(0, 9, 0, 0);
+        assert_eq!(
+            e.tick_batch(&[UserId(1), UserId(2)], t),
+            Err(EngineError::UnknownUser(UserId(1)))
+        );
+        // A mixed batch is rejected before any user ticks.
+        e.register_user(profile(1), t);
+        assert_eq!(
+            e.tick_batch(&[UserId(1), UserId(2)], t),
+            Err(EngineError::UnknownUser(UserId(2)))
+        );
+        assert!(e.tick_batch(&[UserId(1)], t).expect("registered").is_empty());
     }
 
     /// End-to-end proactive flow: a commuter with history starts the
@@ -1892,7 +2373,7 @@ mod tests {
             let now = d8.advance(TimeSpan::seconds(i * 30));
             let frac = i as f64 / 39.0;
             e.record_fix(UserId(1), GpsFix::new(home.destination(80.0, frac * 9_000.0), now, 7.5));
-            let events = e.tick(UserId(1), now);
+            let events = e.tick(UserId(1), now).expect("registered");
             if events.iter().any(|ev| matches!(ev, EngineEvent::Recommended { .. })) {
                 recommended = true;
                 break;

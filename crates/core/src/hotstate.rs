@@ -1,0 +1,159 @@
+//! Struct-of-arrays per-user hot state.
+//!
+//! The tick hot path reads a handful of per-user values — the heard
+//! set, the candidate-cache entry, and the revision mirrors (fix count,
+//! feedback-log length) that feed the cache key. Scattering them across
+//! one `HashMap` per concern meant every warm-phase read was a separate
+//! hash probe and the heard set had to be *cloned* per work item before
+//! it could cross into a worker thread. Here they live in parallel
+//! column vectors behind a single `UserId → slot` map: one probe
+//! resolves the slot, columns are read by index, and the warm phase
+//! borrows heard sets in place.
+//!
+//! Slot numbers are an in-memory artifact of registration order and
+//! **must never leak into observable behavior**: everything persisted
+//! or iterated for output goes through [`HotState::users_sorted`],
+//! which orders by `UserId`. A snapshot restore may therefore assign
+//! different slots than the original process without any observable
+//! difference.
+
+use crate::engine::CachedCandidates;
+use pphcr_audio::ClipId;
+use pphcr_userdata::UserId;
+use std::collections::{HashMap, HashSet};
+
+/// Column-oriented per-user hot state (see module docs).
+#[derive(Debug, Default)]
+pub(crate) struct HotState {
+    slots: HashMap<UserId, usize>,
+    users: Vec<UserId>,
+    heard: Vec<HashSet<ClipId>>,
+    fix_counts: Vec<usize>,
+    feedback_lens: Vec<usize>,
+    cache: Vec<Option<CachedCandidates>>,
+}
+
+impl HotState {
+    pub(crate) fn new() -> Self {
+        HotState::default()
+    }
+
+    /// The user's slot, if any column has been touched for them.
+    fn slot(&self, user: UserId) -> Option<usize> {
+        self.slots.get(&user).copied()
+    }
+
+    /// The user's slot, creating empty columns on first touch. Users
+    /// may appear here before registration (telemetry arrives first),
+    /// so creation is lazy rather than tied to `register_user`.
+    fn slot_mut(&mut self, user: UserId) -> usize {
+        if let Some(&slot) = self.slots.get(&user) {
+            return slot;
+        }
+        let slot = self.users.len();
+        self.slots.insert(user, slot);
+        self.users.push(user);
+        self.heard.push(HashSet::new());
+        self.fix_counts.push(0);
+        self.feedback_lens.push(0);
+        self.cache.push(None);
+        slot
+    }
+
+    /// Borrow of the user's heard set (`None` when nothing was ever
+    /// recorded — semantically an empty set).
+    pub(crate) fn heard_ref(&self, user: UserId) -> Option<&HashSet<ClipId>> {
+        self.slot(user).map(|s| &self.heard[s])
+    }
+
+    /// Number of clips the user has heard.
+    pub(crate) fn heard_len(&self, user: UserId) -> usize {
+        self.slot(user).map_or(0, |s| self.heard[s].len())
+    }
+
+    /// Marks a clip as heard.
+    pub(crate) fn heard_insert(&mut self, user: UserId, clip: ClipId) {
+        let slot = self.slot_mut(user);
+        self.heard[slot].insert(clip);
+    }
+
+    /// Mirror of the user's stored-fix count, updated when a fix is
+    /// applied from the bus.
+    pub(crate) fn fix_count(&self, user: UserId) -> usize {
+        self.slot(user).map_or(0, |s| self.fix_counts[s])
+    }
+
+    pub(crate) fn note_fix_count(&mut self, user: UserId, count: usize) {
+        let slot = self.slot_mut(user);
+        self.fix_counts[slot] = count;
+    }
+
+    /// Mirror of the user's feedback-log length, updated when feedback
+    /// is applied from the bus.
+    pub(crate) fn feedback_len(&self, user: UserId) -> usize {
+        self.slot(user).map_or(0, |s| self.feedback_lens[s])
+    }
+
+    pub(crate) fn note_feedback_len(&mut self, user: UserId, len: usize) {
+        let slot = self.slot_mut(user);
+        self.feedback_lens[slot] = len;
+    }
+
+    /// The user's cached candidate entry, if any.
+    pub(crate) fn cache(&self, user: UserId) -> Option<&CachedCandidates> {
+        self.slot(user).and_then(|s| self.cache[s].as_ref())
+    }
+
+    /// Installs (or replaces) the user's cached candidate entry.
+    pub(crate) fn insert_cache(&mut self, user: UserId, entry: CachedCandidates) {
+        let slot = self.slot_mut(user);
+        self.cache[slot] = Some(entry);
+    }
+
+    /// Users with any hot state, ordered by id — the only sanctioned
+    /// iteration order (slot order is registration-dependent and must
+    /// stay invisible).
+    pub(crate) fn users_sorted(&self) -> Vec<UserId> {
+        let mut users = self.users.clone();
+        users.sort_unstable();
+        users
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn columns_default_to_empty() {
+        let hot = HotState::new();
+        assert!(hot.heard_ref(UserId(1)).is_none());
+        assert_eq!(hot.heard_len(UserId(1)), 0);
+        assert_eq!(hot.fix_count(UserId(1)), 0);
+        assert_eq!(hot.feedback_len(UserId(1)), 0);
+        assert!(hot.cache(UserId(1)).is_none());
+        assert!(hot.users_sorted().is_empty());
+    }
+
+    #[test]
+    fn columns_share_one_slot_per_user() {
+        let mut hot = HotState::new();
+        hot.heard_insert(UserId(7), ClipId(1));
+        hot.heard_insert(UserId(7), ClipId(2));
+        hot.note_fix_count(UserId(7), 5);
+        hot.note_feedback_len(UserId(7), 3);
+        assert_eq!(hot.heard_len(UserId(7)), 2);
+        assert_eq!(hot.fix_count(UserId(7)), 5);
+        assert_eq!(hot.feedback_len(UserId(7)), 3);
+        assert_eq!(hot.users_sorted(), vec![UserId(7)]);
+    }
+
+    #[test]
+    fn users_sorted_ignores_touch_order() {
+        let mut hot = HotState::new();
+        hot.note_fix_count(UserId(9), 1);
+        hot.note_fix_count(UserId(2), 1);
+        hot.heard_insert(UserId(5), ClipId(0));
+        assert_eq!(hot.users_sorted(), vec![UserId(2), UserId(5), UserId(9)]);
+    }
+}

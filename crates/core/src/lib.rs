@@ -21,6 +21,7 @@ pub mod dashboard;
 pub mod engine;
 pub mod fault;
 pub mod health;
+pub(crate) mod hotstate;
 pub mod injection;
 pub mod json;
 pub mod netcost;
@@ -36,7 +37,8 @@ pub use bus::{
 };
 pub use dashboard::{Dashboard, ObservabilityView};
 pub use engine::{
-    Engine, EngineBuilder, EngineConfig, EngineError, EngineEvent, TickReport, TickRequest,
+    CacheQuanta, Engine, EngineBuilder, EngineConfig, EngineError, EngineEvent, TickReport,
+    TickRequest,
 };
 pub use fault::{
     transport_from_state, ChaosRng, FaultProfile, FaultyTransport, PerfectTransport, Transport,

@@ -90,7 +90,10 @@ pub fn apply_record(engine: &mut Engine, record: &WalRecord) -> ApplyResult {
                 batch: *batch,
                 workers: workers.map(|w| w as usize),
             };
-            events = engine.run_tick(&req).events;
+            match engine.run_tick(&req) {
+                Ok(report) => events = report.events,
+                Err(e) => error = Some(e.to_string()),
+            }
         }
     }
     ApplyResult { seq: record.seq, events, error }

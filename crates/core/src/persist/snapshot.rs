@@ -24,7 +24,8 @@ use crate::bus::{
     BusMessage, DeadLetter, DeadLetterReason, Envelope, OverflowPolicy, QueuePolicy, Topic,
 };
 use crate::engine::{
-    CachedCandidates, CandidateCacheKey, DecisionRecord, Engine, EngineConfig, TripTracker,
+    CacheQuanta, CachedCandidates, CandidateCacheKey, DecisionRecord, Engine, EngineConfig,
+    TripTracker,
 };
 use crate::fault::{transport_from_state, ChaosRng, FaultProfile, TransportState, WireStats};
 use crate::health::{HealthState, UserHealth};
@@ -44,12 +45,12 @@ use pphcr_recommender::{
 };
 use pphcr_trajectory::TripPredictor;
 use pphcr_userdata::{ListeningSession, SessionEnd, SessionStore, UserId};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 /// The four magic bytes opening every snapshot.
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"PPHS";
 /// The current snapshot format version.
-pub const SNAPSHOT_VERSION: u32 = 1;
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 const SECTION_CONFIG: u16 = 1;
 const SECTION_CATALOG: u16 = 2;
@@ -358,6 +359,7 @@ fn put_recommender(w: &mut ByteWriter, rec: &Recommender) {
     w.put_f64(filter.min_category_pref);
     w.put_f64(filter.route_corridor_m);
     w.put_u64(filter.max_candidates as u64);
+    w.put_u64(filter.scan_below as u64);
     let sched = &rec.scheduler;
     w.put_u64(sched.reserve.0);
     w.put_u64(sched.max_items as u64);
@@ -385,6 +387,7 @@ fn get_recommender(r: &mut ByteReader<'_>) -> Result<Recommender, PersistError> 
         min_category_pref: r.f64()?,
         route_corridor_m: r.f64()?,
         max_candidates: r.u64()? as usize,
+        scan_below: r.u64()? as usize,
     };
     let scheduler = SchedulerConfig {
         reserve: TimeSpan(r.u64()?),
@@ -425,6 +428,10 @@ fn encode_config(engine: &Engine) -> Vec<u8> {
     w.put_u64(config.worker_threads as u64);
     w.put_bool(config.obs_enabled);
     w.put_u64(config.trace_capacity as u64);
+    w.put_u64(config.cache_quanta.freshness.0);
+    w.put_u64(config.cache_quanta.decay.0);
+    w.put_u64(config.cache_quanta.phase.0);
+    w.put_f64(config.cache_quanta.position_m);
     // The live recommender: runtime tuning may have diverged from the
     // configured one.
     put_recommender(&mut w, &engine.recommender);
@@ -489,6 +496,15 @@ fn decode_config(bytes: &[u8]) -> Result<Engine, PersistError> {
     }
     let obs_enabled = r.bool()?;
     let trace_capacity = r.u64()? as usize;
+    let cache_quanta = CacheQuanta {
+        freshness: TimeSpan(r.u64()?),
+        decay: TimeSpan(r.u64()?),
+        phase: TimeSpan(r.u64()?),
+        position_m: r.f64()?,
+    };
+    if !cache_quanta.position_m.is_finite() || cache_quanta.position_m <= 0.0 {
+        return Err(PersistError::Corrupt { what: "cache quanta position pitch" });
+    }
     let config = EngineConfig {
         origin,
         recommender,
@@ -501,6 +517,7 @@ fn decode_config(bytes: &[u8]) -> Result<Engine, PersistError> {
         worker_threads,
         obs_enabled,
         trace_capacity,
+        cache_quanta,
     };
     let mut engine = Engine::new(config);
     engine.recommender = get_recommender(&mut r)?;
@@ -765,12 +782,13 @@ fn encode_users(engine: &Engine) -> Vec<u8> {
         }
     }
 
-    let heard_users = sorted_user_keys(&engine.heard);
+    let heard_users: Vec<UserId> =
+        engine.hot.users_sorted().into_iter().filter(|&u| engine.hot.heard_len(u) > 0).collect();
     w.put_u32(heard_users.len() as u32);
     for user in heard_users {
         w.put_u64(user.0);
         let mut clips: Vec<u64> =
-            engine.heard.get(&user).map(|s| s.iter().map(|c| c.0).collect()).unwrap_or_default();
+            engine.hot.heard_ref(user).map(|s| s.iter().map(|c| c.0).collect()).unwrap_or_default();
         clips.sort_unstable();
         w.put_u32(clips.len() as u32);
         for c in clips {
@@ -823,16 +841,19 @@ fn encode_users(engine: &Engine) -> Vec<u8> {
         }
     }
 
-    let cache_users = sorted_user_keys(&engine.candidate_cache);
+    let cache_users: Vec<UserId> =
+        engine.hot.users_sorted().into_iter().filter(|&u| engine.hot.cache(u).is_some()).collect();
     w.put_u32(cache_users.len() as u32);
     for user in cache_users {
-        if let Some(c) = engine.candidate_cache.get(&user) {
+        if let Some(c) = engine.hot.cache(user) {
             w.put_u64(user.0);
             w.put_u64(c.key.epoch);
             w.put_u64(c.key.feedback_events as u64);
             w.put_u64(c.key.heard_len as u64);
-            w.put_u64(c.key.fixes as u64);
-            w.put_u64(c.key.now.0);
+            w.put_u64(c.key.freshness_rev);
+            w.put_u64(c.key.decay_rev);
+            w.put_u64(c.key.context_rev);
+            w.put_u64(c.warmed_at);
             w.put_u32(c.ranked.len() as u32);
             for s in &c.ranked {
                 put_scored(&mut w, s);
@@ -840,6 +861,10 @@ fn encode_users(engine: &Engine) -> Vec<u8> {
             put_retrieval_stats(&mut w, &c.stats);
         }
     }
+
+    // The engine tick sequence: counter classification (same-tick warm
+    // serve vs cross-tick hit) must survive a restore bit-exactly.
+    w.put_u64(engine.tick_seq);
 
     w.into_inner()
 }
@@ -1034,11 +1059,9 @@ fn decode_users(engine: &mut Engine, bytes: &[u8]) -> Result<(), PersistError> {
     for _ in 0..n {
         let user = UserId(r.u64()?);
         let m = r.seq_len()?;
-        let mut set = HashSet::with_capacity(m);
         for _ in 0..m {
-            set.insert(ClipId(r.u64()?));
+            engine.hot.heard_insert(user, ClipId(r.u64()?));
         }
-        engine.heard.insert(user, set);
     }
 
     let n = r.seq_len()?;
@@ -1092,17 +1115,24 @@ fn decode_users(engine: &mut Engine, bytes: &[u8]) -> Result<(), PersistError> {
             epoch: r.u64()?,
             feedback_events: r.u64()? as usize,
             heard_len: r.u64()? as usize,
-            fixes: r.u64()? as usize,
-            now: TimePoint(r.u64()?),
+            freshness_rev: r.u64()?,
+            decay_rev: r.u64()?,
+            context_rev: r.u64()?,
         };
+        let warmed_at = r.u64()?;
         let m = r.seq_len()?;
         let mut ranked = Vec::with_capacity(m);
         for _ in 0..m {
             ranked.push(get_scored(&mut r)?);
         }
         let stats = get_retrieval_stats(&mut r)?;
-        engine.candidate_cache.insert(user, CachedCandidates { key, ranked, stats });
+        engine.hot.insert_cache(user, CachedCandidates { key, ranked, stats, warmed_at });
     }
+
+    engine.tick_seq = r.u64()?;
+    // The stores were rebuilt wholesale above; re-derive the hot-state
+    // revision mirrors from them.
+    engine.rebuild_hot_mirrors();
 
     Ok(())
 }
@@ -1426,9 +1456,10 @@ fn static_metric_name(name: &str) -> Option<&'static str> {
         "bus.overflowed",
         "bus.published",
         "bus.rejected",
-        "candidates.cache_hits",
         "candidates.cache_misses",
+        "candidates.cross_tick_hit",
         "candidates.ranked_len",
+        "candidates.warm_serve",
         "candidates.warmed",
         "catalog.clips",
         "catalog.epoch",

@@ -165,6 +165,17 @@ impl Player {
             self.start_next(now, &mut events);
         }
         // Periodic implicit positive feedback for whatever is playing.
+        // Catch up in one step across spans where no period can emit:
+        // off the clip queue with an empty EPG there is no audible
+        // category, so each elapsed period would only advance the
+        // marker. A player first ticked days after registration
+        // otherwise walks every idle 2-minute period one at a time —
+        // at fleet scale that serial catch-up dwarfs the tick itself.
+        if epg.is_empty() && !matches!(self.mode, PlaybackMode::Clip { .. }) {
+            let period_s = self.feedback_period.as_seconds().max(1);
+            let whole = now.since(self.last_feedback).as_seconds() / period_s;
+            self.last_feedback = self.last_feedback.advance(TimeSpan::seconds(whole * period_s));
+        }
         while now.since(self.last_feedback) >= self.feedback_period {
             self.last_feedback = self.last_feedback.advance(self.feedback_period);
             if let Some(category) = self.current_category(self.last_feedback, epg) {

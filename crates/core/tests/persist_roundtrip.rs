@@ -318,8 +318,8 @@ fn obs_state_survives_restore_and_ring_rearms() {
     for step in 0..10u64 {
         let now = t1.advance(TimeSpan::seconds(step * 30));
         for u in 1..=2u64 {
-            let a = original.tick(UserId(u), now);
-            let b = restored.tick(UserId(u), now);
+            let a = original.tick(UserId(u), now).expect("registered");
+            let b = restored.tick(UserId(u), now).expect("registered");
             assert_eq!(a, b, "post-restore events diverged at step {step}");
         }
     }

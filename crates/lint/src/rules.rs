@@ -493,7 +493,7 @@ fn hash_iteration_hits(code: &str, prev_code: Option<&str>, names: &[String]) ->
                 trailing_ident(&code[..pos])
             };
             if let Some(ident) = receiver {
-                if names.iter().any(|n| *n == ident) {
+                if names.contains(&ident) {
                     hits.push(format!("iteration `{ident}{m}…` over a hash collection"));
                 }
             }
@@ -503,7 +503,7 @@ fn hash_iteration_hits(code: &str, prev_code: Option<&str>, names: &[String]) ->
     if let Some(pos) = code.find("for ") {
         if let Some(in_pos) = code[pos..].find(" in ") {
             let expr = code[pos + in_pos + 4..].trim();
-            let expr = expr.split(|c: char| c == '{').next().unwrap_or("").trim();
+            let expr = expr.split('{').next().unwrap_or("").trim();
             let bare = expr
                 .trim_start_matches('&')
                 .trim_start_matches("mut ")
@@ -532,10 +532,8 @@ fn opens_unbounded_loop(lines: &[LexedLine], idx: usize) -> bool {
     while i < lines.len() {
         let Some(line) = lines.get(i) else { break };
         let tail: String = line.code.chars().skip(col).collect();
-        if entered || tail.contains('{') {
-            if has_exit_keyword(&tail) {
-                return false;
-            }
+        if (entered || tail.contains('{')) && has_exit_keyword(&tail) {
+            return false;
         }
         for c in tail.chars() {
             match c {

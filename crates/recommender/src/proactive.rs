@@ -158,7 +158,7 @@ impl ProactivityModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::context::DriveContext;
+    use crate::context::{Ambient, DriveContext};
     use pphcr_geo::{DistractionZone, NodeId, NodeKind, ProjectedPoint};
     use pphcr_trajectory::TripPrediction;
 
@@ -183,7 +183,7 @@ mod tests {
             position: Some(ProjectedPoint::new(0.0, 0.0)),
             speed_mps: 10.0,
             drive: Some(DriveContext::new(prediction(confidence, remaining_min), vec![])),
-            ambient: Default::default(),
+            ambient: Ambient::default(),
         }
     }
 
@@ -306,7 +306,7 @@ mod tests {
             position: Some(ProjectedPoint::new(0.0, 0.0)),
             speed_mps: 10.0,
             drive: Some(DriveContext::new(prediction(0.9, 20), zones.clone())),
-            ambient: Default::default(),
+            ambient: Ambient::default(),
         };
         model.observe(&mk(t0));
         assert_eq!(model.observe(&mk(t0.advance(TimeSpan::minutes(3)))), None);

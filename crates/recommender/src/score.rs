@@ -195,7 +195,7 @@ impl ScoringWeights {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::context::DriveContext;
+    use crate::context::{Ambient, DriveContext};
     use pphcr_audio::ClipId;
     use pphcr_catalog::GeoTag;
     use pphcr_geo::{GeoPoint, ProjectedPoint, TimePoint};
@@ -246,7 +246,7 @@ mod tests {
             position: Some(ProjectedPoint::new(0.0, 0.0)),
             speed_mps: 10.0,
             drive: Some(DriveContext::new(prediction, vec![])),
-            ambient: Default::default(),
+            ambient: Ambient::default(),
         }
     }
 

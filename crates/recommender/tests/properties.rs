@@ -5,8 +5,8 @@ use pphcr_audio::ClipId;
 use pphcr_catalog::{CategoryId, ClipKind, ClipMetadata, ContentRepository, GeoTag};
 use pphcr_geo::{GeoPoint, LocalProjection, ProjectedPoint, TimePoint, TimeSpan};
 use pphcr_recommender::{
-    category_entropy, diversify, sanitize_score, CandidateFilter, DriveContext, ListenerContext,
-    SchedulerConfig, ScoredClip, ScoringWeights,
+    category_entropy, diversify, sanitize_score, Ambient, CandidateFilter, DriveContext,
+    ListenerContext, SchedulerConfig, ScoredClip, ScoringWeights,
 };
 use pphcr_trajectory::TripPrediction;
 use pphcr_userdata::{FeedbackEvent, FeedbackKind, FeedbackStore, UserId};
@@ -199,14 +199,16 @@ proptest! {
                 position: Some(ProjectedPoint::new(0.0, 0.0)),
                 speed_mps: 10.0,
                 drive: Some(drive(18)),
-                ambient: Default::default(),
+                ambient: Ambient::default(),
             }
         } else {
             ListenerContext::stationary(now)
         };
         let exclude: HashSet<ClipId> =
             exclude_sel.iter().map(|&i| ClipId(i as u64)).collect();
-        let filter = CandidateFilter { max_candidates, ..Default::default() };
+        // scan_below: 0 forces the index walk so the differential
+        // property exercises it even on small generated catalogs.
+        let filter = CandidateFilter { max_candidates, scan_below: 0, ..Default::default() };
         let weights = ScoringWeights::default();
         let scan = filter.candidates_excluding(&repo, &prefs, &ctx, &weights, &exclude);
         let indexed = filter.candidates_indexed_excluding(&repo, &prefs, &ctx, &weights, &exclude);

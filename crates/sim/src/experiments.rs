@@ -14,8 +14,8 @@ use pphcr_audio::splice::{PlannedSegment, SegmentSource, SplicePlan};
 use pphcr_catalog::ServiceIndex;
 use pphcr_catalog::{CategoryId, ClipKind, ContentRepository, CATEGORY_COUNT};
 use pphcr_core::{
-    DeliveryPlanKind, Engine, EngineConfig, EngineEvent, HealthCounts, NetworkCostModel,
-    TickRequest,
+    CacheQuanta, DeliveryPlanKind, Engine, EngineConfig, EngineEvent, HealthCounts,
+    NetworkCostModel, PlayerEvent, TickRequest,
 };
 use pphcr_geo::{GeoPoint, ProjectedPoint, TimePoint, TimeSpan};
 use pphcr_nlp::{AsrConfig, NaiveBayes, SimulatedAsr, Vocabulary};
@@ -728,7 +728,7 @@ pub fn e6_injection(seed: u64) -> E6Report {
     let mut ticks = 0;
     for i in 1..=5u32 {
         let now = t0.advance(TimeSpan::seconds(u64::from(i) * 10));
-        let events = engine.tick(UserId(1), now);
+        let events = engine.tick(UserId(1), now).unwrap_or_default();
         if let Some(EngineEvent::InjectionDelivered { hops: h, .. }) =
             events.iter().find(|e| matches!(e, EngineEvent::InjectionDelivered { .. }))
         {
@@ -1191,7 +1191,9 @@ pub fn e12_resilience(users: u64, injections_per_user: u64, seed: u64) -> Vec<E1
                     }
                 }
             }
-            let events = engine.run_tick(&TickRequest::batch(&user_ids, now)).events;
+            let events = engine
+                .run_tick(&TickRequest::batch(&user_ids, now))
+                .map_or_else(|_| Vec::new(), |r| r.events);
             delivered += events
                 .iter()
                 .filter(|e| matches!(e, EngineEvent::InjectionDelivered { .. }))
@@ -1484,7 +1486,7 @@ fn e13_commute_window(engine: &mut Engine, users: u64, workers: usize) -> (f64, 
             );
         }
         let request = TickRequest::batch(&ids, now).with_workers(workers);
-        events += engine.run_tick(&request).events.len() as u64;
+        events += engine.run_tick(&request).map_or(0, |r| r.events.len()) as u64;
     }
     (t.elapsed_s(), events)
 }
@@ -1584,6 +1586,267 @@ pub fn e13_obs_overhead(users: u64, workers: usize, rounds: usize) -> E13ObsRow 
         events,
         snapshot_json,
     }
+}
+
+// ---------------------------------------------------------------------
+// E13 (population scale) — the 1k/10k/100k × workers grid.
+// ---------------------------------------------------------------------
+
+/// One row of E13's population-scale half: a morning-commute window at
+/// one fleet size and worker count, with the warm-phase wall share and
+/// the candidate-cache counters that prove the component-wise keys do
+/// their job across ticks.
+#[derive(Debug, Clone, Copy)]
+pub struct E13ScaleRow {
+    /// Registered listeners ticked per batch.
+    pub users: u64,
+    /// Worker threads used by the batched tick.
+    pub workers: usize,
+    /// Ticks in the window.
+    pub ticks: u64,
+    /// Wall time for the whole window, seconds.
+    pub seconds: f64,
+    /// User-ticks per second.
+    pub user_ticks_per_s: f64,
+    /// Events emitted (must not vary with the worker count).
+    pub events: u64,
+    /// Cumulative wall time inside the `engine.warm` span — the
+    /// parallelizable region of every tick.
+    pub warm_s: f64,
+    /// `warm_s / seconds`: the Amdahl parallel fraction. On a
+    /// single-core host the measured speedup is meaningless, but this
+    /// fraction still bounds the multi-core speedup from below:
+    /// `1 / ((1 - p) + p / 8) >= 3` needs `p >= 0.77`.
+    pub parallel_fraction: f64,
+    /// Ranked lists computed from scratch over the window.
+    pub cache_misses: u64,
+    /// Cache serves warmed by the same tick's parallel phase.
+    pub warm_serves: u64,
+    /// Cache serves that survived from an earlier tick — the counter
+    /// the old `now`-keyed cache pinned at zero.
+    pub cross_tick_hits: u64,
+}
+
+impl fmt::Display for E13ScaleRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "users={:>6} workers={:>2} time={:>8.3}s ticks/s={:>10.1} warm={:>7.3}s p={:.3} \
+             miss={} warm_serve={} cross_tick={} events={}",
+            self.users,
+            self.workers,
+            self.seconds,
+            self.user_ticks_per_s,
+            self.warm_s,
+            self.parallel_fraction,
+            self.cache_misses,
+            self.warm_serves,
+            self.cross_tick_hits,
+            self.events
+        )
+    }
+}
+
+/// Cache quanta for the population bench: the morning window sits well
+/// inside one freshness bucket, so entries live or die by the *context*
+/// revision alone — which is what lets re-fires inside a commute serve
+/// from the cross-tick cache instead of re-ranking.
+#[must_use]
+pub fn e13_coarse_quanta() -> CacheQuanta {
+    CacheQuanta {
+        freshness: TimeSpan::hours(1),
+        decay: TimeSpan::hours(24),
+        phase: TimeSpan::hours(1),
+        position_m: 50_000.0,
+    }
+}
+
+/// Builds the population-scale fleet: `users` registered listeners, of
+/// which one in five is a commuter with three days of compressed
+/// home→work history (the drivers the proactive loop fires for), and
+/// every fourth driver has already heard the whole catalog — their
+/// re-fires inside the window are the deterministic cross-tick cache
+/// hits. Everyone else is stationary with a single seed fix, so the
+/// warm phase still builds a context (and a trivial mobility model)
+/// for the entire fleet.
+#[must_use]
+pub fn e13_scale_fleet(users: u64, config: EngineConfig) -> Engine {
+    let mut engine = Engine::new(config);
+    let t0 = TimePoint::at(0, 0, 0, 0);
+    for u in 1..=users {
+        engine.register_user(
+            UserProfile {
+                id: UserId(u),
+                name: format!("listener {u}"),
+                age_band: AgeBand::Adult,
+                favourite_service: ServiceIndex(0),
+            },
+            t0,
+        );
+    }
+    let drivers = e13_driver_count(users);
+    for u in 1..=drivers {
+        let home = E13_ORIGIN.destination(30.0 * u as f64, 1_000.0 + 37.0 * u as f64);
+        let bearing = 80.0 + (u % 24) as f64 * 15.0;
+        let work = home.destination(bearing, 9_000.0);
+        // Three compressed days: home dwell, the 20-minute drive at
+        // 30 s cadence, work dwell — ~170 fixes per driver. The replay
+        // window opens on day 3, so history must stop at day 2: fixes
+        // stamped after the window would run the clock backwards.
+        for day in 0..3u64 {
+            let d0 = TimePoint::at(day, 0, 0, 0);
+            for i in 0..15u64 {
+                engine.record_fix(
+                    UserId(u),
+                    GpsFix::new(home, d0.advance(TimeSpan::minutes(i * 30)), 0.1),
+                );
+            }
+            for i in 0..40u64 {
+                let frac = i as f64 / 39.0;
+                engine.record_fix(
+                    UserId(u),
+                    GpsFix::new(
+                        home.destination(bearing, frac * 9_000.0),
+                        d0.advance(TimeSpan::hours(8)).advance(TimeSpan::seconds(i * 30)),
+                        7.5,
+                    ),
+                );
+            }
+            for i in 0..14u64 {
+                engine.record_fix(
+                    UserId(u),
+                    GpsFix::new(work, d0.advance(TimeSpan::minutes(520 + i * 60)), 0.2),
+                );
+            }
+        }
+    }
+    // Stationary bulk: one seed fix each, so day-8 contexts have a
+    // position without any driving history.
+    for u in (drivers + 1)..=users {
+        let spot = E13_ORIGIN.destination((u % 360) as f64, 500.0 + (u % 97) as f64 * 40.0);
+        engine.record_fix(UserId(u), GpsFix::new(spot, TimePoint::at(2, 20, 0, 0), 0.1));
+    }
+    let clips: Vec<pphcr_audio::ClipId> = (0..30u64)
+        .map(|i| {
+            engine
+                .ingest_clip(
+                    format!("morning clip {i}"),
+                    ClipKind::Podcast,
+                    TimeSpan::minutes(4),
+                    TimePoint::at(3, 5, 0, 0),
+                    None,
+                    &[],
+                    Some(CategoryId::new((i % u64::from(CATEGORY_COUNT)) as u16)),
+                )
+                .0
+        })
+        .collect();
+    // Sated drivers: the whole catalog is already heard, so their
+    // proactive re-fires rank an empty shortlist — no delivery, no
+    // heard-set movement, and therefore a stable cache key.
+    for u in 1..=drivers {
+        if u % 4 == 0 {
+            for &clip in &clips {
+                engine.apply_player_events(UserId(u), &[PlayerEvent::ClipStarted(clip)]);
+            }
+        }
+    }
+    engine
+}
+
+/// Drivers in an E13 scale fleet: one in five listeners (a morning
+/// commute wave), at least 16.
+#[must_use]
+pub fn e13_driver_count(users: u64) -> u64 {
+    (users / 5).max(16).min(users)
+}
+
+/// Replays a day-3 morning window of `ticks` batched ticks at 30 s
+/// cadence. Every driver streams a fix per tick (1 Hz-ish GPS scaled
+/// to the tick cadence); a rotating 1-in-977 slice of the whole fleet
+/// files feedback mid-window, exercising component-wise invalidation
+/// under churn.
+fn e13_scale_window(engine: &mut Engine, users: u64, workers: usize, ticks: u64) -> (f64, u64) {
+    let ids: Vec<UserId> = (1..=users).map(UserId).collect();
+    let drivers = e13_driver_count(users);
+    let d3 = TimePoint::at(3, 8, 0, 0);
+    let t = crate::timing::stopwatch();
+    let mut events = 0u64;
+    for i in 0..ticks {
+        let now = d3.advance(TimeSpan::seconds(i * 30));
+        for u in 1..=drivers {
+            let home = E13_ORIGIN.destination(30.0 * u as f64, 1_000.0 + 37.0 * u as f64);
+            let bearing = 80.0 + (u % 24) as f64 * 15.0;
+            let frac = (i as f64 / 39.0).min(1.0);
+            engine.record_fix(
+                UserId(u),
+                GpsFix::new(home.destination(bearing, frac * 9_000.0), now, 7.5),
+            );
+        }
+        for u in 1..=users {
+            if u % 977 == i % 977 {
+                engine.record_feedback(FeedbackEvent {
+                    user: UserId(u),
+                    clip: None,
+                    category: CategoryId::new((u % u64::from(CATEGORY_COUNT)) as u16),
+                    kind: FeedbackKind::Like,
+                    time: now,
+                });
+            }
+        }
+        let request = TickRequest::batch(&ids, now).with_workers(workers);
+        events += engine.run_tick(&request).map_or(0, |r| r.events.len()) as u64;
+    }
+    (t.elapsed_s(), events)
+}
+
+/// E13 (population scale): the full `user_counts` × `worker_counts`
+/// grid. Each cell rebuilds the fleet identically, so within one fleet
+/// size only wall time may vary across worker counts — the event
+/// stream and the exported [`ObsSnapshot`](pphcr_core) JSON must be
+/// byte-identical, and this function asserts both.
+#[must_use]
+pub fn e13_tick_grid(user_counts: &[u64], worker_counts: &[usize], ticks: u64) -> Vec<E13ScaleRow> {
+    let mut rows = Vec::new();
+    for &users in user_counts {
+        let mut reference: Option<(u64, String)> = None;
+        for &workers in worker_counts {
+            let config =
+                EngineConfig { cache_quanta: e13_coarse_quanta(), ..EngineConfig::default() };
+            let mut engine = e13_scale_fleet(users, config);
+            let (seconds, events) = e13_scale_window(&mut engine, users, workers, ticks);
+            let snapshot = engine.obs_snapshot().to_json();
+            match &reference {
+                None => reference = Some((events, snapshot)),
+                Some((ref_events, ref_snapshot)) => {
+                    assert_eq!(
+                        events, *ref_events,
+                        "event stream diverged at {users} users, {workers} workers"
+                    );
+                    assert!(
+                        snapshot == *ref_snapshot,
+                        "obs snapshot diverged at {users} users, {workers} workers"
+                    );
+                }
+            }
+            let warm_s =
+                engine.obs().timing("engine.warm").map_or(0.0, |t| t.total_ns as f64 / 1e9);
+            rows.push(E13ScaleRow {
+                users,
+                workers,
+                ticks,
+                seconds,
+                user_ticks_per_s: (users * ticks) as f64 / seconds.max(1e-9),
+                events,
+                warm_s,
+                parallel_fraction: warm_s / seconds.max(1e-9),
+                cache_misses: engine.obs().counter("candidates.cache_misses"),
+                warm_serves: engine.obs().counter("candidates.warm_serve"),
+                cross_tick_hits: engine.obs().counter("candidates.cross_tick_hit"),
+            });
+        }
+    }
+    rows
 }
 
 #[cfg(test)]

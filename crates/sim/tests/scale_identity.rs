@@ -1,0 +1,41 @@
+//! Population-scale determinism sweep. `e13_tick_grid` panics
+//! internally if the event stream or the `ObsSnapshot` JSON differs
+//! across worker counts, so driving it through a 10k-user fleet under
+//! feedback/GPS churn IS the byte-identity proof; the assertions here
+//! pin the cache-survival and liveness floors on top.
+//!
+//! Ignored by default (~20 s of wall time on a laptop); CI's
+//! perf-smoke job runs it with `--ignored`, and locally:
+//! `cargo test -p pphcr-sim --release -- --ignored ten_thousand`.
+
+use pphcr_sim::experiments::e13_tick_grid;
+
+#[test]
+#[ignore = "population-scale sweep; run via CI perf-smoke or --ignored"]
+fn ten_thousand_user_sweep_is_byte_identical_across_worker_counts() {
+    let rows = e13_tick_grid(&[10_000], &[1, 2, 8], 50);
+    assert_eq!(rows.len(), 3, "one row per worker count");
+    for row in &rows {
+        assert_eq!(row.users, 10_000);
+        assert!(row.events > 0, "window must produce events at {} workers", row.workers);
+        assert!(
+            row.cross_tick_hits >= 1,
+            "component-wise keys must keep ranked lists alive across ticks at {} workers; \
+             the old now-keyed cache pinned this at zero",
+            row.workers
+        );
+        assert!(
+            row.cache_misses > 0 && row.warm_serves > 0,
+            "warm phase must both miss (recompute) and serve at {} workers",
+            row.workers
+        );
+    }
+    let (base, rest) = rows.split_first().expect("non-empty");
+    for row in rest {
+        assert_eq!(
+            (row.events, row.cache_misses, row.warm_serves, row.cross_tick_hits),
+            (base.events, base.cache_misses, base.warm_serves, base.cross_tick_hits),
+            "cache counters must not depend on the worker count"
+        );
+    }
+}

@@ -244,7 +244,7 @@ mod tests {
     fn blob(cx: f64, cy: f64, n: usize, spread: f64) -> Vec<ProjectedPoint> {
         (0..n)
             .map(|i| {
-                let a = i as f64 * 2.399963; // golden-angle spiral, deterministic
+                let a = i as f64 * 2.399_963; // golden-angle spiral, deterministic
                 let r = spread * (i as f64 / n as f64).sqrt();
                 p(cx + r * a.cos(), cy + r * a.sin())
             })
@@ -273,7 +273,7 @@ mod tests {
 
     #[test]
     fn all_noise_when_sparse() {
-        let pts: Vec<ProjectedPoint> = (0..20).map(|i| p(i as f64 * 10_000.0, 0.0)).collect();
+        let pts: Vec<ProjectedPoint> = (0..20).map(|i| p(f64::from(i) * 10_000.0, 0.0)).collect();
         let labels = dbscan(&pts, DbscanParams::default());
         assert!(labels.iter().all(|l| *l == ClusterLabel::Noise));
     }
@@ -294,7 +294,7 @@ mod tests {
     #[test]
     fn chain_within_eps_is_one_cluster() {
         // Points 50 m apart with eps 60: density-connected chain.
-        let pts: Vec<ProjectedPoint> = (0..30).map(|i| p(i as f64 * 50.0, 0.0)).collect();
+        let pts: Vec<ProjectedPoint> = (0..30).map(|i| p(f64::from(i) * 50.0, 0.0)).collect();
         let labels = dbscan(&pts, DbscanParams { eps_m: 60.0, min_pts: 3 });
         let c = labels[0].id().unwrap();
         assert!(labels.iter().all(|l| l.id() == Some(c)));

@@ -378,10 +378,10 @@ mod tests {
         // East 10 cells then north 10 cells, cell = 100 m.
         let mut path = Vec::new();
         for i in 0..=10 {
-            path.push(ProjectedPoint::new(i as f64 * 100.0 + 50.0, 50.0));
+            path.push(ProjectedPoint::new(f64::from(i) * 100.0 + 50.0, 50.0));
         }
         for j in 1..=10 {
-            path.push(ProjectedPoint::new(1_050.0, j as f64 * 100.0 + 50.0));
+            path.push(ProjectedPoint::new(1_050.0, f64::from(j) * 100.0 + 50.0));
         }
         path
     }

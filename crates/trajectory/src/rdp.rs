@@ -106,14 +106,14 @@ mod tests {
 
     #[test]
     fn straight_line_collapses_to_endpoints() {
-        let pts: Vec<ProjectedPoint> = (0..100).map(|i| p(i as f64 * 10.0, 0.0)).collect();
+        let pts: Vec<ProjectedPoint> = (0..100).map(|i| p(f64::from(i) * 10.0, 0.0)).collect();
         assert_eq!(rdp_indices(&pts, 0.5), vec![0, 99]);
     }
 
     #[test]
     fn jitter_below_epsilon_is_removed() {
         let pts: Vec<ProjectedPoint> =
-            (0..50).map(|i| p(i as f64 * 10.0, if i % 2 == 0 { 0.4 } else { -0.4 })).collect();
+            (0..50).map(|i| p(f64::from(i) * 10.0, if i % 2 == 0 { 0.4 } else { -0.4 })).collect();
         let kept = rdp_indices(&pts, 1.0);
         assert_eq!(kept, vec![0, 49]);
     }
@@ -121,8 +121,8 @@ mod tests {
     #[test]
     fn real_corner_is_kept() {
         // L-shape: corner at index 10 deviates ~707 m from the chord.
-        let mut pts: Vec<ProjectedPoint> = (0..=10).map(|i| p(i as f64 * 100.0, 0.0)).collect();
-        pts.extend((1..=10).map(|i| p(1_000.0, i as f64 * 100.0)));
+        let mut pts: Vec<ProjectedPoint> = (0..=10).map(|i| p(f64::from(i) * 100.0, 0.0)).collect();
+        pts.extend((1..=10).map(|i| p(1_000.0, f64::from(i) * 100.0)));
         let kept = rdp_indices(&pts, 5.0);
         assert!(kept.contains(&10), "corner vertex must survive: {kept:?}");
         assert_eq!(kept.first(), Some(&0));
@@ -142,8 +142,8 @@ mod tests {
         // A noisy sine-like path.
         let pts: Vec<ProjectedPoint> = (0..200)
             .map(|i| {
-                let x = i as f64 * 25.0;
-                p(x, 300.0 * (x / 800.0).sin() + ((i * 7919) % 13) as f64)
+                let x = f64::from(i) * 25.0;
+                p(x, 300.0 * (x / 800.0).sin() + f64::from((i * 7919) % 13))
             })
             .collect();
         let eps = 20.0;
@@ -158,14 +158,14 @@ mod tests {
     #[test]
     fn indices_strictly_increasing() {
         let pts: Vec<ProjectedPoint> =
-            (0..60).map(|i| p(i as f64 * 30.0, ((i * 31) % 17) as f64 * 12.0)).collect();
+            (0..60).map(|i| p(f64::from(i) * 30.0, f64::from((i * 31) % 17) * 12.0)).collect();
         let kept = rdp_indices(&pts, 10.0);
         assert!(kept.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]
     fn complexity_straight_is_zero() {
-        let pts: Vec<ProjectedPoint> = (0..100).map(|i| p(i as f64 * 50.0, 0.0)).collect();
+        let pts: Vec<ProjectedPoint> = (0..100).map(|i| p(f64::from(i) * 50.0, 0.0)).collect();
         assert_eq!(trajectory_complexity(&pts, 5.0), 0.0);
     }
 
@@ -183,7 +183,7 @@ mod tests {
         }
         // Gentle highway curve.
         let gentle: Vec<ProjectedPoint> =
-            (0..21).map(|i| p(i as f64 * 200.0, (i as f64 * 0.05).sin() * 100.0)).collect();
+            (0..21).map(|i| p(f64::from(i) * 200.0, (f64::from(i) * 0.05).sin() * 100.0)).collect();
         let c_zig = trajectory_complexity(&zig, 5.0);
         let c_gentle = trajectory_complexity(&gentle, 5.0);
         assert!(c_zig > c_gentle, "zig-zag {c_zig} should exceed gentle {c_gentle}");
@@ -194,7 +194,8 @@ mod tests {
     fn complexity_short_path_is_zero() {
         assert_eq!(trajectory_complexity(&[p(0.0, 0.0), p(10.0, 0.0)], 1.0), 0.0);
         // Long enough in points but under 100 m total.
-        let tiny: Vec<ProjectedPoint> = (0..10).map(|i| p(i as f64, (i % 2) as f64)).collect();
+        let tiny: Vec<ProjectedPoint> =
+            (0..10).map(|i| p(f64::from(i), f64::from(i % 2))).collect();
         assert_eq!(trajectory_complexity(&tiny, 0.1), 0.0);
     }
 }

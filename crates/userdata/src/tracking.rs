@@ -175,6 +175,40 @@ impl TrackingStore {
         }
     }
 
+    /// The compaction configuration models are built with — exposed so
+    /// a parallel pipeline can run [`MobilityModel::build`] off-thread
+    /// with the exact parameters [`TrackingStore::mobility_model`]
+    /// would use.
+    #[must_use]
+    pub fn model_config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// The user's cached mobility model, only when it is current (built
+    /// from every stored fix). A read-only twin of
+    /// [`TrackingStore::mobility_model`] for pipelines that must not
+    /// hold `&mut self`: a stale or missing cache returns `None` and
+    /// the caller rebuilds off-thread from [`TrackingStore::trace`].
+    #[must_use]
+    pub fn cached_model(&self, user: UserId) -> Option<&MobilityModel> {
+        let fix_count = self.traces.get(&user)?.len();
+        match self.models.get(&user) {
+            Some((count, model)) if *count == fix_count => Some(model),
+            _ => None,
+        }
+    }
+
+    /// Installs a model built off-thread as the user's cached model,
+    /// stamped with the current fix count. The model must have been
+    /// built from the user's full trace with [`Self::model_config`] —
+    /// [`MobilityModel::build`] is pure, so such a model is
+    /// indistinguishable from one built by
+    /// [`TrackingStore::mobility_model`] itself.
+    pub fn install_model(&mut self, user: UserId, model: MobilityModel) {
+        let fix_count = self.fix_count(user);
+        self.models.insert(user, (fix_count, model));
+    }
+
     /// Users with at least one fix.
     #[must_use]
     pub fn known_users(&self) -> Vec<UserId> {

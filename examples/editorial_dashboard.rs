@@ -97,7 +97,8 @@ fn main() {
         .inject(listener, geo_clip, now, "trial: test geo clip on this listener")
         .expect("valid injection target");
     println!("pending injections now: {}", engine.injections.pending(listener).len());
-    let events = engine.tick(listener, now.advance(TimeSpan::seconds(30)));
+    let events =
+        engine.tick(listener, now.advance(TimeSpan::seconds(30))).expect("listener is registered");
     for e in &events {
         println!("engine: {e:?}");
     }

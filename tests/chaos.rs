@@ -83,7 +83,7 @@ fn drive(engine: &mut Engine) -> (HashMap<ClipId, u64>, u64) {
             }
         }
         for u in 1..=USERS {
-            for event in engine.tick(UserId(u), now) {
+            for event in engine.tick(UserId(u), now).expect("registered") {
                 if let EngineEvent::InjectionDelivered { clip, .. } = event {
                     *deliveries.entry(clip).or_default() += 1;
                 }

@@ -6,7 +6,9 @@
 use pphcr::audio::source::{AudioSource, LiveSource};
 use pphcr::audio::{ClipId, ClipStore, SampleClock, TimeShiftBuffer};
 use pphcr::catalog::{CategoryId, ClipKind, Schedule, ServiceIndex};
-use pphcr::core::{Engine, EngineConfig, HealthCounts, PlaybackMode, ReplacementPlanner};
+use pphcr::core::{
+    Engine, EngineConfig, EngineError, HealthCounts, PlaybackMode, ReplacementPlanner,
+};
 use pphcr::geo::{GeoPoint, TimePoint, TimeSpan};
 use pphcr::sim::population::GpsNoise;
 use pphcr::sim::{Population, SyntheticCity};
@@ -74,13 +76,13 @@ fn cold_start_everything_empty() {
     let mut engine = Engine::new(EngineConfig::default());
     let user = register(&mut engine, 9);
     let now = TimePoint::at(0, 9, 0, 0);
-    assert!(engine.tick(user, now).is_empty());
+    assert!(engine.tick(user, now).expect("registered").is_empty());
     let events = engine.skip(user, now);
     assert!(events.is_empty(), "nothing to recommend: {events:?}");
     // The player falls back to live, not to a crash.
     assert_eq!(engine.player(user).unwrap().mode(), PlaybackMode::Live);
-    // Ticking an unregistered user is a no-op.
-    assert!(engine.tick(UserId(777), now).is_empty());
+    // Ticking an unregistered user is a typed rejection, not a panic.
+    assert_eq!(engine.tick(UserId(777), now), Err(EngineError::UnknownUser(UserId(777))));
 }
 
 /// Clip underflow: the queue runs dry mid-session; the player resumes
@@ -100,7 +102,7 @@ fn queue_underflow_resumes_live() {
         Some(CategoryId::new(1)),
     );
     engine.inject(user, clip, now, "seed the queue").unwrap();
-    engine.tick(user, now.advance(TimeSpan::seconds(10)));
+    let _ = engine.tick(user, now.advance(TimeSpan::seconds(10)));
     let epg = engine.epg.clone();
     let player = engine.player_mut(user).unwrap();
     player.tick(now.advance(TimeSpan::seconds(20)), &epg);
@@ -188,6 +190,7 @@ fn erratic_movement_never_triggers() {
             );
             events_seen += engine
                 .tick(user, now)
+                .expect("registered")
                 .iter()
                 .filter(|e| matches!(e, pphcr::core::EngineEvent::Recommended { .. }))
                 .count();
@@ -229,8 +232,8 @@ fn unregistered_user_is_total_at_every_entry_point() {
         Err(EngineError::UnknownClip(ClipId(9_999)))
     );
 
-    // Empty results / no-ops everywhere else.
-    assert!(engine.tick(ghost, now).is_empty());
+    // Typed rejection from the tick path; no-ops everywhere else.
+    assert_eq!(engine.tick(ghost, now), Err(EngineError::UnknownUser(ghost)));
     assert!(engine.skip(ghost, now).is_empty());
     assert!(engine.heard(ghost).is_empty());
     assert!(engine.player(ghost).is_none());

@@ -170,7 +170,7 @@ fn lilly_proactive_morning() {
         let now = depart.advance(TimeSpan::seconds(i * 30));
         let frac = i as f64 / 39.0;
         engine.record_fix(lilly, GpsFix::new(home.destination(80.0, frac * 9_000.0), now, 7.5));
-        for ev in engine.tick(lilly, now) {
+        for ev in engine.tick(lilly, now).expect("registered") {
             if let EngineEvent::Recommended { schedule: s, .. } = ev {
                 schedule = Some(s);
             }
@@ -299,7 +299,7 @@ fn editorial_injection_preempts_organic() {
         Some(CategoryId::new(21)), // a category the user never liked
     );
     engine.inject(user, pushed, now, "from the dashboard").unwrap();
-    engine.tick(user, now.advance(TimeSpan::seconds(10)));
+    let _ = engine.tick(user, now.advance(TimeSpan::seconds(10)));
     // The injected clip plays before any organic one.
     let epg = engine.epg.clone();
     let events = engine.player_mut(user).unwrap().tick(now.advance(TimeSpan::seconds(20)), &epg);
