@@ -73,6 +73,7 @@ impl Gazetteer {
 
     /// All places sorted by name, for deterministic persistence.
     #[must_use]
+    // lint: allow(reach-hash-iter) — result fully sorted by place name before return
     pub fn places_sorted(&self) -> Vec<&Place> {
         let mut out: Vec<&Place> = self.places.values().collect();
         out.sort_by(|a, b| a.name.cmp(&b.name));
@@ -82,6 +83,7 @@ impl Gazetteer {
     /// Counts place mentions in a transcript, most-mentioned first
     /// (ties broken by name for determinism).
     #[must_use]
+    // lint: allow(reach-hash-iter) — result fully sorted by (count desc, place name) before return
     pub fn mentions(&self, tokens: &[String]) -> Vec<(&Place, usize)> {
         let mut counts: HashMap<&str, usize> = HashMap::new();
         for t in tokens {

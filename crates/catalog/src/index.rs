@@ -101,10 +101,13 @@ impl RepositoryIndex {
         projection: &LocalProjection,
     ) {
         self.geo.clear();
-        for m in clips {
-            if m.id == skip {
-                continue;
-            }
+        // Grid cells keep entries in insertion order and queries echo
+        // that order, so the rebuild must visit clips in a fixed order
+        // or query results depend on the caller's (possibly
+        // hash-ordered) iteration.
+        let mut metas: Vec<&ClipMetadata> = clips.filter(|m| m.id != skip).collect();
+        metas.sort_unstable_by_key(|m| m.id.0);
+        for m in metas {
             if let Some(tag) = m.geo {
                 self.geo.insert(projection.project(tag.point), m.id);
             }
@@ -112,9 +115,13 @@ impl RepositoryIndex {
         self.epoch += 1;
     }
 
-    /// All categories that currently hold at least one clip.
+    /// All categories that currently hold at least one clip, in
+    /// ascending id order.
     pub fn categories(&self) -> impl Iterator<Item = CategoryId> + '_ {
-        self.by_category.keys().copied()
+        // lint: allow(hash-iter) — keys are collected and sorted before the iterator is handed out
+        let mut out: Vec<CategoryId> = self.by_category.keys().copied().collect();
+        out.sort_unstable();
+        out.into_iter()
     }
 
     /// The full posting list of one category (ascending by published).
@@ -250,5 +257,43 @@ mod tests {
         assert!((idx.max_tag_radius_m() - 750.0).abs() < 1e-12);
         idx.rebuild_geo([m.clone()].iter(), ClipId(1), &proj);
         assert!(idx.geo().is_empty());
+    }
+
+    #[test]
+    fn rebuild_geo_is_iteration_order_independent() {
+        // Regression: T3 witness `apply_record → ingest_clip → ingest →
+        // rebuild_geo` — grid cells echo insertion order into query
+        // results, so the rebuild must not echo hash-map order.
+        let proj = LocalProjection::new(TORINO);
+        let tag = |brg: f64| GeoTag { point: TORINO.destination(brg, 500.0), radius_m: 100.0 };
+        let mut a = meta(1, 3, TimePoint::at(0, 6, 0, 0));
+        a.geo = Some(tag(10.0));
+        let mut b = meta(2, 3, TimePoint::at(0, 7, 0, 0));
+        b.geo = Some(tag(11.0));
+        let ids_after = |order: Vec<&ClipMetadata>| {
+            let mut idx = RepositoryIndex::new(50_000.0);
+            idx.rebuild_geo(order.into_iter(), ClipId(99), &proj);
+            idx.geo()
+                .query_radius(proj.project(TORINO), 10_000.0)
+                .into_iter()
+                .map(|(_, id)| id.0)
+                .collect::<Vec<u64>>()
+        };
+        assert_eq!(ids_after(vec![&a, &b]), vec![1, 2]);
+        assert_eq!(ids_after(vec![&b, &a]), vec![1, 2], "rebuild must not echo caller order");
+    }
+
+    #[test]
+    fn categories_come_out_sorted() {
+        // Regression: T3 witness `candidates_indexed_excluding_stats →
+        // indexed_categories → categories` — the category sweep order
+        // must not depend on hash-map key order.
+        let proj = LocalProjection::new(TORINO);
+        let mut idx = RepositoryIndex::new(2_000.0);
+        for (id, cat) in [(1u64, 9u16), (2, 3), (3, 7), (4, 3)] {
+            idx.insert(&meta(id, cat, TimePoint::at(0, 6, 0, 0)), &proj);
+        }
+        let cats: Vec<CategoryId> = idx.categories().collect();
+        assert_eq!(cats, vec![CategoryId::new(3), CategoryId::new(7), CategoryId::new(9)]);
     }
 }

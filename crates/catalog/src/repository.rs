@@ -55,6 +55,7 @@ impl ContentRepository {
             self.index.remove(&old);
             // Grid entries are append-only; rebuild lazily on replace.
             if old.geo.is_some() {
+                // lint: allow(hash-iter) — rebuild_geo sorts the collected clips by id before touching the grid
                 self.index.rebuild_geo(self.clips.values(), meta.id, &self.projection);
             }
         }
@@ -176,6 +177,7 @@ impl ContentRepository {
     }
 
     /// Iterates over all clips (unspecified order).
+    // lint: allow(reach-hash-iter) — every caller sorts (snapshot, by clip id) or feeds an order-insensitive fold (finalize re-sorts by score then id)
     pub fn iter(&self) -> impl Iterator<Item = &ClipMetadata> {
         self.clips.values()
     }

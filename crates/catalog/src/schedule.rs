@@ -128,6 +128,7 @@ impl Schedule {
 
     /// Total number of scheduled programmes.
     #[must_use]
+    // lint: allow(reach-hash-iter) — a sum over per-service lengths is visit-order insensitive
     pub fn len(&self) -> usize {
         self.by_service.values().map(Vec::len).sum()
     }
@@ -138,10 +139,15 @@ impl Schedule {
         self.len() == 0
     }
 
-    /// Looks a programme up by id.
+    /// Looks a programme up by id. Nothing stops the same id being
+    /// scheduled on two services, so the scan visits services in
+    /// ascending order to make the winner deterministic.
     #[must_use]
     pub fn get(&self, id: ProgrammeId) -> Option<&Programme> {
-        self.by_service.values().flatten().find(|p| p.id == id)
+        // lint: allow(hash-iter) — service keys are collected and sorted before the scan
+        let mut services: Vec<ServiceIndex> = self.by_service.keys().copied().collect();
+        services.sort_unstable();
+        services.into_iter().find_map(|s| self.by_service[&s].iter().find(|p| p.id == id))
     }
 }
 
@@ -235,5 +241,19 @@ mod tests {
         let s = fig4_schedule();
         assert_eq!(s.get(ProgrammeId(2)).unwrap().title, "Programme 2");
         assert!(s.get(ProgrammeId(77)).is_none());
+    }
+
+    #[test]
+    fn get_with_duplicate_id_prefers_lowest_service() {
+        // Regression: T3 witness `candidates… → Schedule::get` — with
+        // the same id scheduled on two services, the winner used to be
+        // hash-map visit order.
+        let mut s = Schedule::new();
+        for service in [4u32, 0, 2] {
+            let mut p = prog(7, service, TimePoint(0), TimePoint(100));
+            p.title = format!("on service {service}");
+            s.add(p).unwrap();
+        }
+        assert_eq!(s.get(ProgrammeId(7)).unwrap().title, "on service 0");
     }
 }

@@ -189,6 +189,7 @@ pub(crate) const TOPIC_ORDER: [Topic; 5] =
 
 /// Rebuilds a boxed transport from an exported [`TransportState`].
 #[must_use]
+// lint: allow(reach-hash-iter) — `queues`/`in_flight` here are the state's Vec fields in wire order, not the transport's maps
 pub fn transport_from_state(state: TransportState) -> Box<dyn Transport> {
     match state {
         TransportState::Perfect { queues } => {

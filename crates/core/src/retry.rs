@@ -176,6 +176,7 @@ impl DeliveryTracker {
     /// delay (attempts incremented); the caller re-sends its envelope.
     /// Deliveries past `policy.budget` are instead removed and returned
     /// in the second list for dead-lettering.
+    // lint: allow(reach-hash-iter) — due sequence numbers are collected then sorted before the sweep
     pub fn due_retries(
         &mut self,
         now: TimePoint,

@@ -64,12 +64,14 @@ impl Polyline {
         if self.points.is_empty() {
             return None;
         }
-        if distance_m <= 0.0 || self.points.len() == 1 {
+        // NaN would otherwise reach the `partition_point` below, yield
+        // index 0, and underflow.
+        if distance_m <= 0.0 || distance_m.is_nan() || self.points.len() == 1 {
             return Some(self.points[0]);
         }
         let total = self.length_m();
         if distance_m >= total {
-            return Some(*self.points.last().expect("non-empty"));
+            return self.points.last().copied();
         }
         // First vertex with cumulative length > distance_m.
         let idx = self.cum.partition_point(|&c| c <= distance_m);
@@ -176,6 +178,17 @@ mod tests {
         assert_eq!(pl.point_at(-5.0).unwrap(), ProjectedPoint::new(0.0, 0.0));
         assert_eq!(pl.point_at(1e9).unwrap(), ProjectedPoint::new(100.0, 50.0));
         assert!(Polyline::new(vec![]).point_at(0.0).is_none());
+    }
+
+    #[test]
+    fn point_at_is_total_on_the_clamp_path() {
+        // Regression: P4 witness `apply_record → … → route_ahead →
+        // point_at` — the past-the-end clamp used to `.expect` on
+        // `last()` instead of propagating `None`.
+        let pl = l_shape();
+        assert_eq!(pl.point_at(pl.length_m()).unwrap(), ProjectedPoint::new(100.0, 50.0));
+        assert_eq!(pl.point_at(f64::INFINITY).unwrap(), ProjectedPoint::new(100.0, 50.0));
+        assert!(pl.point_at(f64::NAN).is_some(), "NaN distance clamps rather than panics");
     }
 
     #[test]

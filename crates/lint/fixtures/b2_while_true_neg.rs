@@ -1,0 +1,27 @@
+//! B2 negative: `while` loops with real conditions or an escape.
+pub fn drain_conditioned(mut n: u64) -> u64 {
+    while n > 0 {
+        n -= 1;
+    }
+    n
+}
+
+pub fn drain_with_break(mut n: u64, budget: u64) -> u64 {
+    let mut spent = 0u64;
+    while true {
+        if spent >= budget || n == 0 {
+            break;
+        }
+        n -= 1;
+        spent += 1;
+    }
+    n
+}
+
+pub fn compare_variables(a: u64, b: u64) -> u64 {
+    let mut n = 0u64;
+    while a == b {
+        return n;
+    }
+    n
+}

@@ -1,0 +1,19 @@
+//! B2 positive: constant-condition `while` loops with no break or
+//! budget in retry code — the `loop {}` blind spot in disguise.
+pub fn spin_while_true(mut n: u64) -> u64 {
+    while true {
+        n = n.wrapping_add(1);
+    }
+}
+
+pub fn spin_parenthesized(mut n: u64) -> u64 {
+    while (true) {
+        n = n.wrapping_add(1);
+    }
+}
+
+pub fn spin_tautology(mut n: u64) -> u64 {
+    while 1 == 1 {
+        n = n.wrapping_add(1);
+    }
+}

@@ -1,0 +1,12 @@
+//! Taint-fixture negatives: the root only reaches clean, excused, or
+//! allowlisted code.
+use pphcr_helper::pipeline;
+use pphcr_obs::timing;
+
+pub struct Engine;
+
+impl Engine {
+    pub fn run_tick(&mut self, xs: &[u32]) -> u64 {
+        pipeline::safe(xs) + pipeline::excused(xs) + timing::now_ms()
+    }
+}

@@ -1,0 +1,7 @@
+//! Taint-fixture allowlisted timing module: the one place wall-clock
+//! reads are legal, so reaching it must not raise T1.
+
+pub fn now_ms() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_millis() as u64
+}

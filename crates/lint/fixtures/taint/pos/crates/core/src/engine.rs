@@ -1,0 +1,13 @@
+//! Taint-fixture root: `Engine::run_tick` reaches every sinner kind
+//! through the helper crate, via a module alias and a dot-call.
+use pphcr_helper::pipeline as pipe;
+use pphcr_helper::pipeline::Scorer;
+
+pub struct Engine;
+
+impl Engine {
+    pub fn run_tick(&mut self, xs: &[u32]) -> u32 {
+        let scorer = Scorer;
+        pipe::score(xs) + scorer.with_entropy()
+    }
+}

@@ -1,0 +1,37 @@
+//! Taint-fixture sinners: one function per taint kind, all reachable
+//! from the root in `core::engine`.
+use std::collections::HashMap;
+
+pub struct Scorer;
+
+impl Scorer {
+    pub fn with_entropy(&self) -> u32 {
+        let _rng = rand::thread_rng();
+        0
+    }
+}
+
+pub fn score(xs: &[u32]) -> u32 {
+    tally(xs) + parse_one("7") + stamp()
+}
+
+fn tally(xs: &[u32]) -> u32 {
+    let mut counts: HashMap<u32, u32> = HashMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    let mut sum = 0;
+    for (_, v) in counts.iter() {
+        sum += v;
+    }
+    sum
+}
+
+fn parse_one(s: &str) -> u32 {
+    s.parse().unwrap()
+}
+
+fn stamp() -> u32 {
+    let _t = std::time::Instant::now();
+    0
+}

@@ -1,0 +1,7 @@
+//! Taint-fixture stale pragma: the function-granularity pragma below
+//! excuses nothing, which must be a hard error.
+
+// lint: allow(reach-panic) — nothing in here panics any more
+pub fn spotless(xs: &[u32]) -> u64 {
+    xs.iter().map(|&x| u64::from(x)).sum()
+}

@@ -1,34 +1,56 @@
 //! `pphcr-lint` — the workspace invariant linter.
 //!
 //! PPHCR's headline guarantees rest on source-level conventions:
-//! bit-identical event streams across 1/2/8 workers (PR 2) need
+//! bit-identical event streams across 1/2/8 workers (PR 2/6) need
 //! seeded, ordered execution; seeded chaos replay (PR 1) needs no
-//! wall-clock reads; the unattended in-vehicle loop needs panic-free
-//! engine code and bounded queues. This crate turns those conventions
-//! into machine-checked invariants:
+//! wall-clock reads; byte-identical crash recovery (PR 5) needs the
+//! replay path deterministic; the unattended in-vehicle loop needs
+//! panic-free engine code and bounded queues. This crate turns those
+//! conventions into machine-checked invariants with a **two-pass
+//! analyzer**:
 //!
-//! * [`lexer`] — a panic-free comment/string/raw-string-aware scanner,
-//! * [`rules`] — the D (determinism), P (panic-freedom) and
-//!   B (boundedness) rule families plus
-//!   `// lint: allow(<rule>) — <reason>` pragma handling,
-//! * [`report`] — the `LINT_REPORT.json` artifact CI uploads.
+//! * **pass 1 — the line rules** ([`rules`]): the D (determinism),
+//!   P1–P3 (panic-freedom), B (boundedness) and F (durability)
+//!   families, checked per line over the [`lexer`] output, plus
+//!   `// lint: allow(<rule>) — <reason>` pragma handling;
+//! * **pass 2 — the taint rules** ([`taint`]): a symbol index
+//!   ([`symbols`]) and first-party call graph ([`callgraph`]) over
+//!   the whole workspace, then taint propagation proving that no
+//!   commit/persistence root (`Engine::run_tick`, `apply_record`,
+//!   snapshot/restore, bus delivery, recommender scoring)
+//!   transitively reaches a wall-clock read (T1), unseeded RNG (T2),
+//!   hash-order iteration (T3) or panic (P4) — each finding carries a
+//!   full `root → callee → … → offending line` witness chain.
+//!
+//! Pragma usage is shared between the passes: a pragma consumed by
+//! either pass is live; one consumed by neither is a hard
+//! `stale-pragma` error. [`report`] serializes everything — including
+//! witness chains and per-rule counts — into the `LINT_REPORT.json`
+//! artifact CI uploads.
 //!
 //! The binary (`cargo run -p pphcr-lint`) walks every `crates/*/src`
-//! file, prints `file:line: rule — message` diagnostics, writes the
-//! JSON report, and exits nonzero on any violation or stale pragma.
+//! file, prints `file:line: rule — message` diagnostics (taint
+//! findings with their chains), writes the JSON report, and exits
+//! nonzero on any violation or stale pragma. `--budget-ms N` also
+//! fails the run when the analysis exceeds its wall-time budget.
 //! See `DESIGN.md` §9 for each rule's rationale.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod callgraph;
 pub mod lexer;
 pub mod report;
 pub mod rules;
+pub mod symbols;
+pub mod taint;
 
 pub use report::LintReport;
-pub use rules::{lint_source, rule_by_name, Violation, RULES};
+pub use rules::{lint_source, rule_by_name, ChainHop, Violation, RULES};
 
 use std::path::{Path, PathBuf};
+
+use lexer::LexedLine;
 
 /// Collects every `.rs` file under `root/crates/*/src`, sorted for
 /// deterministic diagnostics. Errors carry a printable message.
@@ -63,20 +85,55 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
-/// Lints the workspace rooted at `root`. Returns the report; IO
-/// failures surface as printable errors.
+/// Lints the workspace rooted at `root`: line rules, then the
+/// interprocedural taint pass, then shared stale-pragma accounting.
+/// Returns the report; IO failures surface as printable errors.
 ///
 /// # Errors
 /// When the crates directory or a source file cannot be read.
 pub fn lint_workspace(root: &Path) -> Result<LintReport, String> {
     let files = workspace_sources(root)?;
-    let mut all = Vec::new();
+
+    // Read and lex everything once; both passes share the result.
+    let mut rel_paths: Vec<String> = Vec::with_capacity(files.len());
+    let mut lexed: Vec<Vec<LexedLine>> = Vec::with_capacity(files.len());
     for path in &files {
         let source = std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
         let rel = path.strip_prefix(root).unwrap_or(path);
-        all.extend(lint_source(&rel.to_string_lossy(), &source));
+        rel_paths.push(rel.to_string_lossy().replace('\\', "/"));
+        lexed.push(lexer::lex(&source));
     }
-    all.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
-    Ok(LintReport::from_violations(files.len(), all))
+    let masks: Vec<Vec<bool>> = lexed.iter().map(|l| rules::test_line_mask(l)).collect();
+    let mut pragmas: Vec<Vec<rules::Pragma>> =
+        lexed.iter().map(|l| rules::collect_pragmas(l)).collect();
+
+    // Pass 1: line rules (marks consumed pragmas used).
+    let mut all: Vec<Violation> = Vec::new();
+    for i in 0..lexed.len() {
+        all.extend(rules::line_pass(&rel_paths[i], &lexed[i], &masks[i], &mut pragmas[i]));
+    }
+
+    // Pass 2: symbol index, call graph, taint propagation.
+    let mut index = symbols::SymbolIndex::default();
+    for i in 0..lexed.len() {
+        index.add_file(&rel_paths[i], &lexed[i], &masks[i]);
+    }
+    index.finish();
+    let sources: Vec<&[LexedLine]> = lexed.iter().map(Vec::as_slice).collect();
+    let graph = callgraph::CallGraph::build(&index, &sources);
+    all.extend(taint::taint_pass(&index, &graph, &sources, &mut pragmas));
+
+    // Staleness: a pragma neither pass consumed is an error.
+    for i in 0..lexed.len() {
+        all.extend(rules::stale_pass(&rel_paths[i], &pragmas[i]));
+    }
+
+    all.sort_by(|a, b| {
+        a.file.cmp(&b.file).then(a.line.cmp(&b.line)).then(a.rule_id.cmp(&b.rule_id))
+    });
+    let mut report = LintReport::from_violations(files.len(), all);
+    report.functions_indexed = index.fns.len();
+    report.call_edges = graph.edges.len();
+    Ok(report)
 }

@@ -1,13 +1,18 @@
-//! The `pphcr-lint` binary: lint the workspace, print diagnostics,
-//! write `LINT_REPORT.json`, exit nonzero on violations.
+//! The `pphcr-lint` binary: lint the workspace (line rules + the
+//! interprocedural taint pass), print diagnostics with witness
+//! chains, write `LINT_REPORT.json`, exit nonzero on violations.
 //!
 //! ```text
-//! pphcr-lint [WORKSPACE_ROOT] [--rules]
+//! pphcr-lint [WORKSPACE_ROOT] [--rules] [--budget-ms N]
 //! ```
 //!
 //! With no argument the workspace root is derived from this crate's
 //! manifest directory (`crates/lint/../..`), so `cargo run -p
 //! pphcr-lint` works from any directory inside the repo.
+//! `--budget-ms N` fails the run when the full two-pass analysis
+//! (read + lex + line rules + call graph + taint) exceeds `N`
+//! milliseconds of wall time — CI pins the interprocedural pass under
+//! its 10 s budget with this flag.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -18,14 +23,25 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--rules") {
         for r in RULES {
-            println!("{:>2}  {:<18} {}", r.id, r.name, r.rationale);
+            println!("{:>2}  {:<20} {}", r.id, r.name, r.rationale);
         }
         return ExitCode::SUCCESS;
     }
-    let root: PathBuf = match args.iter().find(|a| !a.starts_with("--")) {
-        Some(p) => PathBuf::from(p),
-        None => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."),
+    let budget_ms: Option<u64> = args
+        .iter()
+        .position(|a| a == "--budget-ms")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok());
+    let mut positional = args.iter().filter(|a| !a.starts_with("--"));
+    let root: PathBuf = match positional.next() {
+        // `--budget-ms 10000` makes its value look positional; skip
+        // values that directly follow a flag taking an argument.
+        Some(p) if !is_flag_value(&args, p) => PathBuf::from(p),
+        _ => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."),
     };
+
+    // lint: allow(wall-clock) — the budget gate must measure real elapsed time; reported only, never in analysis results
+    let started = std::time::Instant::now();
     let report = match lint_workspace(&root) {
         Ok(r) => r,
         Err(e) => {
@@ -33,6 +49,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let wall_ms = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
+    let mut report = report;
+    report.wall_ms = Some(wall_ms);
+
     for v in report.violations.iter().chain(report.stale_pragmas.iter()) {
         println!("{}", v.render());
     }
@@ -42,16 +62,36 @@ fn main() -> ExitCode {
         eprintln!("pphcr-lint: cannot write {}: {e}", report_path.display());
         return ExitCode::FAILURE;
     }
+    let counts = report.counts();
+    let transitive: usize =
+        ["T1", "T2", "T3", "P4"].iter().map(|id| counts.get(*id).copied().unwrap_or(0)).sum();
     println!(
-        "pphcr-lint: {} files, {} violations, {} stale/bad pragmas → {}",
+        "pphcr-lint: {} files, {} fns, {} call edges, {} violations ({} transitive), \
+         {} stale/bad pragmas, {} ms → {}",
         report.files_scanned,
+        report.functions_indexed,
+        report.call_edges,
         report.violations.len(),
+        transitive,
         report.stale_pragmas.len(),
+        wall_ms,
         report_path.display()
     );
+    if let Some(budget) = budget_ms {
+        if wall_ms > budget {
+            eprintln!("pphcr-lint: analysis took {wall_ms} ms, over the {budget} ms budget");
+            return ExitCode::FAILURE;
+        }
+    }
     if report.is_clean() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// Whether `value` is the argument of a value-taking flag rather than
+/// a positional workspace root.
+fn is_flag_value(args: &[String], value: &str) -> bool {
+    args.windows(2).any(|w| w[0] == "--budget-ms" && w[1] == value)
 }

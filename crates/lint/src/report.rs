@@ -7,19 +7,44 @@
 //! ```json
 //! {
 //!   "files_scanned": 63,
-//!   "violations": [ {"file": "…", "line": 7, "rule": "P1", "name": "unwrap", "message": "…"} ],
+//!   "functions_indexed": 1200,
+//!   "call_edges": 3400,
+//!   "wall_ms": 120,
+//!   "counts": {"D1": 0, "P4": 1, "stale-pragma": 0, "bad-pragma": 0},
+//!   "violations": [
+//!     {"file": "…", "line": 7, "rule": "P4", "name": "reach-panic",
+//!      "message": "…",
+//!      "chain": [{"symbol": "core::engine::Engine::run_tick",
+//!                 "file": "crates/core/src/engine.rs", "line": 1242},
+//!                …,
+//!                {"symbol": ".expect(", "file": "…", "line": 126}]}
+//!   ],
 //!   "stale_pragmas": [ … ],
 //!   "rules": [ {"id": "D1", "name": "wall-clock", "rationale": "…"} ]
 //! }
 //! ```
+//!
+//! Witness chains are reproducible: re-running the linter on the same
+//! tree yields byte-identical `violations` entries, so a chain in the
+//! CI artifact can be replayed hop by hop against the sources.
 
-use crate::rules::{Violation, RULES, STALE_PRAGMA};
+use std::collections::BTreeMap;
+
+use crate::rules::{Violation, BAD_PRAGMA, RULES, STALE_PRAGMA};
 
 /// Full result of linting a workspace.
 #[derive(Debug, Clone, Default)]
 pub struct LintReport {
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
+    /// Number of function definitions in the symbol index (0 when only
+    /// the line pass ran).
+    pub functions_indexed: usize,
+    /// Number of resolved first-party call edges.
+    pub call_edges: usize,
+    /// Analysis wall time in milliseconds, when measured by the
+    /// caller (the binary measures; library callers may not).
+    pub wall_ms: Option<u64>,
     /// Rule violations (excluding stale pragmas).
     pub violations: Vec<Violation>,
     /// Pragmas that suppressed nothing, plus malformed pragmas.
@@ -32,8 +57,15 @@ impl LintReport {
     #[must_use]
     pub fn from_violations(files_scanned: usize, all: Vec<Violation>) -> Self {
         let (stale, violations): (Vec<_>, Vec<_>) =
-            all.into_iter().partition(|v| v.rule_id == STALE_PRAGMA || v.rule_id == "bad-pragma");
-        LintReport { files_scanned, violations, stale_pragmas: stale }
+            all.into_iter().partition(|v| v.rule_id == STALE_PRAGMA || v.rule_id == BAD_PRAGMA);
+        LintReport {
+            files_scanned,
+            functions_indexed: 0,
+            call_edges: 0,
+            wall_ms: None,
+            violations,
+            stale_pragmas: stale,
+        }
     }
 
     /// Whether the run should fail the build.
@@ -42,11 +74,43 @@ impl LintReport {
         self.violations.is_empty() && self.stale_pragmas.is_empty()
     }
 
+    /// Per-rule violation counts over every known rule id, plus the
+    /// two pragma pseudo-rules — zero entries included so the artifact
+    /// shape is stable across runs.
+    #[must_use]
+    pub fn counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut counts: BTreeMap<&'static str, usize> = RULES.iter().map(|r| (r.id, 0)).collect();
+        counts.insert(STALE_PRAGMA, 0);
+        counts.insert(BAD_PRAGMA, 0);
+        for v in self.violations.iter().chain(self.stale_pragmas.iter()) {
+            if let Some(slot) = RULES
+                .iter()
+                .map(|r| r.id)
+                .chain([STALE_PRAGMA, BAD_PRAGMA])
+                .find(|id| *id == v.rule_id)
+            {
+                *counts.entry(slot).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+
     /// Serializes the report as pretty-printed JSON.
     #[must_use]
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"functions_indexed\": {},\n", self.functions_indexed));
+        out.push_str(&format!("  \"call_edges\": {},\n", self.call_edges));
+        if let Some(ms) = self.wall_ms {
+            out.push_str(&format!("  \"wall_ms\": {ms},\n"));
+        }
+        out.push_str("  \"counts\": {");
+        let counts = self.counts();
+        for (i, (id, n)) in counts.iter().enumerate() {
+            out.push_str(&format!("{}{}: {}", if i == 0 { "" } else { ", " }, json_str(id), n));
+        }
+        out.push_str("},\n");
         out.push_str("  \"violations\": [\n");
         push_violations(&mut out, &self.violations);
         out.push_str("  ],\n  \"stale_pragmas\": [\n");
@@ -69,14 +133,27 @@ impl LintReport {
 fn push_violations(out: &mut String, violations: &[Violation]) {
     for (i, v) in violations.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"name\": {}, \"message\": {}}}{}\n",
+            "    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"name\": {}, \"message\": {}",
             json_str(&v.file),
             v.line,
             json_str(&v.rule_id),
             json_str(&v.rule_name),
             json_str(&v.message),
-            if i + 1 < violations.len() { "," } else { "" }
         ));
+        if !v.chain.is_empty() {
+            out.push_str(", \"chain\": [");
+            for (j, hop) in v.chain.iter().enumerate() {
+                out.push_str(&format!(
+                    "{}{{\"symbol\": {}, \"file\": {}, \"line\": {}}}",
+                    if j == 0 { "" } else { ", " },
+                    json_str(&hop.symbol),
+                    json_str(&hop.file),
+                    hop.line
+                ));
+            }
+            out.push(']');
+        }
+        out.push_str(&format!("}}{}\n", if i + 1 < violations.len() { "," } else { "" }));
     }
 }
 
@@ -102,6 +179,7 @@ fn json_str(s: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rules::ChainHop;
 
     #[test]
     fn escapes_json_strings() {
@@ -115,5 +193,36 @@ mod tests {
         let json = r.to_json();
         assert!(json.contains("\"files_scanned\": 3"));
         assert!(json.contains("\"rules\""));
+        assert!(json.contains("\"counts\""));
+        assert!(json.contains("\"T1\": 0"));
+        assert!(json.contains("\"P4\": 0"));
+    }
+
+    #[test]
+    fn chains_serialize_per_hop() {
+        let v = Violation {
+            file: "crates/nlp/src/bayes.rs".into(),
+            line: 126,
+            rule_id: "P4".into(),
+            rule_name: "reach-panic".into(),
+            message: "reachable".into(),
+            chain: vec![
+                ChainHop {
+                    symbol: "core::engine::Engine::run_tick".into(),
+                    file: "crates/core/src/engine.rs".into(),
+                    line: 1242,
+                },
+                ChainHop {
+                    symbol: ".expect(".into(),
+                    file: "crates/nlp/src/bayes.rs".into(),
+                    line: 126,
+                },
+            ],
+        };
+        let r = LintReport::from_violations(1, vec![v]);
+        let json = r.to_json();
+        assert!(json.contains("\"chain\": ["), "{json}");
+        assert!(json.contains("\"symbol\": \"core::engine::Engine::run_tick\""), "{json}");
+        assert!(json.contains("\"P4\": 1"), "{json}");
     }
 }

@@ -12,10 +12,17 @@
 //!   no `unwrap`/`expect`/`panic!` family calls in non-test code of
 //!   the engine-facing crates.
 //! * **B — boundedness** protects the backpressure design of PR 1:
-//!   no unbounded channels, no budget-less `loop` in bus/retry code.
+//!   no unbounded channels, no budget-less `loop` (or `while true`)
+//!   in bus/retry code.
 //! * **F — durability** protects the crash-recovery contract of the
 //!   persistence layer: file writes outside `core::persist` bypass the
 //!   WAL's fsync discipline and need an explicit pragma.
+//! * **T/P4 — transitive reachability** (implemented in
+//!   [`crate::taint`]) proves the same invariants *through calls*: a
+//!   commit root must not reach a wall-clock read, unseeded RNG,
+//!   hash-order iteration, or panic anywhere in the workspace, however
+//!   many crates away. The rule metadata lives here so pragmas,
+//!   reports, and `--rules` output share one table.
 
 use crate::lexer::{lex, LexedLine};
 
@@ -75,13 +82,37 @@ pub const RULES: &[RuleMeta] = &[
     RuleMeta {
         id: "B2",
         name: "unbounded-loop",
-        rationale: "a loop without break/return in bus/retry code can spin forever on faults",
+        rationale: "a loop (incl. while-true) without break/return in bus/retry code \
+                    can spin forever on faults",
     },
     RuleMeta {
         id: "F1",
         name: "fsync-free-write",
         rationale: "file writes outside core::persist skip the WAL's fsync discipline; \
                     durable state must go through FileWal or carry a pragma",
+    },
+    RuleMeta {
+        id: "T1",
+        name: "reach-wall-clock",
+        rationale: "a commit root transitively reaches a wall-clock read; replay would diverge",
+    },
+    RuleMeta {
+        id: "T2",
+        name: "reach-unseeded-rng",
+        rationale: "a commit root transitively reaches OS-entropy randomness; \
+                    event streams would differ across runs",
+    },
+    RuleMeta {
+        id: "T3",
+        name: "reach-hash-iter",
+        rationale: "a commit root transitively reaches hash-order iteration; \
+                    worker counts could reorder the event stream",
+    },
+    RuleMeta {
+        id: "P4",
+        name: "reach-panic",
+        rationale: "a commit root transitively reaches unwrap/expect/panic; \
+                    one bad input aborts the unattended engine loop",
     },
 ];
 
@@ -96,6 +127,20 @@ pub fn rule_by_name(name: &str) -> Option<&'static RuleMeta> {
     RULES.iter().find(|r| r.name == name)
 }
 
+/// One hop of a transitive witness chain: "at `file:line`, control
+/// passes to `symbol`" (first hop: the root's definition site; last
+/// hop: the offending construct itself).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainHop {
+    /// Qualified function name, or the offending needle for the final
+    /// hop (`.expect(`).
+    pub symbol: String,
+    /// Workspace-relative file of the hop.
+    pub file: String,
+    /// 1-based line of the hop.
+    pub line: usize,
+}
+
 /// One diagnostic: either a rule violation or a pragma problem.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
@@ -103,43 +148,64 @@ pub struct Violation {
     pub file: String,
     /// 1-based line number.
     pub line: usize,
-    /// Rule id (`D1` … `B2`, or `stale-pragma` / `bad-pragma`).
+    /// Rule id (`D1` … `P4`, or `stale-pragma` / `bad-pragma`).
     pub rule_id: String,
     /// Pragma slug (`wall-clock`, …); same as `rule_id` for pragma
     /// problems.
     pub rule_name: String,
     /// Human-readable message.
     pub message: String,
+    /// Witness chain for transitive (T/P4) rules; empty for line
+    /// rules.
+    pub chain: Vec<ChainHop>,
 }
 
 impl Violation {
     /// `file:line: id(name) — message`, the grep-able diagnostic form.
+    /// Transitive violations append one indented line per witness hop.
     #[must_use]
     pub fn render(&self) -> String {
-        format!(
+        let mut out = format!(
             "{}:{}: {}({}) — {}",
             self.file, self.line, self.rule_id, self.rule_name, self.message
-        )
+        );
+        for (i, hop) in self.chain.iter().enumerate() {
+            let marker = if i == 0 {
+                "root"
+            } else if i + 1 == self.chain.len() {
+                "sink"
+            } else {
+                "  →"
+            };
+            out.push_str(&format!("\n    {marker} {} ({}:{})", hop.symbol, hop.file, hop.line));
+        }
+        out
     }
 }
 
 /// A parsed `// lint: allow(<rule>) — <reason>` pragma.
 #[derive(Debug, Clone)]
-struct Pragma {
-    line: usize,
-    rule: String,
-    reason: String,
+pub struct Pragma {
+    /// 1-based line the pragma comment sits on.
+    pub line: usize,
+    /// The rule slug it names (`unwrap`, `reach-panic`, …).
+    pub rule: String,
+    /// The mandatory written justification.
+    pub reason: String,
     /// The pragma is a standalone comment line (no code before it), so
     /// it also covers the line directly below — mirroring how
-    /// `#[allow]` attributes sit above the item they govern.
-    comment_only: bool,
-    /// Set when a violation consumed this pragma.
-    used: bool,
+    /// `#[allow]` attributes sit above the item they govern. A
+    /// standalone pragma naming a `reach-*` rule directly above a `fn`
+    /// definition covers the whole function (function granularity).
+    pub comment_only: bool,
+    /// Set when a violation or taint source consumed this pragma.
+    pub used: bool,
 }
 
 impl Pragma {
     /// Whether this pragma covers a violation on `line`.
-    fn covers(&self, line: usize) -> bool {
+    #[must_use]
+    pub fn covers(&self, line: usize) -> bool {
         self.line == line || (self.comment_only && self.line + 1 == line)
     }
 }
@@ -187,8 +253,11 @@ const BOUNDED_LOOP_FILES: &[&str] = &["crates/core/src/bus.rs", "crates/core/src
 /// Modules allowed to read the OS clock: `obs::timing` holds the one
 /// real implementation (stopwatches for spans and benchmarks);
 /// `sim::timing` is its historical re-export shim and stays listed so
-/// the boundary survives a future revert to a local definition.
-const TIMING_ALLOWLIST: &[&str] = &["crates/obs/src/timing.rs", "crates/sim/src/timing.rs"];
+/// the boundary survives a future revert to a local definition. The
+/// taint pass shares this list: functions defined here are never T1
+/// sources.
+pub(crate) const TIMING_ALLOWLIST: &[&str] =
+    &["crates/obs/src/timing.rs", "crates/sim/src/timing.rs"];
 
 fn scope_for(path: &str) -> Scope {
     let norm = path.replace('\\', "/");
@@ -201,15 +270,35 @@ fn scope_for(path: &str) -> Scope {
     }
 }
 
-/// Lints one file's source text. `path` is the workspace-relative path
-/// used both for diagnostics and for rule scoping.
+/// Lints one file's source text with the line rules only. `path` is
+/// the workspace-relative path used both for diagnostics and for rule
+/// scoping. Stale-pragma accounting is local to the file; the
+/// workspace binary uses [`crate::lint_workspace`], which shares
+/// pragma usage between this pass and the taint pass before deciding
+/// staleness.
 #[must_use]
 pub fn lint_source(path: &str, source: &str) -> Vec<Violation> {
-    let scope = scope_for(path);
     let lines = lex(source);
     let test_mask = test_line_mask(&lines);
-    let hash_names = collect_hash_names(&lines);
     let mut pragmas = collect_pragmas(&lines);
+    let mut out = line_pass(path, &lines, &test_mask, &mut pragmas);
+    out.extend(stale_pass(path, &pragmas));
+    out.sort_by(|a, b| a.line.cmp(&b.line).then_with(|| a.rule_id.cmp(&b.rule_id)));
+    out
+}
+
+/// The per-file line-rule pass. Marks consumed pragmas used but does
+/// NOT report stale ones — staleness is decided by the caller once
+/// every pass that can consume a pragma has run.
+#[must_use]
+pub(crate) fn line_pass(
+    path: &str,
+    lines: &[LexedLine],
+    test_mask: &[bool],
+    pragmas: &mut [Pragma],
+) -> Vec<Violation> {
+    let scope = scope_for(path);
+    let hash_names = collect_hash_names(lines);
     let mut out: Vec<Violation> = Vec::new();
 
     // Malformed pragmas are reported unconditionally (even in test code:
@@ -223,6 +312,7 @@ pub fn lint_source(path: &str, source: &str) -> Vec<Violation> {
                     rule_id: BAD_PRAGMA.to_string(),
                     rule_name: BAD_PRAGMA.to_string(),
                     message: problem,
+                    chain: Vec::new(),
                 });
             }
         }
@@ -272,7 +362,10 @@ pub fn lint_source(path: &str, source: &str) -> Vec<Violation> {
             raw.push((rule(7), "unbounded `mpsc::channel()`".to_string()));
         }
         if scope.bounded_loop && !in_test && opens_unbounded_loop(&lines, idx) {
-            raw.push((rule(8), "`loop` without `break`/`return` in bus/retry code".to_string()));
+            raw.push((
+                rule(8),
+                "`loop`/`while true` without `break`/`return` in bus/retry code".to_string(),
+            ));
         }
         if scope.durable_write && !in_test {
             for needle in ["fs::write(", "File::create("] {
@@ -301,28 +394,33 @@ pub fn lint_source(path: &str, source: &str) -> Vec<Violation> {
                     rule_id: meta.id.to_string(),
                     rule_name: meta.name.to_string(),
                     message,
+                    chain: Vec::new(),
                 });
             }
         }
     }
+    out
+}
 
-    // Unused pragmas are themselves violations: a pragma that suppresses
-    // nothing either outlived its violation or never matched it.
-    for p in pragmas.iter().filter(|p| !p.used) {
-        out.push(Violation {
+/// Reports every pragma no pass consumed: a pragma that suppresses
+/// nothing either outlived its violation or never matched it.
+#[must_use]
+pub(crate) fn stale_pass(path: &str, pragmas: &[Pragma]) -> Vec<Violation> {
+    pragmas
+        .iter()
+        .filter(|p| !p.used)
+        .map(|p| Violation {
             file: path.to_string(),
             line: p.line,
             rule_id: STALE_PRAGMA.to_string(),
             rule_name: STALE_PRAGMA.to_string(),
             message: format!(
-                "pragma `allow({})` suppresses nothing on this line (reason: {})",
+                "pragma `allow({})` suppresses nothing it covers (reason: {})",
                 p.rule, p.reason
             ),
-        });
-    }
-
-    out.sort_by(|a, b| a.line.cmp(&b.line).then_with(|| a.rule_id.cmp(&b.rule_id)));
-    out
+            chain: Vec::new(),
+        })
+        .collect()
 }
 
 fn rule(i: usize) -> &'static RuleMeta {
@@ -332,8 +430,9 @@ fn rule(i: usize) -> &'static RuleMeta {
 }
 
 /// Marks lines belonging to `#[cfg(test)]` items (the attribute line
-/// itself, the item header, and its brace-balanced body).
-fn test_line_mask(lines: &[LexedLine]) -> Vec<bool> {
+/// itself, the item header, and its brace-balanced body). Shared with
+/// the symbol indexer, which skips test functions entirely.
+pub(crate) fn test_line_mask(lines: &[LexedLine]) -> Vec<bool> {
     #[derive(PartialEq)]
     enum Skip {
         No,
@@ -400,7 +499,7 @@ fn test_line_mask(lines: &[LexedLine]) -> Vec<bool> {
 /// First pass of the `hash-iter` rule: names declared with a
 /// `HashMap`/`HashSet` type anywhere in the file (fields, lets,
 /// parameters — including `&HashMap<…>` borrows).
-fn collect_hash_names(lines: &[LexedLine]) -> Vec<String> {
+pub(crate) fn collect_hash_names(lines: &[LexedLine]) -> Vec<String> {
     let mut names: Vec<String> = Vec::new();
     for line in lines {
         let code = line.code.as_str();
@@ -483,7 +582,11 @@ const ITER_METHODS: &[&str] = &[
 /// collected names (`name.iter()`, `for … in &name`, …). `prev_code`
 /// catches rustfmt-wrapped chains where `.values()` starts a line and
 /// the receiver sits on the line above.
-fn hash_iteration_hits(code: &str, prev_code: Option<&str>, names: &[String]) -> Vec<String> {
+pub(crate) fn hash_iteration_hits(
+    code: &str,
+    prev_code: Option<&str>,
+    names: &[String],
+) -> Vec<String> {
     let mut hits = Vec::new();
     for m in ITER_METHODS {
         for (pos, _) in code.match_indices(m) {
@@ -517,12 +620,15 @@ fn hash_iteration_hits(code: &str, prev_code: Option<&str>, names: &[String]) ->
     hits
 }
 
-/// Whether line `idx` opens a `loop` whose brace-balanced body contains
-/// neither `break` nor `return`.
+/// Whether line `idx` opens a `loop` — or a `while true` /
+/// `while 1 == 1`-style constant-condition loop — whose brace-balanced
+/// body contains neither `break` nor `return`.
 fn opens_unbounded_loop(lines: &[LexedLine], idx: usize) -> bool {
     let Some(first) = lines.get(idx) else { return false };
     let code = first.code.as_str();
-    let Some(loop_pos) = find_loop_keyword(code) else { return false };
+    let Some(loop_pos) = find_loop_keyword(code).or_else(|| find_const_while(code)) else {
+        return false;
+    };
     // Scan forward from the `loop` keyword, counting braces until the
     // body closes; look for an exit on the way.
     let mut depth = 0i64;
@@ -574,6 +680,38 @@ fn find_loop_keyword(code: &str) -> Option<usize> {
     None
 }
 
+/// Position of a `while` whose condition is constant-true — `while
+/// true {`, `while (true) {`, `while 1 == 1 {` — i.e. a `loop {}` in
+/// disguise that the B2 check must treat identically. Conditions that
+/// can actually falsify (`while x`, `while let …`) are ignored, as is
+/// a condition that does not close with `{` on the same line.
+fn find_const_while(code: &str) -> Option<usize> {
+    for (pos, _) in code.match_indices("while") {
+        let before_ok = pos == 0
+            || code[..pos]
+                .chars()
+                .next_back()
+                .is_none_or(|c| !(c.is_alphanumeric() || c == '_' || c == '.'));
+        let after = code[pos + 5..].chars().next();
+        if !(before_ok && after.is_some_and(char::is_whitespace)) {
+            continue;
+        }
+        let Some(brace_off) = code[pos..].find('{') else { continue };
+        let cond = code[pos + 5..pos + brace_off].trim();
+        // Strip one level of redundant parens: `while (true)`.
+        let cond = cond.strip_prefix('(').and_then(|c| c.strip_suffix(')')).map_or(cond, str::trim);
+        let const_true = cond == "true"
+            || cond.split_once("==").is_some_and(|(l, r)| {
+                let (l, r) = (l.trim(), r.trim());
+                !l.is_empty() && l == r && l.chars().all(|c| c.is_alphanumeric() || c == '.')
+            });
+        if const_true {
+            return Some(pos);
+        }
+    }
+    None
+}
+
 fn has_exit_keyword(code: &str) -> bool {
     for kw in ["break", "return"] {
         for (pos, _) in code.match_indices(kw) {
@@ -594,7 +732,7 @@ fn has_exit_keyword(code: &str) -> bool {
 
 /// Parses the pragmas in one file. A pragma lives in a comment on the
 /// offending line: `// lint: allow(<rule>) — <reason>`.
-fn collect_pragmas(lines: &[LexedLine]) -> Vec<Pragma> {
+pub(crate) fn collect_pragmas(lines: &[LexedLine]) -> Vec<Pragma> {
     let mut out = Vec::new();
     for (idx, line) in lines.iter().enumerate() {
         let comment_only = line.code.trim().trim_start_matches('/').trim().is_empty();

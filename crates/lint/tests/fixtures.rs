@@ -115,6 +115,23 @@ fn b2_does_not_apply_outside_bus_retry() {
 }
 
 #[test]
+fn b2_while_true_is_loop_in_disguise() {
+    let violations = run(RETRY_PATH, include_str!("../fixtures/b2_while_true_pos.rs"));
+    assert_eq!(
+        violations.iter().filter(|v| v.rule_id == "B2").count(),
+        3,
+        "all three constant-condition spellings fire: {violations:?}"
+    );
+    assert!(violations.iter().all(|v| v.rule_id == "B2"), "{violations:?}");
+    assert_silent(RETRY_PATH, include_str!("../fixtures/b2_while_true_neg.rs"));
+}
+
+#[test]
+fn b2_while_true_does_not_apply_outside_bus_retry() {
+    assert_silent(NEUTRAL_PATH, include_str!("../fixtures/b2_while_true_pos.rs"));
+}
+
+#[test]
 fn f1_fsync_free_write() {
     assert_fires(NEUTRAL_PATH, include_str!("../fixtures/f1_fsync_free_write_pos.rs"), "F1");
     assert_silent(NEUTRAL_PATH, include_str!("../fixtures/f1_fsync_free_write_neg.rs"));

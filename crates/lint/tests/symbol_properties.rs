@@ -1,0 +1,116 @@
+//! Property tests: the symbol indexer, call-graph builder, and taint
+//! pass are total — arbitrary bytes, Rust-ish soup, and mutilated
+//! copies of real workspace sources must never panic them.
+
+use pphcr_lint::callgraph::CallGraph;
+use pphcr_lint::lexer::{lex, LexedLine};
+use pphcr_lint::symbols::SymbolIndex;
+use pphcr_lint::taint::taint_pass;
+use proptest::prelude::*;
+
+/// Arbitrary bytes, including invalid UTF-8 sequences.
+fn arb_bytes() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec((0u32..256).prop_map(|b| b as u8), 0..1024)
+}
+
+/// Runs the full second pass (index → graph → taint) over one file's
+/// source text as though it sat on an engine path.
+fn full_pass(source: &str) {
+    let lines = lex(source);
+    let mask = vec![false; lines.len()];
+    let mut index = SymbolIndex::default();
+    index.add_file("crates/core/src/engine.rs", &lines, &mask);
+    index.finish();
+    let sources: Vec<&[LexedLine]> = vec![&lines];
+    let graph = CallGraph::build(&index, &sources);
+    let mut pragmas = vec![Vec::new()];
+    let _ = taint_pass(&index, &graph, &sources, &mut pragmas);
+}
+
+/// Real workspace sources to mutate — the analyzer's own modules are
+/// conveniently rich in `impl`, generics, `use` trees, and macros.
+/// Declaration-shaped fragments: the vendored proptest stub only
+/// supports character-class regexes, so soup is assembled from these.
+const DECL_TOKENS: &[&str] = &[
+    "pub ", "fn ", "impl ", "mod ", "use ", "struct ", "trait ", "for ", "crate", "super", "self",
+    "Self", "::", "<T>", "{", "}", "(", ")", ";", "\n", " ", "abc", "f", "x1", "—",
+];
+
+/// Fragments for the determinism property: well-formed-ish nesting.
+const DET_TOKENS: &[&str] =
+    &["pub fn aa() {}\n", "pub fn bb() {}\n", "mod gg {\n", "mod hh {\n", "}\n", "impl Tt {\n"];
+
+/// Real workspace sources to mutate — the analyzer's own modules are
+/// conveniently rich in `impl`, generics, `use` trees, and macros.
+const REAL_SOURCES: &[&str] = &[
+    include_str!("../src/symbols.rs"),
+    include_str!("../src/callgraph.rs"),
+    include_str!("../src/taint.rs"),
+    include_str!("../src/rules.rs"),
+];
+
+proptest! {
+    #[test]
+    fn second_pass_never_panics_on_arbitrary_bytes(bytes in arb_bytes()) {
+        let source = String::from_utf8_lossy(&bytes);
+        full_pass(&source);
+    }
+
+    #[test]
+    fn second_pass_never_panics_on_rustish_soup(
+        src in "[ \t\n\"'rb#{}/\\*a-z0-9_!().:;,<>=&—]{0,512}"
+    ) {
+        full_pass(&src);
+    }
+
+    #[test]
+    fn second_pass_never_panics_on_declaration_soup(
+        tokens in prop::collection::vec(0usize..DECL_TOKENS.len(), 0..128)
+    ) {
+        let src: String = tokens.iter().map(|&t| DECL_TOKENS[t]).collect();
+        full_pass(&src);
+    }
+
+    #[test]
+    fn second_pass_never_panics_on_mutated_real_sources(
+        which in 0usize..4,
+        start_frac in 0.0f64..1.0,
+        len_frac in 0.0f64..0.2,
+        insert in "[ \t\n\"'{}/\\*a-z0-9_!().:<>—]{0,32}",
+        mode in 0u8..3,
+    ) {
+        let original = REAL_SOURCES[which];
+        let start = ((original.len() as f64) * start_frac) as usize;
+        let start = (0..=start).rev().find(|&i| original.is_char_boundary(i)).unwrap_or(0);
+        let end = start + ((original.len() as f64) * len_frac) as usize;
+        let end = (start..=original.len().min(end))
+            .rev()
+            .find(|&i| original.is_char_boundary(i))
+            .unwrap_or(start);
+        let mutated = match mode {
+            // Splice: replace a range with arbitrary text.
+            0 => format!("{}{}{}", &original[..start], insert, &original[end..]),
+            // Delete a range outright.
+            1 => format!("{}{}", &original[..start], &original[end..]),
+            // Duplicate a range in place.
+            _ => format!("{}{}{}", &original[..end], &original[start..end], &original[end..]),
+        };
+        full_pass(&mutated);
+    }
+
+    #[test]
+    fn symbol_qualified_names_are_deterministic(
+        tokens in prop::collection::vec(0usize..DET_TOKENS.len(), 0..24)
+    ) {
+        let src: String = tokens.iter().map(|&t| DET_TOKENS[t]).collect();
+        let build = || {
+            let lines = lex(&src);
+            let mask = vec![false; lines.len()];
+            let mut index = SymbolIndex::default();
+            index.add_file("crates/core/src/engine.rs", &lines, &mask);
+            index.finish();
+            index.fns.iter().map(|f| f.qualified.clone()).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(build(), build());
+    }
+}

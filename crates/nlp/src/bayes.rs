@@ -119,11 +119,8 @@ impl NaiveBayes {
         for p in &mut posterior {
             *p /= sum;
         }
-        let (category, &confidence) = posterior
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .expect("non-empty posterior");
+        let (category, &confidence) =
+            posterior.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1))?;
         Some(Prediction { category: category as u32, confidence, posterior })
     }
 
@@ -260,6 +257,19 @@ mod tests {
     fn untrained_returns_none() {
         let nb = NaiveBayes::new(5, 1.0);
         assert!(nb.predict(&[1, 2, 3]).is_none());
+    }
+
+    #[test]
+    fn single_category_argmax_is_total() {
+        // Regression: P4 witness `apply_record → ingest_clip →
+        // predict` — the argmax over the posterior used to `.expect`
+        // non-emptiness instead of propagating `None`. The degenerate
+        // one-class posterior exercises the argmax boundary.
+        let mut nb = NaiveBayes::new(1, 1.0);
+        nb.train(0, &[0]);
+        let pred = nb.predict(&[0]).unwrap();
+        assert_eq!(pred.category, 0);
+        assert!((pred.confidence - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -186,12 +186,14 @@ impl MobilityModel {
         MobilityModel { stay_points: stays, trips, profiles }
     }
 
-    /// Profiles departing from `origin`, sorted by descending frequency.
+    /// Profiles departing from `origin`, sorted by descending
+    /// frequency (ties broken by destination for determinism).
     #[must_use]
+    // lint: allow(reach-hash-iter) — result fully sorted by (trip count desc, destination) before return
     pub fn routes_from(&self, origin: u32) -> Vec<&RouteProfile> {
         let mut out: Vec<&RouteProfile> =
             self.profiles.values().filter(|p| p.origin == origin).collect();
-        out.sort_by_key(|p| std::cmp::Reverse(p.trip_count));
+        out.sort_by_key(|p| (std::cmp::Reverse(p.trip_count), p.destination));
         out
     }
 
@@ -222,6 +224,7 @@ impl MobilityModel {
     }
 }
 
+// lint: allow(reach-hash-iter) — output is keyed by (origin, destination); per-group stats come from slice order
 fn aggregate_profiles(trips: &[TripSummary]) -> HashMap<(u32, u32), RouteProfile> {
     let mut groups: HashMap<(u32, u32), Vec<&TripSummary>> = HashMap::new();
     for t in trips {
@@ -388,5 +391,30 @@ pub(crate) mod tests {
         assert!(t.duration().as_seconds() > 600);
         assert!(t.polyline().length_m() > 8_000.0);
         assert!(t.mean_speed_mps > 5.0);
+    }
+
+    #[test]
+    fn routes_from_breaks_frequency_ties_by_destination() {
+        // Regression: T3 witness `run_tick → … → routes_from` — with
+        // equal trip counts the order used to fall back to hash-map
+        // visit order.
+        let profile = |destination: u32| RouteProfile {
+            origin: 0,
+            destination,
+            trip_count: 3,
+            mean_duration_s: 600.0,
+            std_duration_s: 0.0,
+            mean_length_m: 5_000.0,
+            mean_complexity: 1.0,
+            hour_histogram: [0; 24],
+            representative: Vec::new(),
+        };
+        let mut profiles = HashMap::new();
+        for d in [9u32, 2, 5, 7, 1] {
+            profiles.insert((0u32, d), profile(d));
+        }
+        let model = MobilityModel { stay_points: Vec::new(), trips: Vec::new(), profiles };
+        let dests: Vec<u32> = model.routes_from(0).iter().map(|p| p.destination).collect();
+        assert_eq!(dests, vec![1, 2, 5, 7, 9]);
     }
 }

@@ -180,6 +180,7 @@ impl FeedbackStore {
     /// The user's preference vector as of `now`. Cold-start users get
     /// the neutral vector.
     #[must_use]
+    // lint: allow(reach-hash-iter) — `sums` binds one user's Vec of decayed sums, not the map itself
     pub fn preferences(&self, user: UserId, now: TimePoint) -> PreferenceVector {
         let Some(sums) = self.sums.get(&user) else {
             return PreferenceVector::neutral();
@@ -191,6 +192,7 @@ impl FeedbackStore {
 
     /// Users with at least one event.
     #[must_use]
+    // lint: allow(reach-hash-iter) — user ids are sorted before return
     pub fn known_users(&self) -> Vec<UserId> {
         let mut users: Vec<UserId> = self.log.keys().copied().collect();
         users.sort_unstable();

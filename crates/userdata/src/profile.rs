@@ -79,6 +79,7 @@ impl ProfileStore {
     }
 
     /// Iterates over all profiles (unspecified order).
+    // lint: allow(reach-hash-iter) — the only commit-path caller (snapshot encode_users) sorts by user id
     pub fn iter(&self) -> impl Iterator<Item = &UserProfile> {
         self.profiles.values()
     }

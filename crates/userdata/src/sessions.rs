@@ -144,6 +144,7 @@ impl SessionStore {
     /// Open sessions in deterministic order (sorted by user id), for
     /// persistence.
     #[must_use]
+    // lint: allow(reach-hash-iter) — result fully sorted by user id before return
     pub fn export_open(&self) -> Vec<&ListeningSession> {
         let mut open: Vec<&ListeningSession> = self.open.values().collect();
         open.sort_by_key(|s| s.user);
@@ -159,6 +160,7 @@ impl SessionStore {
     /// Rebuilds the store from persisted sessions: `open` holds at most
     /// one session per user, `closed` is the history in log order.
     #[must_use]
+    // lint: allow(reach-hash-iter) — `open` here is the persisted Vec in snapshot order; it is collected into a map keyed by user
     pub fn restore(open: Vec<ListeningSession>, closed: Vec<ListeningSession>) -> Self {
         SessionStore { open: open.into_iter().map(|s| (s.user, s)).collect(), closed }
     }

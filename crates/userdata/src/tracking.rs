@@ -211,6 +211,7 @@ impl TrackingStore {
 
     /// Users with at least one fix.
     #[must_use]
+    // lint: allow(reach-hash-iter) — user ids are sorted before return
     pub fn known_users(&self) -> Vec<UserId> {
         let mut users: Vec<UserId> = self.traces.keys().copied().collect();
         users.sort_unstable();
