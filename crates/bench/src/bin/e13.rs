@@ -25,6 +25,9 @@
 //!   the artifact — the 100k row's lower warm share (per-user map
 //!   locality in the commit loop) is tracked as the next scaling rung,
 //!   not gated here.
+//! * `E13_ROUNDS` — timed rounds per retrieval pass and per
+//!   tick-scaling row (one extra warmup run is always taken first and
+//!   discarded; the minimum of the timed rounds is reported), default 3.
 //! * `E13_OUT` — output path, default `BENCH_e13.json`.
 //! * `E13_OBS_ROUNDS` — best-of rounds per obs variant, default 3.
 //! * `E13_MAX_OVERHEAD_PCT` — obs overhead gate, default 3.0.
@@ -67,6 +70,7 @@ fn main() -> ExitCode {
     let min_tick_speedup: f64 =
         env_or("E13_MIN_TICK_SPEEDUP", "3.0").parse().expect("E13_MIN_TICK_SPEEDUP");
     let gate_fleet: u64 = env_or("E13_GATE_FLEET", "10000").parse().expect("E13_GATE_FLEET");
+    let rounds: usize = env_or("E13_ROUNDS", "3").parse().expect("E13_ROUNDS");
     let out_path = env_or("E13_OUT", "BENCH_e13.json");
     let obs_rounds: usize = env_or("E13_OBS_ROUNDS", "3").parse().expect("E13_OBS_ROUNDS");
     let max_overhead_pct: f64 =
@@ -75,11 +79,11 @@ fn main() -> ExitCode {
     let obs_out = env_or("E13_OBS_OUT", "OBS_SNAPSHOT.json");
 
     println!("=== E13: retrieval index + sharded batch ticks ===");
-    let retrieval = e13_retrieval(&grid, 42);
+    let retrieval = e13_retrieval(&grid, 42, rounds);
     for row in &retrieval {
         println!("{row}");
     }
-    let ticks = e13_tick_scaling(tick_users, &workers);
+    let ticks = e13_tick_scaling(tick_users, &workers, rounds);
     for row in &ticks {
         println!("{row}");
     }
@@ -96,6 +100,7 @@ fn main() -> ExitCode {
     let mut w = JsonWriter::new();
     w.begin_object();
     w.field_str("experiment", "e13");
+    w.field_u64("rounds", rounds as u64);
     w.begin_named_array("retrieval");
     for r in &retrieval {
         w.begin_object();
@@ -104,7 +109,8 @@ fn main() -> ExitCode {
             .field_f64("scan_s", r.scan_s)
             .field_f64("indexed_s", r.indexed_s)
             .field_f64("speedup", r.speedup)
-            .field_u64("candidates", r.candidates);
+            .field_u64("candidates", r.candidates)
+            .field_str("dispatch", r.dispatch.label());
         w.end_object();
     }
     w.end_array();

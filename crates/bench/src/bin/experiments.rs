@@ -86,10 +86,10 @@ fn main() {
     }
 
     println!("\n=== E13: retrieval index + sharded batch ticks ===");
-    for row in exp::e13_retrieval(&[(1_000, 200), (10_000, 200)], 42) {
+    for row in exp::e13_retrieval(&[(1_000, 200), (10_000, 200)], 42, 2) {
         println!("{row}");
     }
-    for row in exp::e13_tick_scaling(12, &[1, 2, 8]) {
+    for row in exp::e13_tick_scaling(12, &[1, 2, 8], 2) {
         println!("{row}");
     }
     println!("{}", exp::e13_obs_overhead(12, 8, 2));

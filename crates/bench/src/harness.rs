@@ -1,0 +1,508 @@
+//! The process-based bench harness behind the `pphcr-bench` binary.
+//!
+//! An in-process benchmark shares its allocator, its warmed caches and
+//! its panic domain with the code it measures; the numbers it prints
+//! inherit all three. This harness spawns each agent as its own
+//! release process (`bench_agent`), lets it run the scenario suites
+//! against a private [`Engine`](pphcr_core::Engine), and reads back one
+//! line of JSON per agent from stdout. Histograms cross the process
+//! boundary in the exact log2-bucket wire form
+//! ([`Histogram::to_wire_json`]), so the parent's merge is the same
+//! lossless [`Histogram::merge_from`] the obs layer proves commutative
+//! — merged totals are the sums of the agent totals by construction,
+//! and p50/p95/p99 come from [`Histogram::quantile_upper_bound`] over
+//! the merged buckets (each an upper bound within its power-of-two
+//! bucket, i.e. under 2x of the true quantile).
+//!
+//! The agent line grammar is fixed and machine-generated, so decoding
+//! is strict: known keys in a known order, digits-only integers (an
+//! `f64` detour would corrupt saturated `u64` sums), and the embedded
+//! histogram handed verbatim to [`Histogram::from_wire_json`].
+
+use pphcr_core::json::JsonWriter;
+use pphcr_obs::Histogram;
+use std::fmt::Write as _;
+
+/// One scenario's result inside an agent summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AgentScenario {
+    /// Suite tag (`"A"` or `"B"`).
+    pub suite: String,
+    /// Scenario name; the merge key together with `suite`.
+    pub name: String,
+    /// Operations recorded into `hist`.
+    pub ops: u64,
+    /// Scenario wall time in this agent, seconds.
+    pub elapsed_s: f64,
+    /// Per-operation latency histogram, microseconds.
+    pub hist: Histogram,
+}
+
+/// Everything one agent process reports: its identity, its seed and
+/// every scenario it ran, in order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AgentSummary {
+    /// Agent index assigned by the orchestrator.
+    pub agent: u64,
+    /// The seed this agent's stochastic scenarios drew from.
+    pub seed: u64,
+    /// Scenario results in execution order.
+    pub scenarios: Vec<AgentScenario>,
+}
+
+impl AgentSummary {
+    /// Encodes the summary as the single stdout line the orchestrator
+    /// reads. Scenario labels are restricted to ASCII without `"` or
+    /// `\` (ours are identifiers), so no escaping is ever needed and
+    /// the line stays greppable.
+    #[must_use]
+    pub fn to_line_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{{\"agent\":{},\"seed\":{},\"scenarios\":[", self.agent, self.seed);
+        for (i, s) in self.scenarios.iter().enumerate() {
+            debug_assert!(label_ok(&s.suite) && label_ok(&s.name), "labels must be plain ASCII");
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"suite\":\"{}\",\"name\":\"{}\",\"ops\":{},\"elapsed_s\":{:.6},\"hist\":{}}}",
+                s.suite,
+                s.name,
+                s.ops,
+                s.elapsed_s,
+                s.hist.to_wire_json()
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Decodes a line produced by [`Self::to_line_json`]. Returns
+    /// `None` on any deviation from the grammar — wrong key order,
+    /// non-finite or negative wall time, a histogram whose totals
+    /// disagree with its buckets, an `ops` count that contradicts the
+    /// histogram, or trailing garbage.
+    #[must_use]
+    pub fn from_line_json(input: &str) -> Option<AgentSummary> {
+        let mut p = Cursor { bytes: input.trim().as_bytes(), pos: 0 };
+        p.expect(b"{\"agent\":")?;
+        let agent = p.integer()?;
+        p.expect(b",\"seed\":")?;
+        let seed = p.integer()?;
+        p.expect(b",\"scenarios\":[")?;
+        let mut scenarios = Vec::new();
+        if p.peek() == Some(b']') {
+            p.pos += 1;
+        } else {
+            loop {
+                p.expect(b"{\"suite\":\"")?;
+                let suite = p.label()?;
+                p.expect(b"\",\"name\":\"")?;
+                let name = p.label()?;
+                p.expect(b"\",\"ops\":")?;
+                let ops = p.integer()?;
+                p.expect(b",\"elapsed_s\":")?;
+                let elapsed_s = p.float()?;
+                p.expect(b",\"hist\":")?;
+                let hist = Histogram::from_wire_json(p.balanced_object()?)?;
+                p.expect(b"}")?;
+                if !(elapsed_s.is_finite() && elapsed_s >= 0.0) || ops != hist.count() {
+                    return None;
+                }
+                scenarios.push(AgentScenario { suite, name, ops, elapsed_s, hist });
+                match p.peek() {
+                    Some(b',') => p.pos += 1,
+                    Some(b']') => {
+                        p.pos += 1;
+                        break;
+                    }
+                    _ => return None,
+                }
+            }
+        }
+        p.expect(b"}")?;
+        if p.pos != p.bytes.len() {
+            return None;
+        }
+        Some(AgentSummary { agent, seed, scenarios })
+    }
+}
+
+fn label_ok(s: &str) -> bool {
+    !s.is_empty() && s.bytes().all(|b| b.is_ascii_graphic() && b != b'"' && b != b'\\')
+}
+
+/// Strict cursor over the fixed agent-line grammar.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, literal: &[u8]) -> Option<()> {
+        if self.bytes[self.pos..].starts_with(literal) {
+            self.pos += literal.len();
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    /// Digits-only `u64`; rejects overflow instead of rounding.
+    fn integer(&mut self) -> Option<u64> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return None;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos]).ok()?.parse().ok()
+    }
+
+    /// A non-negative decimal float (digits, optional fraction).
+    fn float(&mut self) -> Option<f64> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9' | b'.')) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return None;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos]).ok()?.parse().ok()
+    }
+
+    /// An unescaped ASCII label, up to the closing quote (excluded).
+    fn label(&mut self) -> Option<String> {
+        let start = self.pos;
+        while self.peek().is_some_and(|b| b != b'"' && b.is_ascii_graphic() && b != b'\\') {
+            self.pos += 1;
+        }
+        if self.pos == start || self.peek() != Some(b'"') {
+            return None;
+        }
+        Some(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
+    }
+
+    /// The balanced `{...}` slice starting here, advanced past. Safe
+    /// because histogram wire JSON contains no strings, so every brace
+    /// is structural.
+    fn balanced_object(&mut self) -> Option<&'a str> {
+        if self.peek() != Some(b'{') {
+            return None;
+        }
+        let start = self.pos;
+        let mut depth = 0usize;
+        while let Some(b) = self.peek() {
+            self.pos += 1;
+            match b {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return std::str::from_utf8(&self.bytes[start..self.pos]).ok();
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+}
+
+/// One `(suite, name)` cell of the cross-agent merge.
+#[derive(Debug, Clone)]
+pub struct MergedScenario {
+    /// Suite tag.
+    pub suite: String,
+    /// Scenario name.
+    pub name: String,
+    /// Agents that reported this scenario.
+    pub agents: u64,
+    /// Total operations across agents (= `hist.count()`).
+    pub ops: u64,
+    /// Wall time of the slowest agent, seconds — the agents run
+    /// concurrently, so this is the harness-level elapsed time.
+    pub elapsed_s: f64,
+    /// `ops / elapsed_s`.
+    pub ops_per_s: f64,
+    /// The merged latency histogram, microseconds.
+    pub hist: Histogram,
+}
+
+impl MergedScenario {
+    /// The three tail figures the summary reports, as bucket upper
+    /// bounds: `(p50, p95, p99)` in microseconds.
+    #[must_use]
+    pub fn tails_us(&self) -> Option<(u64, u64, u64)> {
+        Some((
+            self.hist.quantile_upper_bound(0.50)?,
+            self.hist.quantile_upper_bound(0.95)?,
+            self.hist.quantile_upper_bound(0.99)?,
+        ))
+    }
+}
+
+/// Merges agent summaries per `(suite, name)`, preserving first-seen
+/// scenario order. Histograms merge exactly (`Histogram::merge_from`),
+/// so each cell's `ops` is the plain sum of the agents' `ops`.
+#[must_use]
+pub fn merge_agents(agents: &[AgentSummary]) -> Vec<MergedScenario> {
+    let mut merged: Vec<MergedScenario> = Vec::new();
+    for agent in agents {
+        for s in &agent.scenarios {
+            let cell = match merged.iter_mut().find(|m| m.suite == s.suite && m.name == s.name) {
+                Some(cell) => cell,
+                None => {
+                    merged.push(MergedScenario {
+                        suite: s.suite.clone(),
+                        name: s.name.clone(),
+                        agents: 0,
+                        ops: 0,
+                        elapsed_s: 0.0,
+                        ops_per_s: 0.0,
+                        hist: Histogram::default(),
+                    });
+                    merged.last_mut().expect("just pushed")
+                }
+            };
+            cell.agents += 1;
+            cell.ops += s.ops;
+            cell.elapsed_s = cell.elapsed_s.max(s.elapsed_s);
+            cell.hist.merge_from(&s.hist);
+        }
+    }
+    for cell in &mut merged {
+        cell.ops_per_s = cell.ops as f64 / cell.elapsed_s.max(1e-9);
+    }
+    merged
+}
+
+/// Per-suite rollup: total throughput plus the tails of the suite's
+/// scenarios merged into one histogram.
+#[derive(Debug, Clone)]
+pub struct SuiteSummary {
+    /// Suite tag.
+    pub suite: String,
+    /// Total operations across the suite's scenarios.
+    pub ops: u64,
+    /// Sum of the scenarios' harness-level wall times (scenarios run
+    /// sequentially inside each agent), seconds.
+    pub elapsed_s: f64,
+    /// `ops / elapsed_s`.
+    pub ops_per_s: f64,
+    /// All of the suite's latency samples, microseconds.
+    pub hist: Histogram,
+}
+
+/// Rolls merged scenarios up into per-suite totals, preserving
+/// first-seen suite order.
+#[must_use]
+pub fn suite_rollup(merged: &[MergedScenario]) -> Vec<SuiteSummary> {
+    let mut suites: Vec<SuiteSummary> = Vec::new();
+    for cell in merged {
+        let suite = match suites.iter_mut().find(|s| s.suite == cell.suite) {
+            Some(s) => s,
+            None => {
+                suites.push(SuiteSummary {
+                    suite: cell.suite.clone(),
+                    ops: 0,
+                    elapsed_s: 0.0,
+                    ops_per_s: 0.0,
+                    hist: Histogram::default(),
+                });
+                suites.last_mut().expect("just pushed")
+            }
+        };
+        suite.ops += cell.ops;
+        suite.elapsed_s += cell.elapsed_s;
+        suite.hist.merge_from(&cell.hist);
+    }
+    for s in &mut suites {
+        s.ops_per_s = s.ops as f64 / s.elapsed_s.max(1e-9);
+    }
+    suites
+}
+
+/// Renders the pretty `summary.json` document the orchestrator writes.
+#[must_use]
+pub fn summary_json(agents: &[AgentSummary], merged: &[MergedScenario]) -> String {
+    let suites = suite_rollup(merged);
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("bench", "pphcr-bench");
+    w.field_u64("agents", agents.len() as u64);
+    w.begin_named_array("agent_seeds");
+    for a in agents {
+        w.item_u64(a.seed);
+    }
+    w.end_array();
+    w.begin_named_array("suites");
+    for s in &suites {
+        let (p50, p95, p99) = tails_or_zero(&s.hist);
+        w.begin_object();
+        w.field_str("suite", &s.suite)
+            .field_u64("ops", s.ops)
+            .field_f64("elapsed_s", s.elapsed_s)
+            .field_f64("ops_per_s", s.ops_per_s)
+            .field_u64("p50_us", p50)
+            .field_u64("p95_us", p95)
+            .field_u64("p99_us", p99);
+        w.end_object();
+    }
+    w.end_array();
+    w.begin_named_array("scenarios");
+    for m in merged {
+        let (p50, p95, p99) = tails_or_zero(&m.hist);
+        w.begin_object();
+        w.field_str("suite", &m.suite)
+            .field_str("name", &m.name)
+            .field_u64("agents", m.agents)
+            .field_u64("ops", m.ops)
+            .field_f64("elapsed_s", m.elapsed_s)
+            .field_f64("ops_per_s", m.ops_per_s)
+            .field_u64("p50_us", p50)
+            .field_u64("p95_us", p95)
+            .field_u64("p99_us", p99)
+            .field_u64("hist_count", m.hist.count())
+            .field_u64("hist_sum_us", m.hist.sum());
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    let mut doc = w.finish();
+    doc.push('\n');
+    doc
+}
+
+fn tails_or_zero(hist: &Histogram) -> (u64, u64, u64) {
+    (
+        hist.quantile_upper_bound(0.50).unwrap_or(0),
+        hist.quantile_upper_bound(0.95).unwrap_or(0),
+        hist.quantile_upper_bound(0.99).unwrap_or(0),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist_of(values: &[u64]) -> Histogram {
+        let mut h = Histogram::default();
+        for &v in values {
+            h.record(v);
+        }
+        h
+    }
+
+    fn sample_summary(agent: u64) -> AgentSummary {
+        AgentSummary {
+            agent,
+            seed: 42 ^ agent,
+            scenarios: vec![
+                AgentScenario {
+                    suite: "A".into(),
+                    name: "baseline_tick".into(),
+                    ops: 3,
+                    elapsed_s: 0.25,
+                    hist: hist_of(&[10, 900, 1_024]),
+                },
+                AgentScenario {
+                    suite: "B".into(),
+                    name: "poisson_calm".into(),
+                    ops: 2,
+                    elapsed_s: 0.5,
+                    hist: hist_of(&[0, 7]),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn golden_agent_line_is_stable() {
+        // The orchestrator greps release-agent stdout for exactly this
+        // shape; a byte-level change here is a wire-format break.
+        let line = sample_summary(0).to_line_json();
+        assert_eq!(
+            line,
+            "{\"agent\":0,\"seed\":42,\"scenarios\":[\
+             {\"suite\":\"A\",\"name\":\"baseline_tick\",\"ops\":3,\"elapsed_s\":0.250000,\
+             \"hist\":{\"count\":3,\"sum\":1934,\"buckets\":[[4,1],[10,1],[11,1]]}},\
+             {\"suite\":\"B\",\"name\":\"poisson_calm\",\"ops\":2,\"elapsed_s\":0.500000,\
+             \"hist\":{\"count\":2,\"sum\":7,\"buckets\":[[0,1],[3,1]]}}]}"
+        );
+        assert!(!line.contains('\n'), "must stay a single line");
+    }
+
+    #[test]
+    fn agent_line_round_trips() {
+        let summary = sample_summary(3);
+        let back = AgentSummary::from_line_json(&summary.to_line_json()).expect("round trip");
+        assert_eq!(back, summary);
+        // Empty scenario lists are legal (an agent that ran nothing).
+        let empty = AgentSummary { agent: 1, seed: 9, scenarios: Vec::new() };
+        assert_eq!(AgentSummary::from_line_json(&empty.to_line_json()), Some(empty));
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        let good = sample_summary(0).to_line_json();
+        for bad in [
+            "",
+            "{}",
+            "{\"agent\":0}",
+            &good[..good.len() - 1],                     // truncated
+            &format!("{good} x"),                        // trailing garbage
+            &good.replace("\"ops\":3", "\"ops\":4"),     // ops disagree with hist
+            &good.replace("\"seed\":42", "\"seed\":-1"), // negative integer
+        ] {
+            assert_eq!(AgentSummary::from_line_json(bad), None, "{bad:?}");
+        }
+        // Leading/trailing whitespace around the line itself is fine.
+        assert!(AgentSummary::from_line_json(&format!("  {good}\n")).is_some());
+    }
+
+    #[test]
+    fn merge_sums_ops_and_takes_slowest_elapsed() {
+        let a = sample_summary(0);
+        let b = sample_summary(1);
+        let merged = merge_agents(&[a.clone(), b.clone()]);
+        assert_eq!(merged.len(), 2, "two distinct (suite, name) cells");
+        for (i, cell) in merged.iter().enumerate() {
+            assert_eq!(cell.agents, 2);
+            assert_eq!(cell.ops, a.scenarios[i].ops + b.scenarios[i].ops);
+            assert_eq!(cell.hist.count(), cell.ops, "merge must stay lossless");
+            assert!((cell.elapsed_s - a.scenarios[i].elapsed_s).abs() < 1e-12);
+            let (p50, p95, p99) = cell.tails_us().expect("non-empty");
+            assert!(p50 <= p95 && p95 <= p99);
+        }
+        let suites = suite_rollup(&merged);
+        assert_eq!(suites.len(), 2);
+        assert_eq!(suites[0].suite, "A");
+        assert_eq!(suites[0].ops, 6);
+        assert_eq!(suites[1].ops, 4);
+    }
+
+    #[test]
+    fn summary_json_parses_and_reports_tails() {
+        let agents = [sample_summary(0), sample_summary(1)];
+        let merged = merge_agents(&agents);
+        let doc = summary_json(&agents, &merged);
+        let parsed = pphcr_core::json::parse(&doc).expect("summary.json must parse");
+        assert_eq!(parsed.get("agents").and_then(|v| v.as_u64()), Some(2));
+        let scenarios = parsed.get("scenarios").and_then(|v| v.as_arr()).expect("scenarios");
+        assert_eq!(scenarios.len(), 2);
+        for s in scenarios {
+            let p50 = s.get("p50_us").and_then(|v| v.as_u64()).expect("p50");
+            let p95 = s.get("p95_us").and_then(|v| v.as_u64()).expect("p95");
+            let p99 = s.get("p99_us").and_then(|v| v.as_u64()).expect("p99");
+            assert!(p50 <= p95 && p95 <= p99);
+        }
+        assert_eq!(parsed.get("suites").and_then(|v| v.as_arr()).map(<[_]>::len), Some(2));
+    }
+}

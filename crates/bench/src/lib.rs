@@ -4,12 +4,16 @@
 //! Each bench prints its experiment's result table once (the rows that
 //! `EXPERIMENTS.md` records) and then measures the hot path under
 //! Criterion. The `experiments` binary prints every table without
-//! timing noise:
+//! timing noise, and the process-based tail-latency harness (E15)
+//! lives in [`harness`]:
 //!
 //! ```text
 //! cargo run -p pphcr-bench --release --bin experiments
+//! cargo run -p pphcr-bench --release --bin pphcr-bench
 //! cargo bench -p pphcr-bench
 //! ```
+
+pub mod harness;
 
 use std::sync::Once;
 

@@ -453,6 +453,29 @@ fn trace_entry(
     }
 }
 
+/// Warm jobs a worker thread must amortize before spawning it pays:
+/// below this, thread spawn + join costs more than the work itself.
+/// The E13 24-user fleet at 8 requested workers ran at 0.65x of the
+/// 1-worker row purely on spawn overhead — three jobs per thread,
+/// twelve spawns per window — so tiny batches collapse to the inline
+/// path. At 1 000+ users the clamp never binds (1 000 / 64 > 8).
+const WARM_JOBS_PER_WORKER: usize = 64;
+
+/// Effective worker count for a warm batch of `jobs` jobs spread over
+/// `populated_shards` distinct user shards.
+///
+/// Two clamps on the requested count, both pure functions of the work
+/// list (never of thread timing, so the choice is deterministic):
+/// workers beyond the populated shard count would own no shard and
+/// spawn idle, and workers below the [`WARM_JOBS_PER_WORKER`]
+/// amortization floor cost more in spawn/join than they parallelize.
+/// Worker count only partitions work — outcomes are committed in
+/// request order and registries merge commutatively — so clamping
+/// cannot change the event stream, only the wall time.
+fn effective_warm_workers(requested: usize, jobs: usize, populated_shards: usize) -> usize {
+    requested.min(populated_shards.max(1)).min((jobs / WARM_JOBS_PER_WORKER).max(1))
+}
+
 /// `SplitMix64` finalizer — a cheap, well-mixed hash from `UserId` to a
 /// shard, stable across runs and platforms.
 fn splitmix64(mut x: u64) -> u64 {
@@ -1487,6 +1510,17 @@ impl Engine {
                     cache_fill,
                 }
             };
+            // Clamp the thread fan-out to what the job list can
+            // amortize: tiny fleets (fewer jobs than the per-worker
+            // floor) run inline, and no thread is spawned for a shard
+            // range that holds no user. `USER_SHARDS` is 64, so one
+            // bit per shard covers the space.
+            let mut shard_mask = 0u64;
+            for job in &jobs {
+                shard_mask |= 1u64 << (splitmix64(job.user.0) % USER_SHARDS);
+            }
+            let workers =
+                effective_warm_workers(workers, jobs.len(), shard_mask.count_ones() as usize);
             let warm_span = Span::enter("engine.warm");
             let (mut outcomes, registries): (Vec<WarmOutcome>, Vec<Registry>) = if workers <= 1 {
                 let mut reg = shard_registry();
@@ -1951,6 +1985,63 @@ mod tests {
 
     fn tokens(words: &str) -> Vec<String> {
         words.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn effective_workers_collapse_tiny_fleets_to_inline() {
+        // The BENCH_e13 regression: 24 users over 8 requested workers
+        // gave each thread ~3 jobs and ran at 0.65x of 1 worker. Below
+        // the amortization floor the warm phase must run inline.
+        assert_eq!(effective_warm_workers(8, 24, 20), 1);
+        assert_eq!(effective_warm_workers(8, 0, 0), 1);
+        assert_eq!(effective_warm_workers(1, 24, 20), 1);
+        // One full floor's worth of jobs still isn't worth two threads.
+        assert_eq!(effective_warm_workers(8, WARM_JOBS_PER_WORKER, 40), 1);
+        assert_eq!(effective_warm_workers(8, 2 * WARM_JOBS_PER_WORKER, 40), 2);
+    }
+
+    #[test]
+    fn effective_workers_keep_full_fan_out_for_large_fleets() {
+        // 1 000 jobs over all 64 shards: the clamp must not bind.
+        assert_eq!(effective_warm_workers(8, 1_000, 64), 8);
+        assert_eq!(effective_warm_workers(2, 100_000, 64), 2);
+        // Workers beyond the populated shard count would idle.
+        assert_eq!(effective_warm_workers(8, 1_000, 3), 3);
+        assert_eq!(effective_warm_workers(64, 100_000, 64), 64);
+    }
+
+    #[test]
+    fn tiny_fleet_events_are_identical_across_requested_worker_counts() {
+        // The clamp only repartitions work; the emitted stream must be
+        // byte-identical whether 1 or 8 workers were requested.
+        let run = |workers: usize| -> Vec<String> {
+            let mut e = engine();
+            let t = TimePoint::at(0, 9, 0, 0);
+            for u in 1..=5u64 {
+                e.register_user(profile(u), t);
+            }
+            for i in 0..6u64 {
+                e.ingest_clip(
+                    format!("clip {i}"),
+                    ClipKind::Podcast,
+                    TimeSpan::minutes(4),
+                    t,
+                    None,
+                    &[],
+                    Some(CategoryId::new((i % 30) as u16)),
+                );
+            }
+            let ids: Vec<UserId> = (1..=5).map(UserId).collect();
+            let mut out = Vec::new();
+            for step in 1..=4u64 {
+                let now = t.advance(TimeSpan::seconds(step * 30));
+                let request = TickRequest::batch(&ids, now).with_workers(workers);
+                let events = e.run_tick(&request).expect("registered users").events;
+                out.extend(events.into_iter().map(|ev| format!("{ev:?}")));
+            }
+            out
+        };
+        assert_eq!(run(1), run(8));
     }
 
     #[test]

@@ -9,7 +9,11 @@
 //! * [`Registry`] — named counters, gauges and power-of-two-bucket
 //!   [`Histogram`]s with exact `u64` counts (no floats on the hot
 //!   path). Per-shard registries from the parallel warm phase merge
-//!   deterministically with [`Registry::merge_from`].
+//!   deterministically with [`Registry::merge_from`]; tail latencies
+//!   come out of a histogram via
+//!   [`Histogram::quantile_upper_bound`].
+//! * [`wire`] — the single-line JSON wire format bench agent
+//!   processes use to ship their histograms to the orchestrator.
 //! * [`Span`] — wall-clock stage timing routed through the single
 //!   D1-allowlisted [`timing`] module. Span durations are *reported
 //!   only* and never enter a snapshot.
@@ -29,6 +33,7 @@ pub mod snapshot;
 pub mod span;
 pub mod timing;
 pub mod trace;
+pub mod wire;
 
 pub use registry::{Histogram, Registry, TimingStat, HISTOGRAM_BUCKETS};
 pub use snapshot::{HistogramSnapshot, ObsSnapshot};

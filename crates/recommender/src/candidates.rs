@@ -157,6 +157,34 @@ fn default_scan_below() -> usize {
     2_000
 }
 
+/// Which retrieval walk the indexed entry points will actually run for
+/// a given repository size — the production dispatch decision, exposed
+/// so benchmarks report what they measured instead of guessing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetrievalPath {
+    /// Below [`CandidateFilter::scan_below`]: the linear scan.
+    Scan,
+    /// At or above the threshold: the posting-list index walk.
+    Index,
+}
+
+impl RetrievalPath {
+    /// Stable label used in experiment tables and JSON artifacts.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            RetrievalPath::Scan => "scan-fallback",
+            RetrievalPath::Index => "index",
+        }
+    }
+}
+
+impl std::fmt::Display for RetrievalPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 impl Default for CandidateFilter {
     fn default() -> Self {
         CandidateFilter {
@@ -263,6 +291,19 @@ impl CandidateFilter {
         self.candidates_indexed_excluding_stats(repo, prefs, ctx, weights, exclude).0
     }
 
+    /// The walk [`Self::candidates_indexed_excluding_stats`] will run
+    /// for a repository of `repo_len` clips. The dispatch below routes
+    /// through this predicate, so callers that report it (e.g. the e13
+    /// retrieval bench) cannot drift from what actually executed.
+    #[must_use]
+    pub fn retrieval_path(&self, repo_len: usize) -> RetrievalPath {
+        if repo_len < self.scan_below {
+            RetrievalPath::Scan
+        } else {
+            RetrievalPath::Index
+        }
+    }
+
     /// [`Self::candidates_indexed_excluding`] plus the per-stage
     /// [`RetrievalStats`] of the index walk. Freshness and preference
     /// cuts are counted structurally from posting-list lengths, so the
@@ -280,7 +321,7 @@ impl CandidateFilter {
         weights: &ScoringWeights,
         exclude: &HashSet<ClipId>,
     ) -> (Vec<ScoredClip>, RetrievalStats) {
-        if repo.len() < self.scan_below {
+        if self.retrieval_path(repo.len()) == RetrievalPath::Scan {
             return self.candidates_excluding_stats(repo, prefs, ctx, weights, exclude);
         }
         let mut stats = RetrievalStats::default();
@@ -744,6 +785,37 @@ mod tests {
                 indexed_only.candidates_indexed_excluding(&r, &p, &c, &weights, &exclude);
             assert_eq!(via_fallback, via_scan);
             assert_eq!(via_fallback, via_index);
+        }
+    }
+
+    #[test]
+    fn retrieval_path_predicate_matches_the_walk_that_runs() {
+        let r = repo();
+        let weights = ScoringWeights::default();
+        let p = prefs(1, &[8], &[5]);
+        let exclude = HashSet::new();
+        // Boundary semantics: strictly-below falls back, at-threshold indexes.
+        let at_threshold = CandidateFilter { scan_below: r.len(), ..CandidateFilter::default() };
+        assert_eq!(at_threshold.retrieval_path(r.len()), RetrievalPath::Index);
+        assert_eq!(at_threshold.retrieval_path(r.len() - 1), RetrievalPath::Scan);
+        assert_eq!(RetrievalPath::Scan.label(), "scan-fallback");
+        assert_eq!(RetrievalPath::Index.to_string(), "index");
+        // The predicate describes the walk that actually executes: a
+        // scan considers every clip in the repo, the index walk skips
+        // whole categories cut by preference and so considers fewer.
+        for scan_below in [0, r.len(), r.len() + 1] {
+            let filter = CandidateFilter { scan_below, ..CandidateFilter::default() };
+            let (_, stats) =
+                filter.candidates_indexed_excluding_stats(&r, &p, &ctx(), &weights, &exclude);
+            match filter.retrieval_path(r.len()) {
+                RetrievalPath::Scan => {
+                    assert_eq!(stats.considered, r.len() as u64);
+                }
+                RetrievalPath::Index => {
+                    assert!(stats.considered < r.len() as u64);
+                    assert!(stats.cut_preference > 0);
+                }
+            }
         }
     }
 }

@@ -36,7 +36,7 @@ pub mod proactive;
 pub mod scheduler;
 pub mod score;
 
-pub use candidates::{sanitize_score, CandidateFilter, RetrievalStats, ScoredClip};
+pub use candidates::{sanitize_score, CandidateFilter, RetrievalPath, RetrievalStats, ScoredClip};
 pub use context::{Activity, Ambient, DriveContext, ListenerContext, Weather};
 pub use ensemble::{category_entropy, diversify, ensemble_similarity};
 pub use proactive::{ProactivityModel, Trigger};

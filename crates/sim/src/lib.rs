@@ -31,6 +31,7 @@ pub mod crash;
 pub mod experiments;
 pub mod listener;
 pub mod population;
+pub mod scenarios;
 pub mod timing;
 pub mod world;
 

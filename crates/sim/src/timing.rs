@@ -9,6 +9,32 @@
 
 pub use pphcr_obs::timing::{stopwatch, Stopwatch};
 
+/// The minimum of `times[warmup..]`, or `None` when no timed samples
+/// survive the warmup cut. Pure so the discard policy is unit-testable
+/// without a clock: the first `warmup` entries are measurement noise
+/// (cold caches, lazy allocation, first-touch page faults) and must
+/// never influence a reported figure.
+#[must_use]
+pub fn min_after_warmup(times: &[f64], warmup: usize) -> Option<f64> {
+    times.get(warmup..).and_then(|timed| timed.iter().copied().reduce(f64::min))
+}
+
+/// Times `warmup + samples` runs of `op` and reports the minimum wall
+/// time (seconds) over the post-warmup runs. Min-of-N is the right
+/// summary for a deterministic workload on a noisy host: every run does
+/// identical work, so the fastest one carries the least scheduler
+/// interference. `samples` is clamped to at least 1.
+pub fn sample_min_s(warmup: usize, samples: usize, mut op: impl FnMut()) -> f64 {
+    let samples = samples.max(1);
+    let mut times = Vec::with_capacity(warmup + samples);
+    for _ in 0..warmup + samples {
+        let t = stopwatch();
+        op();
+        times.push(t.elapsed_s());
+    }
+    min_after_warmup(&times, warmup).expect("at least one timed sample")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -19,5 +45,34 @@ mod tests {
         let a = sw.elapsed_s();
         let b = sw.elapsed_s();
         assert!(a >= 0.0 && b >= a && b.is_finite());
+    }
+
+    #[test]
+    fn warmup_samples_are_discarded() {
+        // A slow first run (warmup contamination) must not leak into
+        // the minimum, and the minimum is over the surviving tail only.
+        let times = [9.0, 0.5, 0.3, 0.4];
+        assert_eq!(min_after_warmup(&times, 0), Some(0.3));
+        assert_eq!(min_after_warmup(&times, 1), Some(0.3));
+        assert_eq!(min_after_warmup(&times, 3), Some(0.4));
+    }
+
+    #[test]
+    fn empty_tail_yields_no_sample() {
+        assert_eq!(min_after_warmup(&[1.0, 2.0], 2), None);
+        assert_eq!(min_after_warmup(&[1.0, 2.0], 5), None);
+        assert_eq!(min_after_warmup(&[], 0), None);
+    }
+
+    #[test]
+    fn sample_min_runs_op_warmup_plus_samples_times() {
+        let mut calls = 0usize;
+        let s = sample_min_s(2, 3, || calls += 1);
+        assert_eq!(calls, 5);
+        assert!(s >= 0.0 && s.is_finite());
+        // samples clamps to 1 so the helper always reports something.
+        let mut calls = 0usize;
+        sample_min_s(1, 0, || calls += 1);
+        assert_eq!(calls, 2);
     }
 }
