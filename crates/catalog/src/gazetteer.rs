@@ -27,7 +27,7 @@ pub struct Place {
 }
 
 /// A place-name → location dictionary with transcript tagging.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Gazetteer {
     places: HashMap<String, Place>,
     /// Minimum mentions for a tag to be assigned (default 2: one

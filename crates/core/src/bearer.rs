@@ -24,7 +24,7 @@ pub struct Transmitter {
 }
 
 /// The coverage map of the broadcast network.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct CoverageMap {
     pub(crate) transmitters: Vec<Transmitter>,
 }

@@ -9,6 +9,7 @@
 
 use crate::bearer::{BearerClass, BearerSelector, CoverageMap};
 use crate::bus::{Bus, BusMessage, PublishError, Topic};
+use crate::command::EngineCommand;
 use crate::fault::ChaosRng;
 use crate::health::{HealthCounts, HealthState, UserHealth};
 use crate::hotstate::HotState;
@@ -203,6 +204,21 @@ pub enum EngineEvent {
         /// The clip.
         clip: ClipId,
     },
+}
+
+impl EngineEvent {
+    /// The listener this event concerns. Every event variant is
+    /// user-scoped, which is what lets a shard router merge per-shard
+    /// event queues back into global request order.
+    #[must_use]
+    pub fn user(&self) -> UserId {
+        match self {
+            EngineEvent::TripPredicted { user, .. }
+            | EngineEvent::Recommended { user, .. }
+            | EngineEvent::InjectionDelivered { user, .. }
+            | EngineEvent::ReactiveQueued { user, .. } => *user,
+        }
+    }
 }
 
 /// One recommendation decision, kept for the dashboard trace (Fig. 6's
@@ -483,6 +499,19 @@ fn splitmix64(mut x: u64) -> u64 {
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     x ^ (x >> 31)
+}
+
+/// The shard a user belongs to in an `shards`-way partition:
+/// `splitmix64(user) % shards`. This is the *same* hash the in-process
+/// warm phase uses for its worker shards, exported so the multi-process
+/// router partitions users identically to every other shard space.
+///
+/// # Panics
+/// Panics when `shards` is zero.
+#[must_use]
+pub fn user_shard(user: UserId, shards: u64) -> u64 {
+    assert!(shards > 0, "shard count must be positive");
+    splitmix64(user.0) % shards
 }
 
 /// Distraction zones where non-plain junctions lie near the route —
@@ -777,6 +806,95 @@ impl Engine {
         &self.config
     }
 
+    /// Executes one [`EngineCommand`] — the single entry point every
+    /// externally-driven mutation funnels through.
+    ///
+    /// The named methods (`register_user`, `inject`, …) remain the
+    /// readable call-site spelling, but they are now the *only* other
+    /// spelling: `DurableEngine`'s write-ahead path, WAL replay and the
+    /// shard router all pass commands here, so the three surfaces
+    /// cannot drift apart. Commands that emit engine events (ticks,
+    /// skips) return them; the rest return an empty vector.
+    ///
+    /// # Errors
+    /// Propagates the underlying entry point's [`EngineError`]
+    /// unchanged: unknown user/clip on targeted commands, bus
+    /// rejection on editorial injections.
+    pub fn apply(&mut self, cmd: &EngineCommand) -> Result<Vec<EngineEvent>, EngineError> {
+        match cmd {
+            EngineCommand::RegisterUser { profile, now } => {
+                self.register_user(profile.clone(), *now);
+                Ok(Vec::new())
+            }
+            EngineCommand::ChangeService { user, service, now } => {
+                self.change_service(*user, *service, *now)?;
+                Ok(Vec::new())
+            }
+            EngineCommand::TrainClassifier { category, tokens } => {
+                self.train_classifier(*category, tokens);
+                Ok(Vec::new())
+            }
+            EngineCommand::IngestClip {
+                title,
+                kind,
+                duration,
+                published,
+                geo,
+                tokens,
+                editorial,
+            } => {
+                let _ = self.ingest_clip(
+                    title.clone(),
+                    *kind,
+                    *duration,
+                    *published,
+                    *geo,
+                    tokens,
+                    *editorial,
+                );
+                Ok(Vec::new())
+            }
+            EngineCommand::RecordFix { user, fix } => {
+                self.record_fix(*user, *fix);
+                Ok(Vec::new())
+            }
+            EngineCommand::RecordFeedback { event } => {
+                self.record_feedback(*event);
+                Ok(Vec::new())
+            }
+            EngineCommand::Inject { user, clip, at, note } => {
+                self.inject(*user, *clip, *at, note.clone())?;
+                Ok(Vec::new())
+            }
+            EngineCommand::Skip { user, now } => Ok(self.skip(*user, *now)),
+            EngineCommand::Tick { users, now, batch, workers } => {
+                let request = TickRequest {
+                    users,
+                    now: *now,
+                    batch: *batch,
+                    workers: workers.map(|w| w as usize),
+                };
+                Ok(self.run_tick(&request)?.events)
+            }
+            EngineCommand::AdvancePlayer { user, now } => {
+                self.advance_player(*user, *now)?;
+                Ok(Vec::new())
+            }
+            EngineCommand::SetCoverage { coverage } => {
+                self.set_coverage(coverage.clone());
+                Ok(Vec::new())
+            }
+            EngineCommand::SetRoadNetwork { network } => {
+                self.set_road_network(network.clone());
+                Ok(Vec::new())
+            }
+            EngineCommand::SetGazetteer { gazetteer } => {
+                self.set_gazetteer(gazetteer.clone());
+                Ok(Vec::new())
+            }
+        }
+    }
+
     /// Registers a listener and creates their player session.
     pub fn register_user(&mut self, profile: UserProfile, now: TimePoint) {
         let user = profile.id;
@@ -814,9 +932,37 @@ impl Engine {
         Ok(())
     }
 
-    /// Mutable access to a listener's player.
-    pub fn player_mut(&mut self, user: UserId) -> Option<&mut Player> {
-        self.players.get_mut(&user)
+    // `player_mut` is gone on purpose: handing out `&mut Player` let
+    // callers mutate player state outside the WAL's append-before-apply
+    // envelope, so those mutations silently vanished on crash recovery.
+    // External callers drive players through `advance_player` (or the
+    // `EngineCommand::AdvancePlayer` command), which is logged like
+    // every other input.
+
+    /// Advances a listener's player to `now` against the broadcast
+    /// schedule and feeds the resulting player events (feedback,
+    /// heard-set and session bookkeeping) back into the engine.
+    ///
+    /// This is the command-shaped replacement for handing out `&mut
+    /// Player`: the same step a tick performs for the player, available
+    /// on its own so editors and tests can audition playback without
+    /// running a full tick — and durably, since
+    /// [`EngineCommand::AdvancePlayer`] flows through the WAL.
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownUser`] when the listener was never
+    /// registered.
+    pub fn advance_player(
+        &mut self,
+        user: UserId,
+        now: TimePoint,
+    ) -> Result<Vec<PlayerEvent>, EngineError> {
+        let Some(player) = self.players.get_mut(&user) else {
+            return Err(EngineError::UnknownUser(user));
+        };
+        let events = player.tick(now, &self.epg);
+        self.apply_player_events(user, &events);
+        Ok(events)
     }
 
     /// Read access to a listener's player.
@@ -1595,12 +1741,24 @@ impl Engine {
     /// in the ack/retry ledger.
     fn send_tracked(&mut self, user: UserId, message: BusMessage, now: TimePoint) {
         if let Ok(envelope) = self.bus.publish_checked(Topic::Recommendation, message, now) {
+            // The registration jitter is keyed on the delivery itself
+            // (seed ⊕ user ⊕ send time), not drawn from the shared
+            // chaos stream: a listener's first backoff must not depend
+            // on how many unrelated deliveries preceded it globally,
+            // or a sharded deployment (which splits that global order)
+            // could not reproduce the single-process timings.
+            let mut jitter_rng = ChaosRng::new(
+                self.config
+                    .chaos_seed
+                    .wrapping_add(user.0.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                    .wrapping_add(now.seconds().wrapping_mul(0xBF58_476D_1CE4_E5B9)),
+            );
             self.delivery.register(
                 user,
                 envelope,
                 now,
                 &self.config.backoff,
-                &mut self.chaos_rng,
+                &mut jitter_rng,
                 &mut self.obs,
             );
         }
@@ -2125,9 +2283,8 @@ mod tests {
         assert!(events
             .iter()
             .any(|ev| matches!(ev, EngineEvent::InjectionDelivered { clip: c, .. } if *c == clip)));
-        // Next player tick starts the injected clip.
-        let epg = e.epg.clone();
-        let pe = e.player_mut(UserId(1)).unwrap().tick(t.advance(TimeSpan::minutes(1)), &epg);
+        // Next player advance starts the injected clip.
+        let pe = e.advance_player(UserId(1), t.advance(TimeSpan::minutes(1))).unwrap();
         assert!(pe.contains(&PlayerEvent::ClipStarted(clip)));
     }
 

@@ -17,6 +17,7 @@
 
 pub mod bearer;
 pub mod bus;
+pub mod command;
 pub mod dashboard;
 pub mod engine;
 pub mod fault;
@@ -32,13 +33,15 @@ pub mod retry;
 pub mod snapshot;
 
 pub use bearer::{BearerClass, BearerSelector, CoverageMap};
+pub use command::EngineCommand;
+
 pub use bus::{
     Bus, BusMessage, DeadLetter, DeadLetterReason, Envelope, OverflowPolicy, QueuePolicy, Topic,
 };
 pub use dashboard::{Dashboard, ObservabilityView};
 pub use engine::{
-    CacheQuanta, Engine, EngineBuilder, EngineConfig, EngineError, EngineEvent, TickReport,
-    TickRequest,
+    user_shard, CacheQuanta, Engine, EngineBuilder, EngineConfig, EngineError, EngineEvent,
+    TickReport, TickRequest,
 };
 pub use fault::{
     transport_from_state, ChaosRng, FaultProfile, FaultyTransport, PerfectTransport, Transport,

@@ -27,7 +27,7 @@ const fn crc_table() -> [u32; 256] {
 
 /// CRC32 (IEEE) of `bytes`.
 #[must_use]
-pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+pub fn crc32(bytes: &[u8]) -> u32 {
     let mut crc = 0xFFFF_FFFFu32;
     for &b in bytes {
         let idx = ((crc ^ u32::from(b)) & 0xFF) as usize;
@@ -39,60 +39,71 @@ pub(crate) fn crc32(bytes: &[u8]) -> u32 {
 
 /// Append-only little-endian writer.
 #[derive(Debug, Default)]
-pub(crate) struct ByteWriter {
+pub struct ByteWriter {
     buf: Vec<u8>,
 }
 
 impl ByteWriter {
-    pub(crate) fn new() -> Self {
+    /// Creates an empty writer.
+    #[must_use]
+    pub fn new() -> Self {
         ByteWriter::default()
     }
 
-    pub(crate) fn into_inner(self) -> Vec<u8> {
+    /// Consumes the writer, returning the accumulated bytes.
+    #[must_use]
+    pub fn into_inner(self) -> Vec<u8> {
         self.buf
     }
 
-    pub(crate) fn put_u8(&mut self, v: u8) {
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
         self.buf.push(v);
     }
 
-    pub(crate) fn put_u16(&mut self, v: u16) {
+    /// Appends a `u16`, little-endian.
+    pub fn put_u16(&mut self, v: u16) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    pub(crate) fn put_u32(&mut self, v: u32) {
+    /// Appends a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    pub(crate) fn put_u64(&mut self, v: u64) {
+    /// Appends a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    pub(crate) fn put_i64(&mut self, v: i64) {
+    /// Appends an `i64`, little-endian.
+    pub fn put_i64(&mut self, v: i64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// f64 as raw IEEE-754 bits: bit-exact round-trip, NaN included.
-    pub(crate) fn put_f64(&mut self, v: f64) {
+    pub fn put_f64(&mut self, v: f64) {
         self.put_u64(v.to_bits());
     }
 
-    pub(crate) fn put_bool(&mut self, v: bool) {
+    /// Appends a bool as one byte (0 or 1).
+    pub fn put_bool(&mut self, v: bool) {
         self.put_u8(u8::from(v));
     }
 
-    pub(crate) fn put_bytes(&mut self, v: &[u8]) {
+    /// Appends raw bytes with no length prefix.
+    pub fn put_bytes(&mut self, v: &[u8]) {
         self.buf.extend_from_slice(v);
     }
 
     /// Length-prefixed UTF-8 string.
-    pub(crate) fn put_str(&mut self, v: &str) {
+    pub fn put_str(&mut self, v: &str) {
         self.put_u32(v.len() as u32);
         self.buf.extend_from_slice(v.as_bytes());
     }
 
     /// `Some` as 1 + payload (written by `f`), `None` as 0.
-    pub(crate) fn put_opt<T>(&mut self, v: Option<&T>, f: impl FnOnce(&mut Self, &T)) {
+    pub fn put_opt<T>(&mut self, v: Option<&T>, f: impl FnOnce(&mut Self, &T)) {
         match v {
             Some(inner) => {
                 self.put_u8(1);
@@ -105,65 +116,104 @@ impl ByteWriter {
 
 /// Bounds-checked little-endian reader over a borrowed slice.
 #[derive(Debug)]
-pub(crate) struct ByteReader<'a> {
+pub struct ByteReader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> ByteReader<'a> {
-    pub(crate) fn new(buf: &'a [u8]) -> Self {
+    /// Creates a reader over `buf`, positioned at the start.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
         ByteReader { buf, pos: 0 }
     }
 
-    pub(crate) fn remaining(&self) -> usize {
+    /// Bytes left to read.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
         self.buf.len().saturating_sub(self.pos)
     }
 
-    pub(crate) fn is_empty(&self) -> bool {
+    /// True when every byte has been consumed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
         self.remaining() == 0
     }
 
-    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+    /// Consumes exactly `n` bytes.
+    ///
+    /// # Errors
+    /// [`PersistError::Truncated`] when fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
         let end = self.pos.checked_add(n).ok_or(PersistError::Truncated)?;
         let slice = self.buf.get(self.pos..end).ok_or(PersistError::Truncated)?;
         self.pos = end;
         Ok(slice)
     }
 
-    pub(crate) fn u8(&mut self) -> Result<u8, PersistError> {
+    /// Reads one byte.
+    ///
+    /// # Errors
+    /// [`PersistError::Truncated`] on short input.
+    pub fn u8(&mut self) -> Result<u8, PersistError> {
         let b = self.take(1)?;
         b.first().copied().ok_or(PersistError::Truncated)
     }
 
-    pub(crate) fn u16(&mut self) -> Result<u16, PersistError> {
+    /// Reads a `u16`, little-endian.
+    ///
+    /// # Errors
+    /// [`PersistError::Truncated`] on short input.
+    pub fn u16(&mut self) -> Result<u16, PersistError> {
         let b = self.take(2)?;
         let arr: [u8; 2] = b.try_into().map_err(|_| PersistError::Truncated)?;
         Ok(u16::from_le_bytes(arr))
     }
 
-    pub(crate) fn u32(&mut self) -> Result<u32, PersistError> {
+    /// Reads a `u32`, little-endian.
+    ///
+    /// # Errors
+    /// [`PersistError::Truncated`] on short input.
+    pub fn u32(&mut self) -> Result<u32, PersistError> {
         let b = self.take(4)?;
         let arr: [u8; 4] = b.try_into().map_err(|_| PersistError::Truncated)?;
         Ok(u32::from_le_bytes(arr))
     }
 
-    pub(crate) fn u64(&mut self) -> Result<u64, PersistError> {
+    /// Reads a `u64`, little-endian.
+    ///
+    /// # Errors
+    /// [`PersistError::Truncated`] on short input.
+    pub fn u64(&mut self) -> Result<u64, PersistError> {
         let b = self.take(8)?;
         let arr: [u8; 8] = b.try_into().map_err(|_| PersistError::Truncated)?;
         Ok(u64::from_le_bytes(arr))
     }
 
-    pub(crate) fn i64(&mut self) -> Result<i64, PersistError> {
+    /// Reads an `i64`, little-endian.
+    ///
+    /// # Errors
+    /// [`PersistError::Truncated`] on short input.
+    pub fn i64(&mut self) -> Result<i64, PersistError> {
         let b = self.take(8)?;
         let arr: [u8; 8] = b.try_into().map_err(|_| PersistError::Truncated)?;
         Ok(i64::from_le_bytes(arr))
     }
 
-    pub(crate) fn f64(&mut self) -> Result<f64, PersistError> {
+    /// Reads an `f64` from raw IEEE-754 bits.
+    ///
+    /// # Errors
+    /// [`PersistError::Truncated`] on short input.
+    pub fn f64(&mut self) -> Result<f64, PersistError> {
         Ok(f64::from_bits(self.u64()?))
     }
 
-    pub(crate) fn bool(&mut self) -> Result<bool, PersistError> {
+    /// Reads a bool byte, rejecting anything but 0 or 1.
+    ///
+    /// # Errors
+    /// [`PersistError::Truncated`] on short input, [`PersistError::Corrupt`]
+    /// on an invalid tag.
+    pub fn bool(&mut self) -> Result<bool, PersistError> {
         match self.u8()? {
             0 => Ok(false),
             1 => Ok(true),
@@ -173,7 +223,7 @@ impl<'a> ByteReader<'a> {
 
     /// Length-prefixed UTF-8 string; rejects over-long prefixes and
     /// invalid UTF-8 without panicking.
-    pub(crate) fn string(&mut self) -> Result<String, PersistError> {
+    pub fn string(&mut self) -> Result<String, PersistError> {
         let len = self.u32()? as usize;
         if len > self.remaining() {
             return Err(PersistError::Truncated);
@@ -185,7 +235,7 @@ impl<'a> ByteReader<'a> {
     /// Bounded element count for `Vec` prefixes: a corrupted length must
     /// not trigger a huge allocation, so the count is capped by the
     /// bytes actually remaining (each element takes >= 1 byte).
-    pub(crate) fn seq_len(&mut self) -> Result<usize, PersistError> {
+    pub fn seq_len(&mut self) -> Result<usize, PersistError> {
         let n = self.u32()? as usize;
         if n > self.remaining() {
             return Err(PersistError::Truncated);
@@ -193,7 +243,12 @@ impl<'a> ByteReader<'a> {
         Ok(n)
     }
 
-    pub(crate) fn opt<T>(
+    /// Reads an option tag byte, then `Some` payload via `f` on 1.
+    ///
+    /// # Errors
+    /// [`PersistError::Corrupt`] on a tag byte other than 0 or 1;
+    /// whatever `f` returns on the payload.
+    pub fn opt<T>(
         &mut self,
         f: impl FnOnce(&mut Self) -> Result<T, PersistError>,
     ) -> Result<Option<T>, PersistError> {

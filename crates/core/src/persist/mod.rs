@@ -28,10 +28,11 @@ mod replay;
 pub mod snapshot;
 pub mod wal;
 
+pub use codec::{crc32, ByteReader, ByteWriter};
 pub use durable::{restore_engine, DurableEngine, FileWal, MemWal, RecoveryReport, WalStorage};
 pub use replay::{apply_record, ApplyResult};
 pub use snapshot::{decode_engine, snapshot_engine, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
-pub use wal::{WalOp, WalRecord, WalScan};
+pub use wal::{decode_payload, encode_payload, encode_record, WalOp, WalRecord, WalScan};
 
 use std::fmt;
 

@@ -1,14 +1,17 @@
 //! The single apply path shared by live execution and crash recovery.
 //!
 //! [`apply_record`] is the *only* place a [`WalOp`] turns into engine
-//! mutations. The live [`DurableEngine`](super::DurableEngine) logs a
-//! record and then calls it; [`restore_engine`](super::restore_engine)
-//! replays the WAL suffix through the very same function. Replay-equals-
-//! original therefore holds by construction, not by parallel-maintained
-//! code paths.
+//! mutations — and since `WalOp` *is*
+//! [`EngineCommand`](crate::command::EngineCommand), it is nothing but
+//! [`Engine::apply`] with the outcome recorded. The live
+//! [`DurableEngine`](super::DurableEngine) logs a record and then calls
+//! it; [`restore_engine`](super::restore_engine) replays the WAL suffix
+//! through the very same function; the shard agent serves forwarded
+//! commands through it too. Replay-equals-original therefore holds by
+//! construction, not by parallel-maintained code paths.
 
-use super::wal::{WalOp, WalRecord};
-use crate::engine::{Engine, EngineEvent, TickRequest};
+use super::wal::WalRecord;
+use crate::engine::{Engine, EngineEvent};
 
 /// What applying one WAL record produced.
 ///
@@ -42,59 +45,10 @@ impl ApplyResult {
     }
 }
 
-/// Applies one WAL record to the engine through its public entry points.
+/// Applies one WAL record to the engine through [`Engine::apply`].
 pub fn apply_record(engine: &mut Engine, record: &WalRecord) -> ApplyResult {
-    let mut events = Vec::new();
-    let mut error = None;
-    match &record.op {
-        WalOp::RegisterUser { profile, now } => {
-            engine.register_user(profile.clone(), *now);
-        }
-        WalOp::ChangeService { user, service, now } => {
-            if let Err(e) = engine.change_service(*user, *service, *now) {
-                error = Some(e.to_string());
-            }
-        }
-        WalOp::TrainClassifier { category, tokens } => {
-            engine.train_classifier(*category, tokens);
-        }
-        WalOp::IngestClip { title, kind, duration, published, geo, tokens, editorial } => {
-            let _ = engine.ingest_clip(
-                title.clone(),
-                *kind,
-                *duration,
-                *published,
-                *geo,
-                tokens,
-                *editorial,
-            );
-        }
-        WalOp::RecordFix { user, fix } => {
-            engine.record_fix(*user, *fix);
-        }
-        WalOp::RecordFeedback { event } => {
-            engine.record_feedback(*event);
-        }
-        WalOp::Inject { user, clip, at, note } => {
-            if let Err(e) = engine.inject(*user, *clip, *at, note.clone()) {
-                error = Some(e.to_string());
-            }
-        }
-        WalOp::Skip { user, now } => {
-            events = engine.skip(*user, *now);
-        }
-        WalOp::Tick { users, now, batch, workers } => {
-            let req = TickRequest {
-                users,
-                now: *now,
-                batch: *batch,
-                workers: workers.map(|w| w as usize),
-            };
-            match engine.run_tick(&req) {
-                Ok(report) => events = report.events,
-                Err(e) => error = Some(e.to_string()),
-            }
-        }
+    match engine.apply(&record.op) {
+        Ok(events) => ApplyResult { seq: record.seq, events, error: None },
+        Err(e) => ApplyResult { seq: record.seq, events: Vec::new(), error: Some(e.to_string()) },
     }
-    ApplyResult { seq: record.seq, events, error }
 }

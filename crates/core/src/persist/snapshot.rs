@@ -327,7 +327,10 @@ fn get_envelope(r: &mut ByteReader<'_>) -> Result<Envelope, PersistError> {
     Ok(Envelope { message, published_at: TimePoint(r.u64()?), hops: r.u32()?, seq: r.u64()? })
 }
 
-fn put_transmitters(w: &mut ByteWriter, coverage: &CoverageMap) {
+/// Encodes a coverage map. Shared with the WAL codec: the
+/// `SetCoverage` command and the snapshot CONFIG section carry the same
+/// bytes.
+pub(crate) fn put_coverage(w: &mut ByteWriter, coverage: &CoverageMap) {
     w.put_u32(coverage.transmitters.len() as u32);
     for t in &coverage.transmitters {
         put_point(w, t.position);
@@ -335,13 +338,90 @@ fn put_transmitters(w: &mut ByteWriter, coverage: &CoverageMap) {
     }
 }
 
-fn get_transmitters(r: &mut ByteReader<'_>) -> Result<CoverageMap, PersistError> {
+/// Decodes [`put_coverage`] output.
+pub(crate) fn get_coverage(r: &mut ByteReader<'_>) -> Result<CoverageMap, PersistError> {
     let n = r.seq_len()?;
     let mut transmitters = Vec::with_capacity(n);
     for _ in 0..n {
         transmitters.push(Transmitter { position: get_point(r)?, radius_m: r.f64()? });
     }
     Ok(CoverageMap { transmitters })
+}
+
+/// Encodes a road network. Shared with the WAL codec (`SetRoadNetwork`).
+pub(crate) fn put_road_network(w: &mut ByteWriter, net: &RoadNetwork) {
+    w.put_u32(net.nodes().len() as u32);
+    for node in net.nodes() {
+        put_point(w, node.pos);
+        w.put_u8(match node.kind {
+            NodeKind::Plain => 0,
+            NodeKind::Intersection => 1,
+            NodeKind::Roundabout => 2,
+        });
+    }
+    w.put_u32(net.edges().len() as u32);
+    for edge in net.edges() {
+        w.put_u32(edge.from.0);
+        w.put_u32(edge.to.0);
+        w.put_f64(edge.speed_mps);
+    }
+}
+
+/// Decodes [`put_road_network`] output, validating edge endpoints and
+/// speeds.
+pub(crate) fn get_road_network(r: &mut ByteReader<'_>) -> Result<RoadNetwork, PersistError> {
+    let n_nodes = r.seq_len()?;
+    let mut net = RoadNetwork::new();
+    for _ in 0..n_nodes {
+        let pos = get_point(r)?;
+        let kind = match r.u8()? {
+            0 => NodeKind::Plain,
+            1 => NodeKind::Intersection,
+            2 => NodeKind::Roundabout,
+            _ => return Err(PersistError::Corrupt { what: "road node kind" }),
+        };
+        net.add_node(pos, kind);
+    }
+    let n_edges = r.seq_len()?;
+    for _ in 0..n_edges {
+        let from = r.u32()?;
+        let to = r.u32()?;
+        let speed = r.f64()?;
+        let bounds = n_nodes as u32;
+        if from >= bounds || to >= bounds || !speed.is_finite() || speed <= 0.0 {
+            return Err(PersistError::Corrupt { what: "road edge" });
+        }
+        net.add_edge(NodeId(from), NodeId(to), speed);
+    }
+    Ok(net)
+}
+
+/// Encodes a gazetteer. Shared with the WAL codec (`SetGazetteer`).
+pub(crate) fn put_gazetteer(w: &mut ByteWriter, gaz: &Gazetteer) {
+    w.put_u64(gaz.min_mentions as u64);
+    let places = gaz.places_sorted();
+    w.put_u32(places.len() as u32);
+    for place in places {
+        w.put_str(&place.name);
+        w.put_f64(place.point.lat);
+        w.put_f64(place.point.lon);
+        w.put_f64(place.radius_m);
+    }
+}
+
+/// Decodes [`put_gazetteer`] output.
+pub(crate) fn get_gazetteer(r: &mut ByteReader<'_>) -> Result<Gazetteer, PersistError> {
+    let mut gaz = Gazetteer::new();
+    gaz.min_mentions = r.u64()? as usize;
+    let n = r.seq_len()?;
+    for _ in 0..n {
+        gaz.add(Place {
+            name: r.string()?,
+            point: GeoPoint { lat: r.f64()?, lon: r.f64()? },
+            radius_m: r.f64()?,
+        });
+    }
+    Ok(gaz)
 }
 
 fn put_recommender(w: &mut ByteWriter, rec: &Recommender) {
@@ -435,35 +515,9 @@ fn encode_config(engine: &Engine) -> Vec<u8> {
     // The live recommender: runtime tuning may have diverged from the
     // configured one.
     put_recommender(&mut w, &engine.recommender);
-    w.put_opt(engine.road_network.as_ref(), |w, net| {
-        w.put_u32(net.nodes().len() as u32);
-        for node in net.nodes() {
-            put_point(w, node.pos);
-            w.put_u8(match node.kind {
-                NodeKind::Plain => 0,
-                NodeKind::Intersection => 1,
-                NodeKind::Roundabout => 2,
-            });
-        }
-        w.put_u32(net.edges().len() as u32);
-        for edge in net.edges() {
-            w.put_u32(edge.from.0);
-            w.put_u32(edge.to.0);
-            w.put_f64(edge.speed_mps);
-        }
-    });
-    w.put_opt(engine.gazetteer.as_ref(), |w, gaz| {
-        w.put_u64(gaz.min_mentions as u64);
-        let places = gaz.places_sorted();
-        w.put_u32(places.len() as u32);
-        for place in places {
-            w.put_str(&place.name);
-            w.put_f64(place.point.lat);
-            w.put_f64(place.point.lon);
-            w.put_f64(place.radius_m);
-        }
-    });
-    w.put_opt(engine.coverage.as_ref(), put_transmitters);
+    w.put_opt(engine.road_network.as_ref(), put_road_network);
+    w.put_opt(engine.gazetteer.as_ref(), put_gazetteer);
+    w.put_opt(engine.coverage.as_ref(), put_coverage);
     w.into_inner()
 }
 
@@ -521,46 +575,9 @@ fn decode_config(bytes: &[u8]) -> Result<Engine, PersistError> {
     };
     let mut engine = Engine::new(config);
     engine.recommender = get_recommender(&mut r)?;
-    engine.road_network = r.opt(|r| {
-        let n_nodes = r.seq_len()?;
-        let mut net = RoadNetwork::new();
-        for _ in 0..n_nodes {
-            let pos = get_point(r)?;
-            let kind = match r.u8()? {
-                0 => NodeKind::Plain,
-                1 => NodeKind::Intersection,
-                2 => NodeKind::Roundabout,
-                _ => return Err(PersistError::Corrupt { what: "road node kind" }),
-            };
-            net.add_node(pos, kind);
-        }
-        let n_edges = r.seq_len()?;
-        for _ in 0..n_edges {
-            let from = r.u32()?;
-            let to = r.u32()?;
-            let speed = r.f64()?;
-            let bounds = n_nodes as u32;
-            if from >= bounds || to >= bounds || !speed.is_finite() || speed <= 0.0 {
-                return Err(PersistError::Corrupt { what: "road edge" });
-            }
-            net.add_edge(NodeId(from), NodeId(to), speed);
-        }
-        Ok(net)
-    })?;
-    engine.gazetteer = r.opt(|r| {
-        let mut gaz = Gazetteer::new();
-        gaz.min_mentions = r.u64()? as usize;
-        let n = r.seq_len()?;
-        for _ in 0..n {
-            gaz.add(Place {
-                name: r.string()?,
-                point: GeoPoint { lat: r.f64()?, lon: r.f64()? },
-                radius_m: r.f64()?,
-            });
-        }
-        Ok(gaz)
-    })?;
-    engine.coverage = r.opt(get_transmitters)?;
+    engine.road_network = r.opt(get_road_network)?;
+    engine.gazetteer = r.opt(get_gazetteer)?;
+    engine.coverage = r.opt(get_coverage)?;
     Ok(engine)
 }
 
@@ -837,7 +854,7 @@ fn encode_users(engine: &Engine) -> Vec<u8> {
                 BearerClass::Ip => 1,
             });
             w.put_u32(b.switches);
-            put_transmitters(&mut w, &b.coverage);
+            put_coverage(&mut w, &b.coverage);
         }
     }
 
@@ -1104,7 +1121,7 @@ fn decode_users(engine: &mut Engine, bytes: &[u8]) -> Result<(), PersistError> {
             _ => return Err(PersistError::Corrupt { what: "bearer class tag" }),
         };
         let switches = r.u32()?;
-        let coverage = get_transmitters(&mut r)?;
+        let coverage = get_coverage(&mut r)?;
         engine.bearers.insert(user, BearerSelector { coverage, hysteresis_m, current, switches });
     }
 

@@ -10,100 +10,23 @@
 //! surfaces as a typed [`PersistError`].
 
 use super::codec::{crc32, ByteReader, ByteWriter};
+use super::snapshot::{
+    get_coverage, get_gazetteer, get_road_network, put_coverage, put_gazetteer, put_road_network,
+};
 use super::PersistError;
+use crate::command::EngineCommand;
 use pphcr_audio::ClipId;
 use pphcr_catalog::{CategoryId, ClipKind, GeoTag, ServiceIndex};
 use pphcr_geo::{GeoPoint, TimePoint, TimeSpan};
 use pphcr_trajectory::GpsFix;
 use pphcr_userdata::{AgeBand, FeedbackEvent, FeedbackKind, UserId, UserProfile};
 
-/// One logged engine input. The set is closed: every externally-driven
-/// mutation of the engine flows through exactly one of these, so a
-/// replayed log reproduces the engine bit-for-bit.
-#[derive(Debug, Clone, PartialEq)]
-pub enum WalOp {
-    /// `Engine::register_user`.
-    RegisterUser {
-        /// The listener profile being registered (or re-registered).
-        profile: UserProfile,
-        /// Logical time of the registration.
-        now: TimePoint,
-    },
-    /// `Engine::change_service`.
-    ChangeService {
-        /// The listener switching service.
-        user: UserId,
-        /// Target service index in the line-up.
-        service: ServiceIndex,
-        /// Logical time of the switch.
-        now: TimePoint,
-    },
-    /// `Engine::train_classifier`.
-    TrainClassifier {
-        /// Category the document is labelled with.
-        category: CategoryId,
-        /// Transcript tokens of the training document.
-        tokens: Vec<String>,
-    },
-    /// `Engine::ingest_clip`.
-    IngestClip {
-        /// Clip title.
-        title: String,
-        /// Clip kind.
-        kind: ClipKind,
-        /// Clip duration.
-        duration: TimeSpan,
-        /// Publication time.
-        published: TimePoint,
-        /// Optional geo-reference.
-        geo: Option<GeoTag>,
-        /// Transcript tokens.
-        tokens: Vec<String>,
-        /// Editorial category override, if any.
-        editorial: Option<CategoryId>,
-    },
-    /// `Engine::record_fix`.
-    RecordFix {
-        /// The listener the fix belongs to.
-        user: UserId,
-        /// The GPS fix.
-        fix: GpsFix,
-    },
-    /// `Engine::record_feedback`.
-    RecordFeedback {
-        /// The feedback event.
-        event: FeedbackEvent,
-    },
-    /// `Engine::inject`.
-    Inject {
-        /// Target listener.
-        user: UserId,
-        /// Clip to inject.
-        clip: ClipId,
-        /// Submission time.
-        at: TimePoint,
-        /// Editor's note.
-        note: String,
-    },
-    /// `Engine::skip`.
-    Skip {
-        /// The listener pressing skip.
-        user: UserId,
-        /// Logical time of the skip.
-        now: TimePoint,
-    },
-    /// `Engine::run_tick`.
-    Tick {
-        /// Users ticked this round.
-        users: Vec<UserId>,
-        /// Logical time of the tick.
-        now: TimePoint,
-        /// Whether the batch (sharded) path was requested.
-        batch: bool,
-        /// Explicit worker count, if pinned.
-        workers: Option<u64>,
-    },
-}
+/// One logged engine input — an alias for the unified
+/// [`EngineCommand`]. The WAL, the live `DurableEngine` write-ahead
+/// path and the `pphcr-shard` wire protocol all carry this one shape
+/// through this module's single codec, so a replayed (or forwarded)
+/// log reproduces the engine bit-for-bit.
+pub type WalOp = EngineCommand;
 
 /// A sequenced WAL entry.
 #[derive(Debug, Clone, PartialEq)]
@@ -123,6 +46,10 @@ const KIND_RECORD_FEEDBACK: u8 = 5;
 const KIND_INJECT: u8 = 6;
 const KIND_SKIP: u8 = 7;
 const KIND_TICK: u8 = 8;
+const KIND_ADVANCE_PLAYER: u8 = 9;
+const KIND_SET_COVERAGE: u8 = 10;
+const KIND_SET_ROAD_NETWORK: u8 = 11;
+const KIND_SET_GAZETTEER: u8 = 12;
 
 fn put_geo_point(w: &mut ByteWriter, p: GeoPoint) {
     w.put_f64(p.lat);
@@ -255,7 +182,11 @@ fn get_tokens(r: &mut ByteReader<'_>) -> Result<Vec<String>, PersistError> {
 }
 
 /// Encodes the *payload* of a record: `[seq][kind][body]`.
-fn encode_payload(record: &WalRecord) -> Vec<u8> {
+///
+/// Public because the shard protocol frames the same payloads onto its
+/// pipes; WAL files should go through [`encode_record`].
+#[must_use]
+pub fn encode_payload(record: &WalRecord) -> Vec<u8> {
     let mut w = ByteWriter::new();
     w.put_u64(record.seq);
     match &record.op {
@@ -316,6 +247,23 @@ fn encode_payload(record: &WalRecord) -> Vec<u8> {
             w.put_bool(*batch);
             w.put_opt(workers.as_ref(), |w, v| w.put_u64(*v));
         }
+        WalOp::AdvancePlayer { user, now } => {
+            w.put_u8(KIND_ADVANCE_PLAYER);
+            w.put_u64(user.0);
+            w.put_u64(now.0);
+        }
+        WalOp::SetCoverage { coverage } => {
+            w.put_u8(KIND_SET_COVERAGE);
+            put_coverage(&mut w, coverage);
+        }
+        WalOp::SetRoadNetwork { network } => {
+            w.put_u8(KIND_SET_ROAD_NETWORK);
+            put_road_network(&mut w, network);
+        }
+        WalOp::SetGazetteer { gazetteer } => {
+            w.put_u8(KIND_SET_GAZETTEER);
+            put_gazetteer(&mut w, gazetteer);
+        }
     }
     w.into_inner()
 }
@@ -323,8 +271,9 @@ fn encode_payload(record: &WalRecord) -> Vec<u8> {
 /// Decodes one payload (`[seq][kind][body]`) back into a record.
 ///
 /// The caller has already verified the CRC, so any failure here is
-/// corruption, not a torn write.
-pub(crate) fn decode_payload(payload: &[u8]) -> Result<WalRecord, PersistError> {
+/// corruption, not a torn write. Public for the shard protocol, which
+/// shares the WAL payload codec.
+pub fn decode_payload(payload: &[u8]) -> Result<WalRecord, PersistError> {
     let mut r = ByteReader::new(payload);
     let seq = r.u64()?;
     let op = match r.u8()? {
@@ -372,6 +321,12 @@ pub(crate) fn decode_payload(payload: &[u8]) -> Result<WalRecord, PersistError> 
                 workers: r.opt(ByteReader::u64)?,
             }
         }
+        KIND_ADVANCE_PLAYER => {
+            WalOp::AdvancePlayer { user: UserId(r.u64()?), now: TimePoint(r.u64()?) }
+        }
+        KIND_SET_COVERAGE => WalOp::SetCoverage { coverage: get_coverage(&mut r)? },
+        KIND_SET_ROAD_NETWORK => WalOp::SetRoadNetwork { network: get_road_network(&mut r)? },
+        KIND_SET_GAZETTEER => WalOp::SetGazetteer { gazetteer: get_gazetteer(&mut r)? },
         _ => return Err(PersistError::Corrupt { what: "WAL op kind tag" }),
     };
     if !r.is_empty() {
@@ -480,6 +435,45 @@ mod tests {
                 },
             },
         ]
+    }
+
+    #[test]
+    fn new_command_kinds_round_trip() {
+        use crate::bearer::{CoverageMap, Transmitter};
+        use pphcr_catalog::{Gazetteer, Place};
+        use pphcr_geo::{NodeId, NodeKind, ProjectedPoint, RoadNetwork};
+
+        let mut network = RoadNetwork::new();
+        let a = network.add_node(ProjectedPoint { x: 0.0, y: 0.0 }, NodeKind::Intersection);
+        let b = network.add_node(ProjectedPoint { x: 100.0, y: 0.0 }, NodeKind::Roundabout);
+        network.add_edge(a, b, 13.9);
+        network.add_edge(NodeId(1), NodeId(0), 8.3);
+        let mut gazetteer = Gazetteer::new();
+        gazetteer.min_mentions = 2;
+        gazetteer.add(Place {
+            name: "Torino".into(),
+            point: GeoPoint { lat: 45.07, lon: 7.68 },
+            radius_m: 5_000.0,
+        });
+        let coverage = CoverageMap {
+            transmitters: vec![Transmitter {
+                position: ProjectedPoint { x: 10.0, y: -20.0 },
+                radius_m: 30_000.0,
+            }],
+        };
+        let records = vec![
+            WalRecord { seq: 1, op: WalOp::AdvancePlayer { user: UserId(7), now: TimePoint(300) } },
+            WalRecord { seq: 2, op: WalOp::SetCoverage { coverage } },
+            WalRecord { seq: 3, op: WalOp::SetRoadNetwork { network } },
+            WalRecord { seq: 4, op: WalOp::SetGazetteer { gazetteer } },
+        ];
+        let mut log = Vec::new();
+        for r in &records {
+            log.extend_from_slice(&encode_record(r));
+        }
+        let scanned = scan(&log).unwrap();
+        assert_eq!(scanned.records, records);
+        assert_eq!(scanned.torn_bytes, 0);
     }
 
     #[test]

@@ -119,7 +119,7 @@ pub struct DistractionZone {
 }
 
 /// A directed weighted road graph.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct RoadNetwork {
     nodes: Vec<RoadNode>,
     edges: Vec<RoadEdge>,

@@ -101,6 +101,13 @@ pub const ROOTS: &[(&str, &str)] = &[
         "recommender::candidates::CandidateFilter::candidates_indexed_excluding_stats",
         "recommender scoring",
     ),
+    ("shard::agent::serve", "shard serve loop"),
+    ("shard::agent::AgentState::handle", "shard request dispatch"),
+    ("shard::protocol::read_frame", "shard wire decode"),
+    ("shard::protocol::Request::decode", "shard wire decode"),
+    ("shard::protocol::Response::decode", "shard wire decode"),
+    ("shard::router::Router::apply", "shard routing"),
+    ("obs::merge::merge_snapshots", "observability merge"),
 ];
 
 /// One taint source before reachability is known.

@@ -77,3 +77,28 @@ fn stale_fn_pragma_is_a_hard_error() {
     assert_eq!(v.rule_id, "stale-pragma");
     assert!(v.file.ends_with("crates/helper/src/lib.rs"));
 }
+
+#[test]
+fn every_taint_root_resolves_in_the_real_workspace() {
+    // A root that no longer names an indexed function is silently
+    // ignored by the BFS — this pins each entry in `taint::ROOTS`
+    // (including the shard protocol/dispatch and obs-merge roots) to
+    // a real symbol so renames cannot quietly drop coverage.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let files = pphcr_lint::workspace_sources(&root).expect("workspace sources");
+    let mut index = pphcr_lint::symbols::SymbolIndex::default();
+    for path in &files {
+        let source = std::fs::read_to_string(path).expect("read workspace source");
+        let rel = path.strip_prefix(&root).unwrap_or(path).to_string_lossy().replace('\\', "/");
+        let lines = pphcr_lint::lexer::lex(&source);
+        let mask = vec![false; lines.len()];
+        index.add_file(&rel, &lines, &mask);
+    }
+    index.finish();
+    for (q, _) in pphcr_lint::taint::ROOTS {
+        assert!(
+            index.by_qualified.contains_key(*q),
+            "taint root {q} does not resolve to any indexed function"
+        );
+    }
+}

@@ -28,6 +28,7 @@
 //! The crate has no dependencies, so every other workspace crate can
 //! embed it without cycles.
 
+pub mod merge;
 pub mod registry;
 pub mod snapshot;
 pub mod span;
@@ -35,6 +36,7 @@ pub mod timing;
 pub mod trace;
 pub mod wire;
 
+pub use merge::{merge_snapshots, MergeError, MergePlan};
 pub use registry::{Histogram, Registry, TimingStat, HISTOGRAM_BUCKETS};
 pub use snapshot::{HistogramSnapshot, ObsSnapshot};
 pub use span::Span;

@@ -1,0 +1,373 @@
+//! Cross-shard [`ObsSnapshot`] merging.
+//!
+//! A sharded deployment runs N engine processes, each owning a
+//! partition of the users, and every shard captures its own
+//! [`ObsSnapshot`]. This module folds those per-shard snapshots back
+//! into the snapshot the equivalent single-process run would have
+//! produced — *exactly*, not approximately — so the differential test
+//! can compare merged JSON byte-for-byte.
+//!
+//! The fold is driven by a declarative [`MergePlan`]:
+//!
+//! * most counters and gauges are **summed** (users are partitioned,
+//!   so per-user work adds up),
+//! * names listed as **replicated** (e.g. `engine.ticks`, which every
+//!   shard advances because ticks are broadcast, or `catalog.clips`,
+//!   because the catalog is replicated) must agree across shards and
+//!   pass through unchanged — disagreement is a [`MergeError`], not a
+//!   silent pick-one,
+//! * **gauge deductions** subtract the double-counting a broadcast
+//!   introduces (one `IngestClip` publishes one bus message *per
+//!   shard*, so `bus.published` must shed `(N-1) × ingests`),
+//! * histograms merge by exact integer bucket addition via
+//!   [`Histogram::merge_from`],
+//! * the decision trace is supplied by the caller in global order (the
+//!   router knows the request order; this crate cannot reconstruct it)
+//!   and is only validated for conservation of entries.
+
+use crate::registry::Histogram;
+use crate::snapshot::{HistogramSnapshot, ObsSnapshot};
+use crate::trace::DecisionTraceEntry;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Declarative description of how per-shard snapshots fold together.
+///
+/// Every counter or gauge not named in `replicated_*` is summed.
+#[derive(Debug, Clone, Default)]
+pub struct MergePlan {
+    /// Counters every shard advances identically (broadcast inputs);
+    /// values must agree and pass through unchanged.
+    pub replicated_counters: Vec<String>,
+    /// Gauges derived from replicated state (e.g. the catalog);
+    /// values must agree and pass through unchanged.
+    pub replicated_gauges: Vec<String>,
+    /// `(name, amount)` subtracted from a *summed* gauge after the
+    /// fold, to cancel per-shard double counting of broadcast work.
+    pub gauge_deductions: Vec<(String, i64)>,
+    /// The merged decision trace in global request order, supplied by
+    /// the router. Its length must equal the sum of the per-shard
+    /// trace lengths (conservation; no entry invented or lost).
+    pub trace: Vec<DecisionTraceEntry>,
+}
+
+/// Typed failures of the snapshot fold.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeError {
+    /// `merge_snapshots` was called with an empty slice.
+    NoParts,
+    /// A replicated metric disagrees across shards (or is missing from
+    /// some shard while present on another).
+    ReplicaDivergence {
+        /// The metric name that diverged.
+        name: String,
+    },
+    /// A histogram snapshot's bucket counts do not add up to its
+    /// `count` — corrupt input, not a merge bug.
+    CorruptHistogram {
+        /// The histogram name that failed validation.
+        name: String,
+    },
+    /// Shards captured traces with different ring capacities.
+    TraceCapacityMismatch,
+    /// The caller-supplied global trace does not conserve the
+    /// per-shard entries.
+    TraceLengthMismatch {
+        /// Sum of per-shard trace lengths.
+        expected: u64,
+        /// Length of the supplied global trace.
+        found: u64,
+    },
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::NoParts => write!(f, "no snapshots to merge"),
+            MergeError::ReplicaDivergence { name } => {
+                write!(f, "replicated metric {name} diverges across shards")
+            }
+            MergeError::CorruptHistogram { name } => {
+                write!(f, "histogram {name} fails bucket-count validation")
+            }
+            MergeError::TraceCapacityMismatch => {
+                write!(f, "shards disagree on trace ring capacity")
+            }
+            MergeError::TraceLengthMismatch { expected, found } => {
+                write!(f, "global trace has {found} entries, shards hold {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// Folds per-shard snapshots into the single-process equivalent.
+///
+/// # Errors
+///
+/// [`MergeError::NoParts`] on an empty slice;
+/// [`MergeError::ReplicaDivergence`] when a metric listed in the plan
+/// as replicated disagrees (or is unevenly present) across shards;
+/// [`MergeError::CorruptHistogram`] when a part's bucket counts do not
+/// sum to its `count`; [`MergeError::TraceCapacityMismatch`] /
+/// [`MergeError::TraceLengthMismatch`] on trace bookkeeping violations.
+pub fn merge_snapshots(parts: &[ObsSnapshot], plan: &MergePlan) -> Result<ObsSnapshot, MergeError> {
+    let Some(first) = parts.first() else {
+        return Err(MergeError::NoParts);
+    };
+
+    let counters = merge_scalars(
+        parts.len(),
+        parts.iter().map(|p| p.counters.iter().map(|(k, v)| (k.as_str(), *v))),
+        &plan.replicated_counters,
+        |a, b| a.checked_add(b),
+    )?;
+
+    let mut gauges = merge_scalars(
+        parts.len(),
+        parts.iter().map(|p| p.gauges.iter().map(|(k, v)| (k.as_str(), *v))),
+        &plan.replicated_gauges,
+        |a, b| a.checked_add(b),
+    )?;
+    for (name, amount) in &plan.gauge_deductions {
+        if let Ok(i) = gauges.binary_search_by(|(k, _)| k.as_str().cmp(name)) {
+            if let Some(slot) = gauges.get_mut(i) {
+                slot.1 = slot.1.saturating_sub(*amount);
+            }
+        }
+    }
+
+    let histograms = merge_histograms(parts)?;
+
+    let expected: u64 = parts.iter().map(|p| p.trace.len() as u64).sum();
+    if parts.iter().any(|p| p.trace_capacity != first.trace_capacity) {
+        return Err(MergeError::TraceCapacityMismatch);
+    }
+    if expected != plan.trace.len() as u64 {
+        return Err(MergeError::TraceLengthMismatch { expected, found: plan.trace.len() as u64 });
+    }
+
+    Ok(ObsSnapshot {
+        counters,
+        gauges,
+        histograms,
+        trace_capacity: first.trace_capacity,
+        trace_dropped: parts.iter().map(|p| p.trace_dropped).sum(),
+        trace: plan.trace.clone(),
+    })
+}
+
+/// Folds one scalar family (counters or gauges) across shards: union
+/// of names, summing by default, pass-through-with-agreement for names
+/// in `replicated`.
+fn merge_scalars<'a, V, I>(
+    part_count: usize,
+    parts: impl Iterator<Item = I>,
+    replicated: &[String],
+    add: impl Fn(V, V) -> Option<V>,
+) -> Result<Vec<(String, V)>, MergeError>
+where
+    V: Copy + PartialEq,
+    I: Iterator<Item = (&'a str, V)>,
+{
+    // name -> (folded sum, first value seen, parts it appeared in, agreement)
+    let mut acc: BTreeMap<&str, (V, V, usize, bool)> = BTreeMap::new();
+    for part in parts {
+        for (name, value) in part {
+            match acc.get_mut(name) {
+                Some((sum, first, seen, agree)) => {
+                    *sum = add(*sum, value).unwrap_or(*sum);
+                    *seen += 1;
+                    *agree = *agree && value == *first;
+                }
+                None => {
+                    acc.insert(name, (value, value, 1, true));
+                }
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(acc.len());
+    for (name, (sum, first, seen, agree)) in acc {
+        if replicated.iter().any(|r| r == name) {
+            if seen != part_count || !agree {
+                return Err(MergeError::ReplicaDivergence { name: name.to_string() });
+            }
+            out.push((name.to_string(), first));
+        } else {
+            out.push((name.to_string(), sum));
+        }
+    }
+    Ok(out)
+}
+
+/// Exact integer histogram fold: every part is validated through
+/// [`Histogram::from_parts`], then added bucket-by-bucket.
+fn merge_histograms(parts: &[ObsSnapshot]) -> Result<Vec<(String, HistogramSnapshot)>, MergeError> {
+    let mut acc: BTreeMap<&str, Histogram> = BTreeMap::new();
+    for part in parts {
+        for (name, snap) in &part.histograms {
+            let h = Histogram::from_parts(snap.count, snap.sum, snap.buckets.iter().copied())
+                .ok_or_else(|| MergeError::CorruptHistogram { name: name.clone() })?;
+            match acc.get_mut(name.as_str()) {
+                Some(merged) => merged.merge_from(&h),
+                None => {
+                    acc.insert(name, h);
+                }
+            }
+        }
+    }
+    Ok(acc
+        .into_iter()
+        .map(|(name, h)| {
+            (
+                name.to_string(),
+                HistogramSnapshot {
+                    count: h.count(),
+                    sum: h.sum(),
+                    buckets: h.nonzero_buckets().collect(),
+                },
+            )
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+    use crate::trace::{DecisionTrace, Verdict};
+
+    fn entry(user: u64, at_s: u64) -> DecisionTraceEntry {
+        DecisionTraceEntry {
+            user,
+            at_s,
+            trigger: "drive-predicted",
+            considered: 5,
+            cut_freshness: 1,
+            cut_preference: 1,
+            cut_geo: 0,
+            cut_heard: 0,
+            scored: 3,
+            scheduled: 2,
+            top_clip: Some(1),
+            top_content_micro: 100,
+            top_context_micro: 50,
+            top_total_micro: 150,
+            verdict: Verdict::Scheduled,
+        }
+    }
+
+    fn snap(ticks: u64, users: u64, clips: i64, entries: &[DecisionTraceEntry]) -> ObsSnapshot {
+        let mut reg = Registry::new();
+        reg.add("engine.ticks", ticks);
+        reg.add("engine.tick_users", users);
+        reg.observe("schedule.items", users);
+        let mut trace = DecisionTrace::with_capacity(64);
+        for e in entries {
+            trace.push(e.clone());
+        }
+        let mut s = ObsSnapshot::capture(&reg, &trace);
+        s.set_gauge("catalog.clips", clips);
+        s.set_gauge("bus.published", 10);
+        s
+    }
+
+    fn plan(trace: Vec<DecisionTraceEntry>) -> MergePlan {
+        MergePlan {
+            replicated_counters: vec!["engine.ticks".into()],
+            replicated_gauges: vec!["catalog.clips".into()],
+            gauge_deductions: vec![("bus.published".into(), 4)],
+            trace,
+        }
+    }
+
+    #[test]
+    fn sums_and_passes_replicated_through() {
+        let a = snap(3, 2, 7, &[entry(1, 100)]);
+        let b = snap(3, 5, 7, &[entry(2, 100)]);
+        let merged = merge_snapshots(&[a, b], &plan(vec![entry(1, 100), entry(2, 100)])).unwrap();
+        assert_eq!(merged.counter("engine.ticks"), 3);
+        assert_eq!(merged.counter("engine.tick_users"), 7);
+        assert_eq!(merged.gauge("catalog.clips"), Some(7));
+        // 10 + 10, minus the declared deduction of 4.
+        assert_eq!(merged.gauge("bus.published"), Some(16));
+        let (_, h) = merged.histograms.first().unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 7);
+        assert_eq!(merged.trace.len(), 2);
+    }
+
+    #[test]
+    fn replica_divergence_is_an_error() {
+        let a = snap(3, 2, 7, &[]);
+        let b = snap(4, 2, 7, &[]);
+        assert_eq!(
+            merge_snapshots(&[a, b], &plan(Vec::new())),
+            Err(MergeError::ReplicaDivergence { name: "engine.ticks".into() })
+        );
+        let a = snap(3, 2, 7, &[]);
+        let b = snap(3, 2, 9, &[]);
+        assert_eq!(
+            merge_snapshots(&[a, b], &plan(Vec::new())),
+            Err(MergeError::ReplicaDivergence { name: "catalog.clips".into() })
+        );
+    }
+
+    #[test]
+    fn unevenly_present_replicated_counter_is_divergence() {
+        let a = snap(3, 2, 7, &[]);
+        let mut reg = Registry::new();
+        reg.inc("other.counter");
+        let mut b = ObsSnapshot::capture(&reg, &DecisionTrace::with_capacity(64));
+        b.set_gauge("catalog.clips", 7);
+        b.set_gauge("bus.published", 0);
+        assert_eq!(
+            merge_snapshots(&[a, b], &plan(Vec::new())),
+            Err(MergeError::ReplicaDivergence { name: "engine.ticks".into() })
+        );
+    }
+
+    #[test]
+    fn trace_bookkeeping_is_validated() {
+        let a = snap(1, 1, 7, &[entry(1, 100)]);
+        let b = snap(1, 1, 7, &[]);
+        assert_eq!(
+            merge_snapshots(&[a.clone(), b.clone()], &plan(Vec::new())),
+            Err(MergeError::TraceLengthMismatch { expected: 1, found: 0 })
+        );
+        let mut small = b;
+        small.trace_capacity = 8;
+        assert_eq!(
+            merge_snapshots(&[a, small], &plan(vec![entry(1, 100)])),
+            Err(MergeError::TraceCapacityMismatch)
+        );
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert_eq!(merge_snapshots(&[], &MergePlan::default()), Err(MergeError::NoParts));
+    }
+
+    #[test]
+    fn merging_one_part_with_identity_plan_is_identity() {
+        let a = snap(2, 3, 5, &[entry(1, 50)]);
+        let merged = merge_snapshots(std::slice::from_ref(&a), &plan(vec![entry(1, 50)])).unwrap();
+        assert_eq!(merged.counters, a.counters);
+        assert_eq!(merged.histograms, a.histograms);
+        // The deduction still applies: identity requires a zero plan.
+        assert_eq!(merged.gauge("bus.published"), Some(6));
+    }
+
+    #[test]
+    fn corrupt_histogram_is_rejected() {
+        let mut a = snap(1, 1, 1, &[]);
+        if let Some((_, h)) = a.histograms.first_mut() {
+            h.count += 1; // buckets no longer sum to count
+        }
+        assert!(matches!(
+            merge_snapshots(&[a], &MergePlan::default()),
+            Err(MergeError::CorruptHistogram { .. })
+        ));
+    }
+}

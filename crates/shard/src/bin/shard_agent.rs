@@ -1,0 +1,12 @@
+//! The shard agent binary: one engine partition served over
+//! stdin/stdout. Spawned by the router (or the smoke driver); exits
+//! cleanly when its stdin closes.
+
+fn main() {
+    let mut input = std::io::stdin().lock();
+    let mut output = std::io::BufWriter::new(std::io::stdout().lock());
+    if let Err(e) = pphcr_shard::serve(&mut input, &mut output) {
+        eprintln!("shard agent: {e}");
+        std::process::exit(1);
+    }
+}

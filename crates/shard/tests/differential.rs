@@ -1,0 +1,85 @@
+//! The differential identity suite: real multi-process sharded
+//! deployments (spawned `shard_agent` binaries) must reproduce the
+//! single-process run byte-for-byte — the event-line stream and the
+//! merged observability snapshot — including across a mid-stream
+//! snapshot-handoff rebalance.
+
+use pphcr_shard::{commands, run_single, ProcessShard, Router, SingleRun};
+use std::path::Path;
+
+fn agent() -> &'static Path {
+    Path::new(env!("CARGO_BIN_EXE_shard_agent"))
+}
+
+fn spawn_router(n: usize) -> Router<ProcessShard> {
+    let shards: Vec<ProcessShard> =
+        (0..n).map(|_| ProcessShard::spawn(agent()).expect("spawn agent")).collect();
+    Router::new(shards).expect("non-empty router")
+}
+
+/// Runs the scripted workload through `n` shard processes, optionally
+/// rebalancing shard 0 onto a fresh process before op `rebalance_at`.
+fn run_sharded(seed: u64, n: usize, rebalance_at: Option<usize>) -> SingleRun {
+    let ops = commands(seed);
+    let mut router = spawn_router(n);
+    let mut lines = Vec::new();
+    for (i, cmd) in ops.iter().enumerate() {
+        if rebalance_at == Some(i) {
+            router
+                .rebalance(0, ProcessShard::spawn(agent()).expect("spawn replacement"))
+                .expect("rebalance");
+        }
+        lines.extend(router.apply(cmd).expect("apply"));
+    }
+    let obs_json = router.merged_obs().expect("merge obs").to_json();
+    SingleRun { lines, obs_json }
+}
+
+fn assert_identical(baseline: &SingleRun, sharded: &SingleRun, label: &str) {
+    for (i, (b, s)) in baseline.lines.iter().zip(sharded.lines.iter()).enumerate() {
+        assert_eq!(b, s, "{label}: first divergence at line {i}");
+    }
+    assert_eq!(baseline.lines.len(), sharded.lines.len(), "{label}: line counts differ");
+    assert_eq!(baseline.obs_json, sharded.obs_json, "{label}: merged obs JSON differs");
+}
+
+#[test]
+fn two_shards_are_byte_identical_to_one_process() {
+    let baseline = run_single(&commands(1));
+    assert!(
+        baseline.lines.iter().any(|l| l.contains("Recommended")),
+        "workload must produce proactive schedules for the diff to mean anything"
+    );
+    assert!(
+        baseline.lines.iter().any(|l| l.contains("rejected=")),
+        "workload must exercise the rejection path"
+    );
+    let sharded = run_sharded(1, 2, None);
+    assert_identical(&baseline, &sharded, "2 shards");
+}
+
+#[test]
+fn four_shards_are_byte_identical_to_one_process() {
+    let baseline = run_single(&commands(1));
+    let sharded = run_sharded(1, 4, None);
+    assert_identical(&baseline, &sharded, "4 shards");
+}
+
+#[test]
+fn mid_stream_rebalance_stays_byte_identical() {
+    let ops = commands(3);
+    let baseline = run_single(&ops);
+    // Hand shard 0's state to a fresh process halfway through — right
+    // in the middle of the tick phase, with deliveries in the ledger.
+    let sharded = run_sharded(3, 2, Some(ops.len() / 2));
+    assert_identical(&baseline, &sharded, "2 shards + rebalance");
+}
+
+#[test]
+fn different_seeds_produce_different_baselines() {
+    // Guards against the workload collapsing to a seed-independent
+    // constant, which would quietly weaken every identity test above.
+    let a = run_single(&commands(1));
+    let b = run_single(&commands(2));
+    assert_ne!(a.lines, b.lines);
+}

@@ -20,14 +20,14 @@
 //! a failure pinpoints the non-replayed state rather than just saying
 //! "bytes differ".
 
-use pphcr_catalog::{CategoryId, ClipKind, GeoTag, ServiceIndex};
+use pphcr_catalog::{CategoryId, ClipKind, Gazetteer, GeoTag, ServiceIndex};
 use pphcr_core::persist::snapshot_engine;
 use pphcr_core::persist::wal::encode_record;
 use pphcr_core::{
-    restore_engine, ApplyResult, DurableEngine, Engine, EngineConfig, FaultProfile,
+    restore_engine, ApplyResult, CoverageMap, DurableEngine, Engine, EngineConfig, FaultProfile,
     FaultyTransport, MemWal, PlatformSnapshot, UnicastLink, WalOp, WalRecord,
 };
-use pphcr_geo::{GeoPoint, TimePoint, TimeSpan};
+use pphcr_geo::{GeoPoint, NodeKind, ProjectedPoint, RoadNetwork, TimePoint, TimeSpan};
 use pphcr_trajectory::GpsFix;
 use pphcr_userdata::{AgeBand, FeedbackEvent, FeedbackKind, UserId, UserProfile};
 
@@ -90,6 +90,24 @@ pub fn scripted_ops(seed: u64) -> Vec<WalOp> {
         category: CategoryId::new(2),
         tokens: vec!["football".into(), "derby".into(), "goal".into(), "league".into()],
     });
+
+    // Environment configuration flows through the WAL too: DAB coverage,
+    // a toy road network and a gazetteer, all replay-relevant state.
+    let mut coverage = CoverageMap::new();
+    coverage.add(ProjectedPoint::new(0.0, 0.0), 15_000.0);
+    coverage.add(ProjectedPoint::new(9_000.0, 2_000.0), 8_000.0);
+    ops.push(WalOp::SetCoverage { coverage });
+    let mut network = RoadNetwork::new();
+    let a = network.add_node(ProjectedPoint::new(0.0, 0.0), NodeKind::Intersection);
+    let b = network.add_node(ProjectedPoint::new(1_200.0, 300.0), NodeKind::Plain);
+    let c = network.add_node(ProjectedPoint::new(2_500.0, 900.0), NodeKind::Roundabout);
+    network.add_edge(a, b, 13.9);
+    network.add_edge(b, c, 25.0);
+    ops.push(WalOp::SetRoadNetwork { network });
+    let mut gazetteer = Gazetteer::new();
+    gazetteer.add_place("torino", GeoPoint::new(ORIGIN.0, ORIGIN.1), 5_000.0);
+    gazetteer.add_place("moncalieri", GeoPoint::new(45.0005, 7.6800), 3_000.0);
+    ops.push(WalOp::SetGazetteer { gazetteer });
 
     // Corpus: ten clips, half editorially labelled, some geo-tagged,
     // publication times derived from the seed so different seeds walk
@@ -187,6 +205,12 @@ pub fn scripted_ops(seed: u64) -> Vec<WalOp> {
         now: start.advance(TimeSpan::seconds(90)),
     });
     mixed.push(WalOp::Skip { user: UserId(1), now: start.advance(TimeSpan::seconds(95)) });
+
+    // Client player advances: one for a live listener (session bookkeeping
+    // must replay), one for a ghost (the typed rejection is itself logged).
+    mixed.push(WalOp::AdvancePlayer { user: UserId(1), now: start.advance(TimeSpan::seconds(97)) });
+    mixed
+        .push(WalOp::AdvancePlayer { user: UserId(99), now: start.advance(TimeSpan::seconds(98)) });
 
     // Interleave the mixed ops with batched parallel ticks over a
     // ~35-step horizon so bus retries, proactive triggers and health
@@ -439,7 +463,7 @@ mod tests {
     #[test]
     fn script_covers_every_op_kind() {
         let ops = scripted_ops(1);
-        let mut seen = [false; 9];
+        let mut seen = [false; 13];
         for op in &ops {
             let idx = match op {
                 WalOp::RegisterUser { .. } => 0,
@@ -451,6 +475,10 @@ mod tests {
                 WalOp::Inject { .. } => 6,
                 WalOp::Skip { .. } => 7,
                 WalOp::Tick { .. } => 8,
+                WalOp::AdvancePlayer { .. } => 9,
+                WalOp::SetCoverage { .. } => 10,
+                WalOp::SetRoadNetwork { .. } => 11,
+                WalOp::SetGazetteer { .. } => 12,
             };
             if let Some(slot) = seen.get_mut(idx) {
                 *slot = true;

@@ -738,9 +738,8 @@ pub fn e6_injection(seed: u64) -> E6Report {
         }
     }
     // Does it play before organic content? Trigger a skip-driven session.
-    let epg = engine.epg.clone();
     let now = t0.advance(TimeSpan::minutes(2));
-    let events = engine.player_mut(UserId(1)).unwrap().tick(now, &epg);
+    let events = engine.advance_player(UserId(1), now).unwrap_or_default();
     let played_first = events
         .iter()
         .any(|e| matches!(e, pphcr_core::PlayerEvent::ClipStarted(c) if *c == injected));

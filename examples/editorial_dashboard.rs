@@ -103,8 +103,7 @@ fn main() {
         println!("engine: {e:?}");
     }
     // The injected clip plays next, ahead of anything organic.
-    let epg = engine.epg.clone();
-    engine.player_mut(listener).unwrap().tick(now.advance(TimeSpan::minutes(1)), &epg);
+    engine.advance_player(listener, now.advance(TimeSpan::minutes(1))).unwrap();
     match engine.player(listener).unwrap().mode() {
         PlaybackMode::Clip { clip, .. } => {
             println!(

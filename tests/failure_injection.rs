@@ -103,13 +103,12 @@ fn queue_underflow_resumes_live() {
     );
     engine.inject(user, clip, now, "seed the queue").unwrap();
     let _ = engine.tick(user, now.advance(TimeSpan::seconds(10)));
-    let epg = engine.epg.clone();
-    let player = engine.player_mut(user).unwrap();
-    player.tick(now.advance(TimeSpan::seconds(20)), &epg);
-    assert!(matches!(player.mode(), PlaybackMode::Clip { .. }));
+    engine.advance_player(user, now.advance(TimeSpan::seconds(20))).unwrap();
+    assert!(matches!(engine.player(user).unwrap().mode(), PlaybackMode::Clip { .. }));
     // The clip ends; nothing else queued.
-    let events = player.tick(now.advance(TimeSpan::minutes(10)), &epg);
+    let events = engine.advance_player(user, now.advance(TimeSpan::minutes(10))).unwrap();
     assert!(events.iter().any(|e| matches!(e, pphcr::core::PlayerEvent::ResumedLive { .. })));
+    let player = engine.player(user).unwrap();
     assert_eq!(player.mode(), PlaybackMode::Shifted);
     assert_eq!(player.displacement(), TimeSpan::minutes(4));
 }
@@ -237,7 +236,7 @@ fn unregistered_user_is_total_at_every_entry_point() {
     assert!(engine.skip(ghost, now).is_empty());
     assert!(engine.heard(ghost).is_empty());
     assert!(engine.player(ghost).is_none());
-    assert!(engine.player_mut(ghost).is_none());
+    assert!(matches!(engine.advance_player(ghost, now), Err(EngineError::UnknownUser(_))));
     assert!(engine.bearer_for(ghost).is_none());
     assert!(engine.health_of(ghost).is_none());
     assert!(engine.user_health(ghost).is_none());

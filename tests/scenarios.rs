@@ -192,14 +192,13 @@ fn lilly_proactive_morning() {
         .count();
     assert!(liked_items * 2 >= schedule.items.len(), "schedule favours her tastes");
     // Playing the queue accumulates displacement → shifted live resume.
-    let epg = engine.epg.clone();
-    let player = engine.player_mut(lilly).unwrap();
     let mut now = depart.advance(TimeSpan::minutes(6));
-    player.tick(now, &epg);
+    engine.advance_player(lilly, now).unwrap();
     for _ in 0..60 {
         now = now.advance(TimeSpan::minutes(1));
-        player.tick(now, &epg);
+        engine.advance_player(lilly, now).unwrap();
     }
+    let player = engine.player(lilly).unwrap();
     assert!(matches!(player.mode(), PlaybackMode::Shifted | PlaybackMode::Live));
     if player.mode() == PlaybackMode::Shifted {
         assert!(!player.displacement().is_zero());
@@ -301,8 +300,7 @@ fn editorial_injection_preempts_organic() {
     engine.inject(user, pushed, now, "from the dashboard").unwrap();
     let _ = engine.tick(user, now.advance(TimeSpan::seconds(10)));
     // The injected clip plays before any organic one.
-    let epg = engine.epg.clone();
-    let events = engine.player_mut(user).unwrap().tick(now.advance(TimeSpan::seconds(20)), &epg);
+    let events = engine.advance_player(user, now.advance(TimeSpan::seconds(20))).unwrap();
     assert!(
         events.iter().any(|e| matches!(
             e,
